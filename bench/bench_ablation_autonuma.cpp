@@ -1,0 +1,42 @@
+// Ablation: Linux Automatic NUMA Scheduling and Balancing. The paper's
+// testbed explicitly disables it "because the additional page-faults
+// introduced by AutoNUMA can significantly hurt GPU-heavy application
+// performance" (Section 3). This bench turns it back on for the
+// system-memory versions and measures the damage, validating the
+// configuration choice.
+
+#include <cstdio>
+
+#include "benchsupport/report.hpp"
+#include "benchsupport/scenarios.hpp"
+#include "runtime/runtime.hpp"
+
+using namespace ghum;
+namespace bs = benchsupport;
+
+int main() {
+  bs::print_figure_header(
+      "Ablation: AutoNUMA balancing", "why the paper's testbed disables it",
+      "hint faults re-taken through the GPU's replayable-fault path slow "
+      "GPU-heavy system-memory runs; CPU-side phases barely notice");
+
+  std::printf("%-12s %-9s %12s %12s %14s\n", "app", "autonuma", "compute_ms",
+              "cpuinit_ms", "hint_faults");
+  for (const auto& app : bs::rodinia_apps()) {
+    for (const bool numa : {false, true}) {
+      core::SystemConfig cfg = bs::rodinia_config(pagetable::kSystemPage64K, false);
+      cfg.autonuma_balancing = numa;
+      core::System sys{cfg};
+      runtime::Runtime rt{sys};
+      const auto r = app.run(rt, apps::MemMode::kSystem, bs::Scale::kDefault);
+      std::printf("%-12s %-9s %12.3f %12.3f %14llu\n", app.name.c_str(),
+                  numa ? "on" : "off", r.times.compute_s * 1e3,
+                  r.times.cpu_init_s * 1e3,
+                  static_cast<unsigned long long>(
+                      sys.stats().get("os.numa_hint_faults")));
+      std::printf("data\tablation_autonuma\t%s\t%d\t%g\n", app.name.c_str(),
+                  numa ? 1 : 0, r.times.compute_s * 1e3);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation: the managed-memory driver's speculative prefetcher
+// (Section 2.3.2). With prefetching, one fault batch covers a whole 2 MiB
+// block; without it the driver pays one batch per 64 KiB basic block —
+// the fault-handling overhead that papers since Ganguly et al. identify
+// as dominating UVM cost.
+
+#include <cstdio>
+
+#include "benchsupport/report.hpp"
+#include "benchsupport/scenarios.hpp"
+#include "profile/tracer.hpp"
+#include "runtime/runtime.hpp"
+
+using namespace ghum;
+namespace bs = benchsupport;
+
+int main() {
+  bs::print_figure_header(
+      "Ablation: managed prefetcher", "fault batching vs per-block faults",
+      "prefetch OFF multiplies fault batches ~32x per 2 MiB block; "
+      "compute time of migration-heavy apps rises accordingly");
+
+  std::printf("%-12s %-10s %14s %16s\n", "app", "prefetch", "compute_ms",
+              "managed_faults");
+  for (const auto& app : bs::rodinia_apps()) {
+    for (const bool prefetch : {true, false}) {
+      core::SystemConfig cfg = bs::rodinia_config(pagetable::kSystemPage64K, false);
+      cfg.managed_prefetch = prefetch;
+      cfg.event_log = true;
+      core::System sys{cfg};
+      runtime::Runtime rt{sys};
+      const auto r = app.run(rt, apps::MemMode::kManaged, bs::Scale::kDefault);
+      profile::Tracer tracer{sys.events()};
+      std::printf("%-12s %-10s %14.3f %16zu\n", app.name.c_str(),
+                  prefetch ? "on" : "off", r.times.compute_s * 1e3,
+                  tracer.summarize().managed_gpu_faults);
+      std::printf("data\tablation_prefetch\t%s\t%d\t%g\n", app.name.c_str(),
+                  prefetch ? 1 : 0, r.times.compute_s * 1e3);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Comm|Scope-style NVLink-C2C transfer microbenchmark (paper Section 2.1).
+// Paper-measured: 375 GB/s host-to-device, 297 GB/s device-to-host
+// (450 GB/s theoretical per direction). Uses pinned host buffers, as
+// Comm|Scope's peak-bandwidth configurations do.
+
+#include <benchmark/benchmark.h>
+
+#include "benchsupport/scenarios.hpp"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+using namespace ghum;
+
+double memcpy_bandwidth(bool h2d, std::uint64_t bytes) {
+  core::System sys{benchsupport::rodinia_config(pagetable::kSystemPage64K, false)};
+  runtime::Runtime rt{sys};
+  core::Buffer host = rt.malloc_host(bytes, "host");
+  core::Buffer dev = rt.malloc_device(bytes, "dev");
+  const sim::Picos t0 = sys.now();
+  if (h2d) {
+    rt.memcpy(dev, host, bytes, runtime::CopyKind::kHostToDevice);
+  } else {
+    rt.memcpy(host, dev, bytes, runtime::CopyKind::kDeviceToHost);
+  }
+  const double s =
+      sim::to_seconds(sys.now() - t0 - sys.config().costs.memcpy_base);
+  return static_cast<double>(bytes) / s;
+}
+
+void BM_CommScope_H2D(benchmark::State& state) {
+  double bw = 0;
+  for (auto _ : state) bw = memcpy_bandwidth(true, 1ull * state.range(0));
+  state.counters["sim_GBps"] = bw / 1e9;
+  state.counters["paper_GBps"] = 375.0;
+}
+BENCHMARK(BM_CommScope_H2D)->Arg(64 << 20)->Unit(benchmark::kMillisecond);
+
+void BM_CommScope_D2H(benchmark::State& state) {
+  double bw = 0;
+  for (auto _ : state) bw = memcpy_bandwidth(false, 1ull * state.range(0));
+  state.counters["sim_GBps"] = bw / 1e9;
+  state.counters["paper_GBps"] = 297.0;
+}
+BENCHMARK(BM_CommScope_D2H)->Arg(64 << 20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Figure 11: relative speedup of the system version over the managed
+// version for all six applications at increasing memory oversubscription
+// (4 KiB system pages, the paper's Section 7 setup).
+//
+// Paper shape: bfs, hotspot, needle, pathfinder are barely hurt by
+// oversubscription with system memory (data stays on the CPU, accessed
+// over C2C) while the managed version suffers eviction/migration churn —
+// so the system/managed speedup *grows* with the oversubscription ratio.
+// SRAD is the exception: its iterative reuse makes remote access expensive
+// too, and the qv simulation behaves like srad.
+
+#include <cstdio>
+
+#include "benchsupport/report.hpp"
+#include "benchsupport/scenarios.hpp"
+#include "runtime/runtime.hpp"
+
+using namespace ghum;
+namespace bs = benchsupport;
+
+namespace {
+
+double run_with_ratio(const bs::NamedApp& app, apps::MemMode mode, double ratio,
+                      std::uint64_t peak) {
+  core::System sys{bs::rodinia_config(pagetable::kSystemPage4K, false)};
+  runtime::Runtime rt{sys};
+  auto reserve = bs::reserve_for_oversubscription(sys, peak, ratio);
+  const auto r = app.run(rt, mode, bs::Scale::kDefault);
+  if (reserve) rt.free(*reserve);
+  return r.times.reported_total_s();
+}
+
+double qv_with_ratio(apps::MemMode mode, double ratio, std::uint64_t peak,
+                     std::uint32_t qubits) {
+  core::System sys{bs::qv_config(pagetable::kSystemPage4K, false)};
+  runtime::Runtime rt{sys};
+  auto reserve = bs::reserve_for_oversubscription(sys, peak, ratio);
+  const auto r =
+      apps::run_qvsim(rt, mode, bs::qv_sim_config(bs::Scale::kDefault, qubits));
+  if (reserve) rt.free(*reserve);
+  return r.times.reported_total_s();
+}
+
+}  // namespace
+
+int main() {
+  bs::print_figure_header(
+      "Figure 11", "system/managed speedup vs oversubscription ratio",
+      "speedup grows with oversubscription for bfs/hotspot/needle/"
+      "pathfinder; srad (and qv) degrade for both versions");
+
+  const double ratios[] = {1.0, 1.25, 1.5, 2.0};
+  std::printf("%-12s", "app");
+  for (double r : ratios) std::printf(" %9.2fx", r);
+  std::printf("   (system/managed speedup per ratio)\n");
+
+  for (const auto& app : bs::rodinia_apps()) {
+    // Measure peak GPU usage of the managed version in-memory (Section 3.2).
+    const std::uint64_t peak = bs::measure_peak_gpu(
+        bs::rodinia_config(pagetable::kSystemPage4K, false),
+        [&](runtime::Runtime& rt) {
+          return app.run(rt, apps::MemMode::kManaged, bs::Scale::kDefault);
+        });
+    std::printf("%-12s", app.name.c_str());
+    double spd[4];
+    int i = 0;
+    for (const double ratio : ratios) {
+      const double t_sys = run_with_ratio(app, apps::MemMode::kSystem, ratio, peak);
+      const double t_man = run_with_ratio(app, apps::MemMode::kManaged, ratio, peak);
+      spd[i++] = t_man / t_sys;
+      std::printf(" %9.2fx", t_man / t_sys);
+    }
+    std::printf("\n");
+    i = 0;
+    for (const double ratio : ratios) {
+      std::printf("data\tfig11\t%s\t%.2f\t%.4f\n", app.name.c_str(), ratio, spd[i++]);
+    }
+  }
+
+  {
+    const std::uint32_t qubits = 17;  // paper's 30-qubit base for simulated oversub
+    const std::uint64_t peak = bs::measure_peak_gpu(
+        bs::qv_config(pagetable::kSystemPage4K, false), [&](runtime::Runtime& rt) {
+          return apps::run_qvsim(rt, apps::MemMode::kManaged,
+                                 bs::qv_sim_config(bs::Scale::kDefault, qubits));
+        });
+    std::printf("%-12s", "qiskit");
+    for (const double ratio : ratios) {
+      const double t_sys = qv_with_ratio(apps::MemMode::kSystem, ratio, peak, qubits);
+      const double t_man = qv_with_ratio(apps::MemMode::kManaged, ratio, peak, qubits);
+      std::printf(" %9.2fx", t_man / t_sys);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Latency microbenchmark: pointer-chase probes of the three access paths
+// a Grace Hopper thread can take — local LPDDR5X, local HBM3, and remote
+// memory over NVLink-C2C. The paper's characterization relies on these
+// latencies implicitly (the direct-access-vs-migration trade is a
+// bandwidth/latency trade); published GH200 measurements put remote
+// C2C-loaded latency around 1.3-2x the local DRAM latency plus the link
+// round trip, which is what the model's parameters encode.
+
+#include <cstdio>
+
+#include "benchsupport/report.hpp"
+#include "benchsupport/scenarios.hpp"
+#include "runtime/runtime.hpp"
+
+using namespace ghum;
+namespace bs = benchsupport;
+
+namespace {
+
+constexpr std::uint64_t kChain = 4096;
+
+/// Builds a random permutation cycle and chases it for kChain hops.
+double chase_ns(core::System& sys, runtime::Runtime& rt, const core::Buffer& buf,
+                bool gpu_side) {
+  {  // Build the chain on whichever side owns the data (unaccounted setup).
+    auto* idx = reinterpret_cast<std::uint32_t*>(buf.host);
+    sim::Rng rng{7};
+    std::vector<std::uint32_t> order(kChain);
+    for (std::uint32_t i = 0; i < kChain; ++i) order[i] = i;
+    for (std::uint32_t i = kChain - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.next_below(i + 1)]);
+    }
+    for (std::uint32_t i = 0; i < kChain; ++i) {
+      idx[order[i]] = order[(i + 1) % kChain];
+    }
+  }
+  sys.ensure_gpu_context();  // keep one-time context init out of the probe
+  const sim::Picos t0 = sys.now();
+  if (gpu_side) {
+    (void)rt.launch("chase", 0, [&] {
+      runtime::Span<std::uint32_t> s{sys, buf, mem::Node::kGpu};
+      std::uint32_t cur = 0;
+      for (std::uint64_t hop = 0; hop < kChain; ++hop) cur = s.load_chased(cur);
+      if (cur == 0xffffffffu) std::abort();  // keep the chain live
+    });
+  } else {
+    (void)rt.host_phase("chase", 0, [&] {
+      runtime::Span<std::uint32_t> s{sys, buf, mem::Node::kCpu};
+      std::uint32_t cur = 0;
+      for (std::uint64_t hop = 0; hop < kChain; ++hop) cur = s.load_chased(cur);
+      if (cur == 0xffffffffu) std::abort();
+    });
+  }
+  return sim::to_microseconds(sys.now() - t0) * 1e3 / static_cast<double>(kChain);
+}
+
+}  // namespace
+
+int main() {
+  bs::print_figure_header("Latency probe", "pointer-chase latency per tier",
+                          "LPDDR5X ~110 ns, HBM3 ~350 ns, remote access adds "
+                          "the C2C round trip");
+
+  std::printf("%-28s %14s\n", "path", "ns_per_hop");
+  {
+    core::System sys{bs::rodinia_config(pagetable::kSystemPage64K, false)};
+    runtime::Runtime rt{sys};
+    core::Buffer b = rt.malloc_host(kChain * 4, "chain");
+    std::printf("%-28s %14.1f\n", "cpu -> local LPDDR5X",
+                chase_ns(sys, rt, b, false));
+  }
+  {
+    core::System sys{bs::rodinia_config(pagetable::kSystemPage64K, false)};
+    runtime::Runtime rt{sys};
+    core::Buffer b = rt.malloc_device(kChain * 4, "chain");
+    std::printf("%-28s %14.1f\n", "gpu -> local HBM3", chase_ns(sys, rt, b, true));
+  }
+  {
+    core::System sys{bs::rodinia_config(pagetable::kSystemPage64K, false)};
+    runtime::Runtime rt{sys};
+    core::Buffer b = rt.malloc_system(kChain * 4, "chain");
+    // CPU-resident system memory chased from the GPU: remote over C2C.
+    (void)rt.host_phase("touch", 0, [&] {
+      auto s = rt.host_span<std::uint32_t>(b);
+      for (std::size_t i = 0; i < kChain; ++i) s.store(i, 0);
+    });
+    std::printf("%-28s %14.1f\n", "gpu -> remote LPDDR5X (C2C)",
+                chase_ns(sys, rt, b, true));
+  }
+  {
+    core::System sys{bs::rodinia_config(pagetable::kSystemPage64K, false)};
+    runtime::Runtime rt{sys};
+    core::Buffer b = rt.malloc_system(kChain * 4, "chain");
+    (void)rt.host_phase("touch", 0, [&] {
+      auto s = rt.host_span<std::uint32_t>(b);
+      for (std::size_t i = 0; i < kChain; ++i) s.store(i, 0);
+    });
+    sys.prefetch(b, 0, b.bytes, mem::Node::kGpu);
+    // GPU-resident system memory chased from the CPU: remote the other way.
+    std::printf("%-28s %14.1f\n", "cpu -> remote HBM3 (C2C)",
+                chase_ns(sys, rt, b, false));
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// STREAM-style bandwidth microbenchmark (paper Section 2.1).
+// Paper-measured: HBM3 3.4 TB/s (theoretical 4 TB/s); LPDDR5X 486 GB/s
+// (theoretical 500 GB/s). The benchmark drives a triad kernel through the
+// simulator and reports the achieved simulated bandwidth.
+
+#include <benchmark/benchmark.h>
+
+#include "benchsupport/scenarios.hpp"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+using namespace ghum;
+
+// Triad: a[i] = b[i] + s * c[i] over `bytes/8` doubles per array.
+double triad_bandwidth_gpu(std::uint64_t bytes) {
+  core::System sys{benchsupport::rodinia_config(pagetable::kSystemPage64K, false)};
+  runtime::Runtime rt{sys};
+  core::Buffer a = rt.malloc_device(bytes, "a");
+  core::Buffer b = rt.malloc_device(bytes, "b");
+  core::Buffer c = rt.malloc_device(bytes, "c");
+  const std::uint64_t n = bytes / sizeof(double);
+  const auto rec = rt.launch("triad", static_cast<double>(2 * n), [&] {
+    auto sa = rt.device_span<double>(a);
+    auto sb = rt.device_span<double>(b);
+    auto sc = rt.device_span<double>(c);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sa.store(i, sb.load(i) + 3.0 * sc.load(i));
+    }
+  });
+  const double moved = static_cast<double>(3 * bytes);
+  return moved / sim::to_seconds(rec.duration - sys.config().costs.kernel_launch);
+}
+
+double triad_bandwidth_cpu(std::uint64_t bytes) {
+  core::System sys{benchsupport::rodinia_config(pagetable::kSystemPage64K, false)};
+  runtime::Runtime rt{sys};
+  core::Buffer a = rt.malloc_host(bytes, "a");
+  core::Buffer b = rt.malloc_host(bytes, "b");
+  core::Buffer c = rt.malloc_host(bytes, "c");
+  const std::uint64_t n = bytes / sizeof(double);
+  const auto rec = rt.host_phase("triad", 0, [&] {
+    auto sa = rt.host_span<double>(a);
+    auto sb = rt.host_span<double>(b);
+    auto sc = rt.host_span<double>(c);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sa.store(i, sb.load(i) + 3.0 * sc.load(i));
+    }
+  });
+  return static_cast<double>(3 * bytes) / sim::to_seconds(rec.duration);
+}
+
+void BM_StreamTriad_HBM3(benchmark::State& state) {
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  double bw = 0;
+  for (auto _ : state) bw = triad_bandwidth_gpu(bytes);
+  state.counters["sim_GBps"] = bw / 1e9;
+  state.counters["paper_GBps"] = 3400.0;
+}
+BENCHMARK(BM_StreamTriad_HBM3)->Arg(16 << 20)->Unit(benchmark::kMillisecond);
+
+void BM_StreamTriad_LPDDR5X(benchmark::State& state) {
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  double bw = 0;
+  for (auto _ : state) bw = triad_bandwidth_cpu(bytes);
+  state.counters["sim_GBps"] = bw / 1e9;
+  state.counters["paper_GBps"] = 486.0;
+}
+BENCHMARK(BM_StreamTriad_LPDDR5X)->Arg(16 << 20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Table 2: the application suite — name, access pattern, paper input and
+// the scaled reproduction input, plus the *measured* peak GPU footprint of
+// each scaled app (which is what the oversubscription rig divides by).
+
+#include <cstdio>
+
+#include "benchsupport/report.hpp"
+#include "benchsupport/scenarios.hpp"
+#include "runtime/runtime.hpp"
+
+using namespace ghum;
+namespace bs = benchsupport;
+
+int main() {
+  bs::print_figure_header("Table 2", "applications, access patterns, inputs",
+                          "six apps: qiskit (mixed), needle (irregular), "
+                          "pathfinder (regular), bfs (mixed), hotspot (regular), "
+                          "srad (irregular)");
+  std::printf("%-12s %-10s %-18s %-18s %s\n", "app", "pattern", "paper_input",
+              "scaled_input", "peak_gpu_mib");
+
+  struct Meta {
+    const char* name;
+    const char* pattern;
+    const char* paper;
+    std::string scaled;
+  };
+  const auto hs = bs::hotspot_config(bs::Scale::kDefault);
+  const auto pf = bs::pathfinder_config(bs::Scale::kDefault);
+  const auto nd = bs::needle_config(bs::Scale::kDefault);
+  const auto bf = bs::bfs_config(bs::Scale::kDefault);
+  const auto sr = bs::srad_config(bs::Scale::kDefault);
+  const Meta meta[] = {
+      {"qiskit", "mixed", "30-34 qubits", "17-21 qubits"},
+      {"needle", "irregular", "32k x 32k", std::to_string(nd.n) + " x " + std::to_string(nd.n)},
+      {"pathfinder", "regular", "100k x 20k", std::to_string(pf.cols) + " x " + std::to_string(pf.rows)},
+      {"bfs", "mixed", "16M nodes", std::to_string(bf.nodes) + " nodes"},
+      {"hotspot", "regular", "16k x 16k", std::to_string(hs.rows) + " x " + std::to_string(hs.cols)},
+      {"srad", "irregular", "20k x 20k", std::to_string(sr.rows) + " x " + std::to_string(sr.cols)},
+  };
+
+  for (const auto& m : meta) {
+    double peak_mib = 0;
+    if (std::string{m.name} == "qiskit") {
+      const auto peak = bs::measure_peak_gpu(
+          bs::qv_config(pagetable::kSystemPage64K, false), [](runtime::Runtime& rt) {
+            return apps::run_qvsim(rt, apps::MemMode::kExplicit,
+                                   bs::qv_sim_config(bs::Scale::kDefault, 17));
+          });
+      peak_mib = static_cast<double>(peak) / (1 << 20);
+    } else {
+      for (const auto& app : bs::rodinia_apps()) {
+        if (app.name != m.name) continue;
+        const auto peak = bs::measure_peak_gpu(
+            bs::rodinia_config(pagetable::kSystemPage64K, false),
+            [&](runtime::Runtime& rt) {
+              return app.run(rt, apps::MemMode::kExplicit, bs::Scale::kDefault);
+            });
+        peak_mib = static_cast<double>(peak) / (1 << 20);
+      }
+    }
+    std::printf("%-12s %-10s %-18s %-18s %8.1f\n", m.name, m.pattern, m.paper,
+                m.scaled.c_str(), peak_mib);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Runs all six applications of paper Table 2 in the three memory versions
+// at the default (bench) scale and prints the full phase table — a compact
+// view of the paper's Figure 3 landscape plus per-app checksum validation.
+
+#include <chrono>
+#include <cstdio>
+
+#include "benchsupport/report.hpp"
+#include "benchsupport/scenarios.hpp"
+#include "runtime/runtime.hpp"
+
+int main() {
+  using namespace ghum;
+  namespace bs = benchsupport;
+
+  bs::print_report_table_header();
+  for (const auto& app : bs::rodinia_apps()) {
+    std::uint64_t checksums[3];
+    int i = 0;
+    for (apps::MemMode mode : {apps::MemMode::kExplicit, apps::MemMode::kManaged,
+                               apps::MemMode::kSystem}) {
+      const auto wall0 = std::chrono::steady_clock::now();
+      core::System sys{bs::rodinia_config(pagetable::kSystemPage64K, false)};
+      runtime::Runtime rt{sys};
+      const apps::AppReport r = app.run(rt, mode, bs::Scale::kDefault);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+              .count();
+      bs::print_report_row(r);
+      std::printf("  host wall: %.2fs\n", wall);
+      checksums[i++] = r.checksum;
+    }
+    if (checksums[0] != checksums[1] || checksums[1] != checksums[2]) {
+      std::printf("!! %s: CHECKSUM MISMATCH ACROSS MODES\n", app.name.c_str());
+      return 1;
+    }
+  }
+
+  // Quantum Volume at an in-memory size.
+  for (apps::MemMode mode : {apps::MemMode::kExplicit, apps::MemMode::kManaged,
+                             apps::MemMode::kSystem}) {
+    const auto wall0 = std::chrono::steady_clock::now();
+    core::System sys{bs::qv_config(pagetable::kSystemPage64K, false)};
+    runtime::Runtime rt{sys};
+    const apps::AppReport r =
+        apps::run_qvsim(rt, mode, bs::qv_sim_config(bs::Scale::kDefault, 18));
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+            .count();
+    bs::print_report_row(r);
+    std::printf("  host wall: %.2fs\n", wall);
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: simulate one Grace Hopper node, port an app to the three
+// memory-management styles of the paper (explicit copy / CUDA managed /
+// system-allocated), and compare their phase timings.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "apps/hotspot.hpp"
+#include "benchsupport/report.hpp"
+#include "benchsupport/scenarios.hpp"
+#include "core/system.hpp"
+#include "profile/tracer.hpp"
+#include "runtime/runtime.hpp"
+
+int main() {
+  using namespace ghum;
+
+  std::printf("ghum quickstart: hotspot under three memory management styles\n\n");
+  benchsupport::print_report_table_header();
+
+  for (apps::MemMode mode : {apps::MemMode::kExplicit, apps::MemMode::kManaged,
+                             apps::MemMode::kSystem}) {
+    // One fresh simulated node per run: 64 KiB system pages, access-counter
+    // migration off (the paper's Figure 3 setup).
+    core::SystemConfig cfg = benchsupport::rodinia_config(
+        pagetable::kSystemPage64K, /*access_counters=*/false);
+    cfg.event_log = true;
+    core::System sys{cfg};
+    runtime::Runtime rt{sys};
+
+    apps::HotspotConfig app = benchsupport::hotspot_config(benchsupport::Scale::kSmall);
+    apps::AppReport report = apps::run_hotspot(rt, mode, app);
+    benchsupport::print_report_row(report);
+
+    profile::Tracer tracer{sys.events()};
+    const auto s = tracer.summarize();
+    std::printf("  events: cpu_faults=%zu gpu_faults=%zu managed_faults=%zu "
+                "migrations(h2d=%zu, d2h=%zu) checksum=%016llx\n",
+                s.cpu_first_touch_faults, s.gpu_first_touch_faults,
+                s.managed_gpu_faults, s.migrations_h2d, s.migrations_d2h,
+                static_cast<unsigned long long>(report.checksum));
+  }
+
+  const auto ref = apps::hotspot_reference_checksum(
+      benchsupport::hotspot_config(benchsupport::Scale::kSmall));
+  std::printf("\nreference checksum: %016llx (all three runs must match)\n",
+              static_cast<unsigned long long>(ref));
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Reproduces everything: build, full test suite, every paper table/figure
+# bench, and the examples. Results land in test_output.txt /
+# bench_output.txt (see EXPERIMENTS.md for the paper-vs-measured reading).
+set -eu
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_*; do
+    echo "===== $b ====="
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+for e in quickstart all_apps quantum_volume oversubscription_survival \
+         migration_explorer; do
+  echo "===== examples/$e ====="
+  "./build/examples/$e"
+  echo
+done

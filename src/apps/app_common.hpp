@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/kernel_traffic.hpp"
+#include "runtime/runtime.hpp"
+#include "sim/rng.hpp"
+
+/// \file app_common.hpp
+/// Shared scaffolding for the six applications of paper Table 2. Every app
+/// is implemented in three memory versions produced by exactly the code
+/// transformation of paper Figure 2:
+///  - kExplicit: host staging buffer + cudaMalloc device buffer + cudaMemcpy
+///  - kManaged:  one cudaMallocManaged buffer
+///  - kSystem:   one malloc() buffer
+/// and reports per-phase timings with the paper's phase breakdown
+/// (Section 3: context init & argument parsing, allocation, CPU-side
+/// initialization, computation, de-allocation; CPU-side initialization is
+/// excluded from reported totals).
+
+namespace ghum::apps {
+
+enum class MemMode : std::uint8_t { kExplicit = 0, kManaged = 1, kSystem = 2 };
+
+[[nodiscard]] std::string_view to_string(MemMode m) noexcept;
+
+struct PhaseTimes {
+  double context_s = 0;   ///< GPU context initialization — its own phase in
+                          ///< the paper's breakdown (Section 3.1), excluded
+                          ///< from the reported total like CPU-side init
+  double alloc_s = 0;
+  double cpu_init_s = 0;  ///< excluded from reported total (paper Section 3.1)
+  double gpu_init_s = 0;  ///< GPU-side initialization (srad, qvsim)
+  double compute_s = 0;
+  double dealloc_s = 0;
+
+  [[nodiscard]] double reported_total_s() const noexcept {
+    return alloc_s + gpu_init_s + compute_s + dealloc_s;
+  }
+  [[nodiscard]] double end_to_end_s() const noexcept {
+    return reported_total_s() + cpu_init_s + context_s;
+  }
+};
+
+struct AppReport {
+  std::string app;
+  MemMode mode = MemMode::kExplicit;
+  PhaseTimes times;
+  /// Deterministic digest of the computed output; equal across the three
+  /// memory versions of the same app/problem (asserted by tests).
+  std::uint64_t checksum = 0;
+  /// Aggregate traffic of the compute phase.
+  cache::KernelTraffic compute_traffic;
+  /// Per-iteration durations/traffic for iterative apps (srad: Figure 10).
+  std::vector<double> iteration_s;
+  std::vector<cache::KernelTraffic> iteration_traffic;
+
+  /// App-specific scalar result (qvsim: heavy-output probability when
+  /// QvConfig::measure_hop is set). -1 when unused.
+  double aux_metric = -1.0;
+};
+
+/// Phase stopwatch over the simulated clock. GPU-context-initialization
+/// time charged during a lap is subtracted from that lap and accumulated
+/// separately (PhaseTimes.context_s), mirroring the paper's phase model
+/// where context init is its own phase regardless of where it fires.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(core::System& sys)
+      : sys_(&sys), t0_(sys.now()), ctx_seen_(sys.context_init_charged()) {}
+
+  /// Seconds since construction or the last lap() call, context-init
+  /// charges excluded.
+  double lap() {
+    const sim::Picos now = sys_->now();
+    const sim::Picos ctx = sys_->context_init_charged();
+    const sim::Picos ctx_delta = ctx - ctx_seen_;
+    ctx_seen_ = ctx;
+    ctx_total_ += ctx_delta;
+    const double s = sim::to_seconds(now - t0_ - ctx_delta);
+    t0_ = now;
+    return s;
+  }
+
+  /// Context-initialization time observed so far, in seconds.
+  [[nodiscard]] double context_s() const { return sim::to_seconds(ctx_total_); }
+
+ private:
+  core::System* sys_;
+  sim::Picos t0_;
+  sim::Picos ctx_seen_;
+  sim::Picos ctx_total_ = 0;
+};
+
+/// One logical application buffer under the Figure 2 transformation.
+/// In explicit mode it is a (host staging, device) pair bridged by
+/// cudaMemcpy; in the unified modes it is a single buffer.
+class UnifiedBuffer {
+ public:
+  UnifiedBuffer() = default;
+
+  static UnifiedBuffer create(runtime::Runtime& rt, MemMode mode,
+                              std::uint64_t bytes, std::string label);
+
+  /// Explicit mode: copy host -> device. Unified modes: no-op (the paper's
+  /// ports delete the copies and rely on unified access).
+  void h2d(runtime::Runtime& rt);
+  void d2h(runtime::Runtime& rt);
+  void h2d(runtime::Runtime& rt, std::uint64_t bytes);
+  void d2h(runtime::Runtime& rt, std::uint64_t bytes);
+
+  /// Buffer kernels should access.
+  [[nodiscard]] const core::Buffer& device() const noexcept {
+    return unified_ ? buf_ : dev_;
+  }
+  /// Buffer host code should access.
+  [[nodiscard]] const core::Buffer& host() const noexcept {
+    return unified_ ? buf_ : host_;
+  }
+
+  [[nodiscard]] bool unified() const noexcept { return unified_; }
+
+  void free(runtime::Runtime& rt);
+
+ private:
+  bool unified_ = true;
+  core::Buffer buf_;   // unified modes
+  core::Buffer host_;  // explicit mode
+  core::Buffer dev_;   // explicit mode
+};
+
+/// FNV-1a over a little-endian byte view; used for cross-mode checksums.
+class Digest {
+ public:
+  void add_bytes(const void* p, std::size_t n) noexcept;
+  void add_u64(std::uint64_t v) noexcept { add_bytes(&v, sizeof(v)); }
+  void add_double(double d) noexcept { add_bytes(&d, sizeof(d)); }
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+/// Quantize a float so checksums tolerate benign non-associativity
+/// (we keep kernel loops identical across modes, so exact equality holds;
+/// quantization guards reference comparisons).
+[[nodiscard]] inline std::int64_t quantize(double v, double scale = 1e6) {
+  return static_cast<std::int64_t>(v * scale);
+}
+
+}  // namespace ghum::apps

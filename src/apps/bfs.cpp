@@ -1,0 +1,237 @@
+#include "apps/bfs.hpp"
+
+#include <vector>
+
+namespace ghum::apps {
+
+namespace {
+
+struct Csr {
+  std::vector<int> row_offsets;  // nodes + 1
+  std::vector<int> col_idx;
+};
+
+/// Ring backbone plus random shortcut edges: connected, small diameter,
+/// degree ~ avg_degree — a classic small-world-ish instance that produces
+/// the multi-level frontier expansion BFS benchmarks rely on.
+Csr generate_small_world(const BfsConfig& cfg) {
+  sim::Rng rng{cfg.seed};
+  Csr g;
+  g.row_offsets.resize(cfg.nodes + 1);
+  g.col_idx.reserve(std::uint64_t{cfg.nodes} * cfg.avg_degree);
+  for (std::uint32_t v = 0; v < cfg.nodes; ++v) {
+    g.row_offsets[v] = static_cast<int>(g.col_idx.size());
+    g.col_idx.push_back(static_cast<int>((v + 1) % cfg.nodes));
+    for (std::uint32_t e = 1; e < cfg.avg_degree; ++e) {
+      g.col_idx.push_back(static_cast<int>(rng.next_below(cfg.nodes)));
+    }
+  }
+  g.row_offsets[cfg.nodes] = static_cast<int>(g.col_idx.size());
+  return g;
+}
+
+/// R-MAT recursive-quadrant edge sampler (a=0.57, b=0.19, c=0.19, d=0.05):
+/// power-law degrees, hub-dominated scatters. A ring backbone is added so
+/// every node is reachable and the level structure stays comparable.
+Csr generate_rmat(const BfsConfig& cfg) {
+  sim::Rng rng{cfg.seed};
+  std::uint32_t scale = 0;
+  while ((1u << scale) < cfg.nodes) ++scale;
+  const std::uint64_t edges = std::uint64_t{cfg.nodes} * (cfg.avg_degree - 1);
+  std::vector<std::vector<int>> adj(cfg.nodes);
+  for (std::uint32_t v = 0; v < cfg.nodes; ++v) {
+    adj[v].push_back(static_cast<int>((v + 1) % cfg.nodes));  // backbone
+  }
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    std::uint64_t src = 0, dst = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.next_double();
+      // Quadrant probabilities (0.57, 0.19, 0.19, 0.05).
+      const int quad = r < 0.57 ? 0 : (r < 0.76 ? 1 : (r < 0.95 ? 2 : 3));
+      src = (src << 1) | static_cast<std::uint64_t>(quad >> 1);
+      dst = (dst << 1) | static_cast<std::uint64_t>(quad & 1);
+    }
+    if (src >= cfg.nodes || dst >= cfg.nodes) continue;  // clip to node count
+    adj[src].push_back(static_cast<int>(dst));
+  }
+  Csr g;
+  g.row_offsets.resize(cfg.nodes + 1);
+  for (std::uint32_t v = 0; v < cfg.nodes; ++v) {
+    g.row_offsets[v] = static_cast<int>(g.col_idx.size());
+    g.col_idx.insert(g.col_idx.end(), adj[v].begin(), adj[v].end());
+  }
+  g.row_offsets[cfg.nodes] = static_cast<int>(g.col_idx.size());
+  return g;
+}
+
+Csr generate_graph(const BfsConfig& cfg) {
+  return cfg.graph == GraphKind::kRmat ? generate_rmat(cfg)
+                                       : generate_small_world(cfg);
+}
+
+}  // namespace
+
+AppReport run_bfs(runtime::Runtime& rt, MemMode mode, const BfsConfig& cfg) {
+  core::System& sys = rt.system();
+  const Csr graph = generate_graph(cfg);
+  const std::uint64_t n = cfg.nodes;
+  const std::uint64_t m = graph.col_idx.size();
+
+  AppReport report;
+  report.app = "bfs";
+  report.mode = mode;
+  PhaseTimer timer{sys};
+
+  UnifiedBuffer row_off =
+      UnifiedBuffer::create(rt, mode, (n + 1) * sizeof(int), "bfs.row_off");
+  UnifiedBuffer col_idx = UnifiedBuffer::create(rt, mode, m * sizeof(int), "bfs.col");
+  UnifiedBuffer cost = UnifiedBuffer::create(rt, mode, n * sizeof(int), "bfs.cost");
+  UnifiedBuffer frontier =
+      UnifiedBuffer::create(rt, mode, n * sizeof(unsigned char), "bfs.frontier");
+  UnifiedBuffer updating =
+      UnifiedBuffer::create(rt, mode, n * sizeof(unsigned char), "bfs.updating");
+  UnifiedBuffer visited =
+      UnifiedBuffer::create(rt, mode, n * sizeof(unsigned char), "bfs.visited");
+  // One-int stop flag: pinned zero-copy memory in every mode (as the
+  // Rodinia port ends up doing with cudaMallocHost).
+  core::Buffer stop_flag = rt.malloc_host(sizeof(int), "bfs.stop");
+  report.times.alloc_s = timer.lap();
+
+  rt.host_phase("bfs.cpu_init", static_cast<double>(n + m), [&] {
+    auto ro = rt.host_span<int>(row_off.host());
+    auto ci = rt.host_span<int>(col_idx.host());
+    auto co = rt.host_span<int>(cost.host());
+    auto fr = rt.host_span<unsigned char>(frontier.host());
+    auto up = rt.host_span<unsigned char>(updating.host());
+    auto vi = rt.host_span<unsigned char>(visited.host());
+    for (std::uint64_t i = 0; i <= n; ++i) ro.store(i, graph.row_offsets[i]);
+    for (std::uint64_t i = 0; i < m; ++i) ci.store(i, graph.col_idx[i]);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      co.store(i, i == 0 ? 0 : -1);
+      fr.store(i, i == 0 ? 1 : 0);
+      up.store(i, 0);
+      vi.store(i, i == 0 ? 1 : 0);
+    }
+  });
+  report.times.cpu_init_s = timer.lap();
+
+  row_off.h2d(rt);
+  col_idx.h2d(rt);
+  cost.h2d(rt);
+  frontier.h2d(rt);
+  updating.h2d(rt);
+  visited.h2d(rt);
+
+  for (std::uint32_t level = 0; level < 1000; ++level) {
+    auto rec1 = rt.launch("bfs.expand", static_cast<double>(n + m), [&] {
+      auto fr = rt.device_span<unsigned char>(frontier.device());
+      auto ro = rt.device_span<int>(row_off.device());
+      auto ci = rt.device_span<int>(col_idx.device());
+      auto vi = rt.device_span<unsigned char>(visited.device());
+      auto co_r = rt.device_span<int>(cost.device());
+      auto co_w = rt.device_span<int>(cost.device());
+      auto up = rt.device_span<unsigned char>(updating.device());
+      for (std::uint64_t v = 0; v < n; ++v) {
+        if (fr.load(v) == 0) continue;
+        fr.store(v, 0);
+        const int base = ro.load(v);
+        const int end = ro.load(v + 1);
+        const int cv = co_r.load(v);
+        for (int e = base; e < end; ++e) {
+          const auto t = static_cast<std::uint64_t>(ci.load(e));
+          if (vi.load(t) == 0) {
+            co_w.store(t, cv + 1);  // scatter: the irregular half of "mixed"
+            up.store(t, 1);
+          }
+        }
+      }
+    });
+    int stop;
+    auto rec2 = rt.launch("bfs.update", static_cast<double>(n), [&] {
+      auto up = rt.device_span<unsigned char>(updating.device());
+      auto fr = rt.device_span<unsigned char>(frontier.device());
+      auto vi = rt.device_span<unsigned char>(visited.device());
+      auto st = rt.device_span<int>(stop_flag);
+      st.store(0, 1);
+      for (std::uint64_t v = 0; v < n; ++v) {
+        if (up.load(v) == 0) continue;
+        fr.store(v, 1);
+        vi.store(v, 1);
+        up.store(v, 0);
+        st.store(0, 0);
+      }
+    });
+    report.compute_traffic += rec1.traffic;
+    report.compute_traffic += rec2.traffic;
+    rt.device_synchronize();
+    {
+      auto st = rt.host_span<int>(stop_flag);
+      stop = st.load(0);
+    }
+    if (stop != 0) break;
+  }
+  cost.d2h(rt);
+  report.times.compute_s = timer.lap();
+
+  {
+    Digest d;
+    const auto* lv = reinterpret_cast<const int*>(cost.host().host);
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 0; i < n; ++i) sum += static_cast<std::uint64_t>(lv[i] + 1);
+    d.add_u64(sum);
+    for (std::uint64_t i = 0; i < n; i += 1031) d.add_u64(static_cast<std::uint64_t>(lv[i]));
+    report.checksum = d.value();
+  }
+
+  timer.lap();
+  row_off.free(rt);
+  col_idx.free(rt);
+  cost.free(rt);
+  frontier.free(rt);
+  updating.free(rt);
+  visited.free(rt);
+  rt.free(stop_flag);
+  report.times.dealloc_s = timer.lap();
+  report.times.context_s = timer.context_s();
+  return report;
+}
+
+std::uint64_t bfs_reference_checksum(const BfsConfig& cfg) {
+  const Csr graph = generate_graph(cfg);
+  const std::uint64_t n = cfg.nodes;
+  std::vector<int> cost(n, -1);
+  std::vector<unsigned char> frontier(n, 0), updating(n, 0), visited(n, 0);
+  cost[0] = 0;
+  frontier[0] = 1;
+  visited[0] = 1;
+  bool again = true;
+  while (again) {
+    for (std::uint64_t v = 0; v < n; ++v) {
+      if (!frontier[v]) continue;
+      frontier[v] = 0;
+      for (int e = graph.row_offsets[v]; e < graph.row_offsets[v + 1]; ++e) {
+        const auto t = static_cast<std::uint64_t>(graph.col_idx[e]);
+        if (!visited[t]) {
+          cost[t] = cost[v] + 1;
+          updating[t] = 1;
+        }
+      }
+    }
+    again = false;
+    for (std::uint64_t v = 0; v < n; ++v) {
+      if (!updating[v]) continue;
+      frontier[v] = 1;
+      visited[v] = 1;
+      updating[v] = 0;
+      again = true;
+    }
+  }
+  Digest d;
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < n; ++i) sum += static_cast<std::uint64_t>(cost[i] + 1);
+  d.add_u64(sum);
+  for (std::uint64_t i = 0; i < n; i += 1031) d.add_u64(static_cast<std::uint64_t>(cost[i]));
+  return d.value();
+}
+
+}  // namespace ghum::apps

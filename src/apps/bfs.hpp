@@ -1,0 +1,32 @@
+#pragma once
+
+#include "apps/app_common.hpp"
+
+/// \file bfs.hpp
+/// Breadth-first search (Rodinia "bfs"): level-synchronous frontier BFS
+/// over a random sparse graph in CSR form — the paper's *mixed* pattern
+/// representative with CPU-side initialization (Table 2; paper input
+/// 16M nodes, scaled per DESIGN.md Section 4). The frontier masks are
+/// scanned densely (regular) while neighbour updates scatter (irregular),
+/// which is exactly the mix the paper's taxonomy describes.
+
+namespace ghum::apps {
+
+/// Input graph family. Small-world (ring + random shortcuts) gives the
+/// uniform-degree instance classic BFS benchmarks use; R-MAT (Chakrabarti
+/// et al.) gives the skewed power-law degrees of real graph workloads —
+/// heavier scatter irregularity for the same edge count.
+enum class GraphKind : std::uint8_t { kSmallWorld, kRmat };
+
+struct BfsConfig {
+  std::uint32_t nodes = 262144;
+  std::uint32_t avg_degree = 6;
+  std::uint64_t seed = 45;
+  GraphKind graph = GraphKind::kSmallWorld;
+};
+
+AppReport run_bfs(runtime::Runtime& rt, MemMode mode, const BfsConfig& cfg);
+
+[[nodiscard]] std::uint64_t bfs_reference_checksum(const BfsConfig& cfg);
+
+}  // namespace ghum::apps

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "apps/app_common.hpp"
+
+/// \file hotspot.hpp
+/// HotSpot (Rodinia): iterative 2-D thermal simulation solving a
+/// differential equation with a 5-point stencil — the paper's *regular*
+/// access pattern representative with CPU-side initialization (Table 2;
+/// paper input 16k x 16k, scaled per DESIGN.md Section 4).
+
+namespace ghum::apps {
+
+struct HotspotConfig {
+  std::uint32_t rows = 1024;
+  std::uint32_t cols = 1024;
+  std::uint32_t iterations = 6;
+  std::uint64_t seed = 42;
+};
+
+AppReport run_hotspot(runtime::Runtime& rt, MemMode mode, const HotspotConfig& cfg);
+
+/// Pure-host reference digest (no simulation) for correctness tests.
+[[nodiscard]] std::uint64_t hotspot_reference_checksum(const HotspotConfig& cfg);
+
+}  // namespace ghum::apps

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "apps/app_common.hpp"
+
+/// \file needle.hpp
+/// Needleman-Wunsch (Rodinia "needle"): global sequence alignment via a
+/// 2-D dynamic-programming wavefront — the paper's *irregular* pattern
+/// representative with CPU-side initialization (Table 2; paper input
+/// 32k x 32k, scaled per DESIGN.md Section 4). Kernels sweep anti-diagonals
+/// of 16x16 tiles, like the Rodinia CUDA implementation.
+
+namespace ghum::apps {
+
+struct NeedleConfig {
+  std::uint32_t n = 2048;      ///< sequence length (matrix is (n+1)^2)
+  int penalty = 10;
+  std::uint64_t seed = 44;
+};
+
+AppReport run_needle(runtime::Runtime& rt, MemMode mode, const NeedleConfig& cfg);
+
+[[nodiscard]] std::uint64_t needle_reference_checksum(const NeedleConfig& cfg);
+
+}  // namespace ghum::apps

@@ -1,0 +1,129 @@
+#include "apps/pathfinder.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ghum::apps {
+
+namespace {
+int cell_cost(sim::Rng& rng) { return static_cast<int>(rng.next_below(10)); }
+}  // namespace
+
+AppReport run_pathfinder(runtime::Runtime& rt, MemMode mode,
+                         const PathfinderConfig& cfg) {
+  core::System& sys = rt.system();
+  const std::uint64_t n = std::uint64_t{cfg.rows} * cfg.cols;
+
+  AppReport report;
+  report.app = "pathfinder";
+  report.mode = mode;
+  PhaseTimer timer{sys};
+
+  UnifiedBuffer wall = UnifiedBuffer::create(rt, mode, n * sizeof(int), "pf.wall");
+  UnifiedBuffer result =
+      UnifiedBuffer::create(rt, mode, cfg.cols * sizeof(int), "pf.result");
+  // Ping-pong row buffer: a pure GPU intermediary, so it stays cudaMalloc
+  // in every mode (paper Section 3.1: GPU-only buffers keep cudaMalloc).
+  core::Buffer scratch = rt.malloc_device(cfg.cols * sizeof(int), "pf.scratch");
+  report.times.alloc_s = timer.lap();
+
+  rt.host_phase("pf.cpu_init", static_cast<double>(n), [&] {
+    sim::Rng rng{cfg.seed};
+    auto w = rt.host_span<int>(wall.host());
+    for (std::uint64_t i = 0; i < n; ++i) w.store(i, cell_cost(rng));
+  });
+  report.times.cpu_init_s = timer.lap();
+
+  wall.h2d(rt);
+  // DP state starts as row 0 of the wall; alternates result <-> scratch.
+  const core::Buffer* src = &wall.device();  // row 0 read in first step
+  const core::Buffer* dst = &result.device();
+  bool first = true;
+  for (std::uint32_t r = 1; r < cfg.rows; ++r) {
+    auto record = rt.launch("pf.row", static_cast<double>(cfg.cols) * 4, [&] {
+      auto s = rt.device_span<int>(*src);
+      auto w = rt.device_span<int>(wall.device());
+      auto d = rt.device_span<int>(*dst);
+      const std::uint64_t row_off = std::uint64_t{r} * cfg.cols;
+      // Sliding 3-neighbour window over the previous DP row.
+      int left = s.load(0);
+      int center = s.load(0);
+      int right = cfg.cols > 1 ? s.load(1) : center;
+      for (std::uint32_t c = 0; c < cfg.cols; ++c) {
+        const int best = std::min(std::min(left, center), right);
+        d.store(c, w.load(row_off + c) + best);
+        left = center;
+        center = right;
+        right = c + 2 < cfg.cols ? s.load(c + 2) : center;
+      }
+    });
+    report.compute_traffic += record.traffic;
+    if (first) {
+      // After the first row the source is always a DP row buffer.
+      first = false;
+      src = &result.device();
+      dst = &scratch;
+    } else {
+      std::swap(src, dst);
+    }
+  }
+  rt.device_synchronize();
+  // Copy the final DP row into `result` if it currently sits in scratch.
+  const bool in_scratch = src == &scratch;
+  if (in_scratch) {
+    // Device-to-device move of the final row (explicit copy in all modes;
+    // this is a GPU-local operation).
+    auto rec = rt.launch("pf.gather", static_cast<double>(cfg.cols), [&] {
+      auto s = rt.device_span<int>(scratch);
+      auto d = rt.device_span<int>(result.device());
+      for (std::uint32_t c = 0; c < cfg.cols; ++c) d.store(c, s.load(c));
+    });
+    report.compute_traffic += rec.traffic;
+  }
+  result.d2h(rt);
+  report.times.compute_s = timer.lap();
+
+  {
+    Digest d;
+    const auto* data = reinterpret_cast<const int*>(result.host().host);
+    for (std::uint32_t c = 0; c < cfg.cols; ++c) d.add_u64(static_cast<std::uint64_t>(data[c]));
+    report.checksum = d.value();
+  }
+
+  timer.lap();
+  wall.free(rt);
+  result.free(rt);
+  rt.free(scratch);
+  report.times.dealloc_s = timer.lap();
+  report.times.context_s = timer.context_s();
+  return report;
+}
+
+std::uint64_t pathfinder_reference_checksum(const PathfinderConfig& cfg) {
+  const std::uint64_t n = std::uint64_t{cfg.rows} * cfg.cols;
+  std::vector<int> wall(n);
+  sim::Rng rng{cfg.seed};
+  for (std::uint64_t i = 0; i < n; ++i) wall[i] = cell_cost(rng);
+
+  std::vector<int> a(wall.begin(), wall.begin() + cfg.cols);
+  std::vector<int> b(cfg.cols);
+  std::vector<int>* src = &a;
+  std::vector<int>* dst = &b;
+  for (std::uint32_t r = 1; r < cfg.rows; ++r) {
+    for (std::uint32_t c = 0; c < cfg.cols; ++c) {
+      const int left = (*src)[c == 0 ? 0 : c - 1];
+      const int center = (*src)[c];
+      const int right = (*src)[c + 1 >= cfg.cols ? cfg.cols - 1 : c + 1];
+      (*dst)[c] = wall[std::uint64_t{r} * cfg.cols + c] +
+                  std::min(std::min(left, center), right);
+    }
+    std::swap(src, dst);
+  }
+  Digest d;
+  for (std::uint32_t c = 0; c < cfg.cols; ++c) {
+    d.add_u64(static_cast<std::uint64_t>((*src)[c]));
+  }
+  return d.value();
+}
+
+}  // namespace ghum::apps

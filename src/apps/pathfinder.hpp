@@ -1,0 +1,24 @@
+#pragma once
+
+#include "apps/app_common.hpp"
+
+/// \file pathfinder.hpp
+/// PathFinder (Rodinia): dynamic-programming search for the cheapest path
+/// through a 2-D grid, processed row by row — the paper's second *regular*
+/// pattern representative with CPU-side initialization (Table 2; paper
+/// input 100k x 20k, scaled per DESIGN.md Section 4).
+
+namespace ghum::apps {
+
+struct PathfinderConfig {
+  std::uint32_t cols = 8192;
+  std::uint32_t rows = 1024;
+  std::uint64_t seed = 43;
+};
+
+AppReport run_pathfinder(runtime::Runtime& rt, MemMode mode,
+                         const PathfinderConfig& cfg);
+
+[[nodiscard]] std::uint64_t pathfinder_reference_checksum(const PathfinderConfig& cfg);
+
+}  // namespace ghum::apps

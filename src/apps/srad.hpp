@@ -1,0 +1,37 @@
+#pragma once
+
+#include "apps/app_common.hpp"
+
+/// \file srad.hpp
+/// SRAD (Rodinia): Speckle Reducing Anisotropic Diffusion, an iterative
+/// PDE-based denoising algorithm — the paper's *irregular* representative
+/// (Table 2; paper input 20k x 20k, scaled per DESIGN.md Section 4).
+///
+/// Port details matching the paper's methodology:
+///  - the image J is CPU-initialized (random matrix, as in Rodinia);
+///  - the diffusion-coefficient field c is only ever touched by GPU
+///    kernels, so under the unified port it is *GPU-first-touched* in
+///    iteration 1 (the Section 5.1.2 effect; its pre-registration via
+///    cudaHostRegister is the optimization measured at ~300 ms at paper
+///    scale);
+///  - the computation iterates over the same working set, which is what
+///    makes SRAD the showcase for access-counter migration (Figure 10).
+
+namespace ghum::apps {
+
+struct SradConfig {
+  std::uint32_t rows = 896;
+  std::uint32_t cols = 896;
+  std::uint32_t iterations = 12;  ///< Figure 10 runs 12
+  float lambda = 0.5f;
+  std::uint64_t seed = 46;
+  /// Apply the Section 5.1.2 optimization: cudaHostRegister the
+  /// GPU-first-touched buffer before the compute phase (system mode only).
+  bool host_register_opt = false;
+};
+
+AppReport run_srad(runtime::Runtime& rt, MemMode mode, const SradConfig& cfg);
+
+[[nodiscard]] std::uint64_t srad_reference_checksum(const SradConfig& cfg);
+
+}  // namespace ghum::apps

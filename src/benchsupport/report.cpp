@@ -1,0 +1,51 @@
+#include "benchsupport/report.hpp"
+
+#include <cstdio>
+
+namespace ghum::benchsupport {
+
+void print_figure_header(std::string_view figure, std::string_view caption,
+                         std::string_view paper_expectation) {
+  std::printf("\n## %.*s — %.*s\n", static_cast<int>(figure.size()), figure.data(),
+              static_cast<int>(caption.size()), caption.data());
+  std::printf("paper: %.*s\n", static_cast<int>(paper_expectation.size()),
+              paper_expectation.data());
+}
+
+void print_report_table_header() {
+  std::printf("%-12s %-9s %8s %9s %10s %10s %10s %10s %12s\n", "app", "mode",
+              "ctx_ms", "alloc_ms", "cpuinit_ms", "gpuinit_ms", "compute_ms",
+              "dealloc_ms", "total_ms");
+}
+
+void print_report_row(const apps::AppReport& r) {
+  std::printf("%-12s %-9s %8.1f %9.3f %10.3f %10.3f %10.3f %10.3f %12.3f\n",
+              r.app.c_str(), std::string{to_string(r.mode)}.c_str(),
+              r.times.context_s * 1e3, r.times.alloc_s * 1e3,
+              r.times.cpu_init_s * 1e3, r.times.gpu_init_s * 1e3,
+              r.times.compute_s * 1e3, r.times.dealloc_s * 1e3,
+              r.times.reported_total_s() * 1e3);
+}
+
+double speedup(double baseline_s, double value_s) {
+  return value_s > 0 ? baseline_s / value_s : 0.0;
+}
+
+void print_series(std::string_view name, const std::vector<double>& xs,
+                  const std::vector<double>& ys, std::string_view x_label,
+                  std::string_view y_label) {
+  std::printf("data\tseries=%.*s\t%.*s\t%.*s\n", static_cast<int>(name.size()),
+              name.data(), static_cast<int>(x_label.size()), x_label.data(),
+              static_cast<int>(y_label.size()), y_label.data());
+  for (std::size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+    std::printf("data\t%.*s\t%g\t%g\n", static_cast<int>(name.size()), name.data(),
+                xs[i], ys[i]);
+  }
+}
+
+void print_metric(std::string_view name, double value, std::string_view unit) {
+  std::printf("metric\t%.*s\t%g\t%.*s\n", static_cast<int>(name.size()), name.data(),
+              value, static_cast<int>(unit.size()), unit.data());
+}
+
+}  // namespace ghum::benchsupport

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/app_common.hpp"
+
+/// \file report.hpp
+/// Plain-text table/series printers used by every bench binary. Benches
+/// print (a) a human-readable table mirroring the paper's figure, and
+/// (b) machine-readable TSV blocks (prefixed "data\t") for replotting.
+
+namespace ghum::benchsupport {
+
+/// Prints "## <figure id> — <caption>" plus a paper-expectation note.
+void print_figure_header(std::string_view figure, std::string_view caption,
+                         std::string_view paper_expectation);
+
+/// One row of an app-report table (mode, per-phase seconds, total).
+void print_report_row(const apps::AppReport& report);
+void print_report_table_header();
+
+/// speedup = baseline / value (paper Figure 3 convention: higher is
+/// better, relative to the explicit version).
+[[nodiscard]] double speedup(double baseline_s, double value_s);
+
+/// Prints a named numeric series as one TSV block row per element.
+void print_series(std::string_view name, const std::vector<double>& xs,
+                  const std::vector<double>& ys, std::string_view x_label,
+                  std::string_view y_label);
+
+/// Key-value result line benches use for single numbers.
+void print_metric(std::string_view name, double value, std::string_view unit);
+
+}  // namespace ghum::benchsupport

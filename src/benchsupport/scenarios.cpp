@@ -1,0 +1,127 @@
+#include "benchsupport/scenarios.hpp"
+
+#include "runtime/runtime.hpp"
+
+namespace ghum::benchsupport {
+
+core::SystemConfig rodinia_config(std::uint64_t page_size, bool access_counters) {
+  core::SystemConfig cfg;
+  cfg.system_page_size = page_size;
+  cfg.hbm_capacity = 192ull << 20;
+  cfg.ddr_capacity = 960ull << 20;
+  cfg.gpu_driver_baseline = 1ull << 20;
+  cfg.access_counter_migration = access_counters;
+  cfg.name = "rodinia";
+  return cfg;
+}
+
+core::SystemConfig qv_config(std::uint64_t page_size, bool access_counters) {
+  core::SystemConfig cfg;
+  cfg.system_page_size = page_size;
+  cfg.hbm_capacity = 24ull << 20;
+  cfg.ddr_capacity = 120ull << 20;
+  cfg.gpu_driver_baseline = 1ull << 20;
+  cfg.access_counter_migration = access_counters;
+  cfg.name = "qv";
+  return cfg;
+}
+
+apps::HotspotConfig hotspot_config(Scale s) {
+  apps::HotspotConfig cfg;
+  if (s == Scale::kSmall) {
+    cfg.rows = cfg.cols = 192;
+    cfg.iterations = 4;
+  }
+  return cfg;
+}
+
+apps::PathfinderConfig pathfinder_config(Scale s) {
+  apps::PathfinderConfig cfg;
+  if (s == Scale::kSmall) {
+    cfg.cols = 1024;
+    cfg.rows = 64;
+  }
+  return cfg;
+}
+
+apps::NeedleConfig needle_config(Scale s) {
+  apps::NeedleConfig cfg;
+  if (s == Scale::kSmall) cfg.n = 256;
+  return cfg;
+}
+
+apps::BfsConfig bfs_config(Scale s) {
+  apps::BfsConfig cfg;
+  if (s == Scale::kSmall) cfg.nodes = 16384;
+  return cfg;
+}
+
+apps::SradConfig srad_config(Scale s) {
+  apps::SradConfig cfg;
+  if (s == Scale::kSmall) {
+    cfg.rows = cfg.cols = 160;
+    cfg.iterations = 6;
+  }
+  return cfg;
+}
+
+apps::QvConfig qv_sim_config(Scale s, std::uint32_t qubits) {
+  apps::QvConfig cfg;
+  cfg.qubits = qubits;
+  cfg.depth = s == Scale::kSmall ? 2 : 3;
+  return cfg;
+}
+
+const std::vector<NamedApp>& rodinia_apps() {
+  static const std::vector<NamedApp> apps_v = {
+      {"bfs",
+       [](runtime::Runtime& rt, apps::MemMode m, Scale s) {
+         return apps::run_bfs(rt, m, bfs_config(s));
+       }},
+      {"hotspot",
+       [](runtime::Runtime& rt, apps::MemMode m, Scale s) {
+         return apps::run_hotspot(rt, m, hotspot_config(s));
+       }},
+      {"needle",
+       [](runtime::Runtime& rt, apps::MemMode m, Scale s) {
+         return apps::run_needle(rt, m, needle_config(s));
+       }},
+      {"pathfinder",
+       [](runtime::Runtime& rt, apps::MemMode m, Scale s) {
+         return apps::run_pathfinder(rt, m, pathfinder_config(s));
+       }},
+      {"srad",
+       [](runtime::Runtime& rt, apps::MemMode m, Scale s) {
+         return apps::run_srad(rt, m, srad_config(s));
+       }},
+  };
+  return apps_v;
+}
+
+std::optional<core::Buffer> reserve_for_oversubscription(core::System& sys,
+                                                         std::uint64_t peak_gpu_bytes,
+                                                         double ratio) {
+  if (ratio <= 1.0) return std::nullopt;
+  // Target free GPU memory M_gpu = M_peak / R_oversub (Section 3.2).
+  const auto target_free =
+      static_cast<std::uint64_t>(static_cast<double>(peak_gpu_bytes) / ratio);
+  const std::uint64_t free_now = sys.gpu_free_bytes();
+  if (free_now <= target_free) return std::nullopt;  // already constrained
+  return sys.gpu_malloc(free_now - target_free, "oversub.reserve");
+}
+
+std::uint64_t measure_peak_gpu(
+    const core::SystemConfig& cfg,
+    const std::function<apps::AppReport(runtime::Runtime&)>& run) {
+  core::SystemConfig probe = cfg;
+  probe.profiler_enabled = true;
+  core::System sys{probe};
+  runtime::Runtime rt{sys};
+  (void)run(rt);
+  // Peak application usage excludes the driver baseline.
+  const std::uint64_t peak = sys.profiler().peak_gpu_used();
+  const std::uint64_t base = cfg.gpu_driver_baseline;
+  return peak > base ? peak - base : 0;
+}
+
+}  // namespace ghum::benchsupport

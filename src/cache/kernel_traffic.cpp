@@ -1,0 +1,23 @@
+#include "cache/kernel_traffic.hpp"
+
+namespace ghum::cache {
+
+KernelTraffic& KernelTraffic::operator+=(const KernelTraffic& o) {
+  hbm_read_bytes += o.hbm_read_bytes;
+  hbm_write_bytes += o.hbm_write_bytes;
+  c2c_read_bytes += o.c2c_read_bytes;
+  c2c_write_bytes += o.c2c_write_bytes;
+  ddr_read_bytes += o.ddr_read_bytes;
+  ddr_write_bytes += o.ddr_write_bytes;
+  cpu_remote_read_bytes += o.cpu_remote_read_bytes;
+  cpu_remote_write_bytes += o.cpu_remote_write_bytes;
+  l1l2_bytes += o.l1l2_bytes;
+  gpu_accesses += o.gpu_accesses;
+  migration_h2d_bytes += o.migration_h2d_bytes;
+  migration_d2h_bytes += o.migration_d2h_bytes;
+  gpu_first_touch_faults += o.gpu_first_touch_faults;
+  managed_faults += o.managed_faults;
+  return *this;
+}
+
+}  // namespace ghum::cache

@@ -1,0 +1,90 @@
+#include "core/machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ghum::core {
+
+bool Machine::map_system_page(os::Vma& vma, std::uint64_t va, mem::Node node) {
+  const std::uint64_t page_va = system_pt_.page_base(va);
+  if (system_pt_.lookup(page_va) != nullptr) {
+    throw std::logic_error{"map_system_page: page already mapped"};
+  }
+  const std::uint64_t bytes = system_page_bytes();
+  if (!frames(node).allocate(bytes)) return false;
+  system_pt_.map(page_va, pagetable::Pte{.node = node, .writable = true});
+  const auto delta = static_cast<std::int64_t>(bytes);
+  as_.note_resident_delta(vma, node == mem::Node::kCpu ? delta : 0,
+                          node == mem::Node::kGpu ? delta : 0);
+  ++epoch_;
+  return true;
+}
+
+void Machine::unmap_system_page(os::Vma& vma, std::uint64_t va) {
+  const std::uint64_t page_va = system_pt_.page_base(va);
+  const pagetable::Pte* pte = system_pt_.lookup(page_va);
+  if (pte == nullptr) throw std::logic_error{"unmap_system_page: not mapped"};
+  const mem::Node node = pte->node;
+  const std::uint64_t bytes = system_page_bytes();
+  system_pt_.unmap(page_va);
+  frames(node).release(bytes);
+  const auto delta = -static_cast<std::int64_t>(bytes);
+  as_.note_resident_delta(vma, node == mem::Node::kCpu ? delta : 0,
+                          node == mem::Node::kGpu ? delta : 0);
+  smmu_.invalidate(page_va);
+  gmmu_.invalidate_system(page_va);
+  ++epoch_;
+}
+
+bool Machine::move_system_page(os::Vma& vma, std::uint64_t va, mem::Node to) {
+  const std::uint64_t page_va = system_pt_.page_base(va);
+  const pagetable::Pte* pte = system_pt_.lookup(page_va);
+  if (pte == nullptr) throw std::logic_error{"move_system_page: not mapped"};
+  const mem::Node from = pte->node;
+  if (from == to) return true;
+  const std::uint64_t bytes = system_page_bytes();
+  if (!frames(to).allocate(bytes)) return false;
+  frames(from).release(bytes);
+  system_pt_.set_node(page_va, to);
+  const auto delta = static_cast<std::int64_t>(bytes);
+  as_.note_resident_delta(vma, to == mem::Node::kCpu ? delta : -delta,
+                          to == mem::Node::kGpu ? delta : -delta);
+  smmu_.invalidate(page_va);
+  gmmu_.invalidate_system(page_va);
+  ++epoch_;
+  return true;
+}
+
+std::uint64_t Machine::gpu_block_bytes(const os::Vma& vma,
+                                       std::uint64_t block_va) const {
+  const std::uint64_t block_base = gpu_pt_.page_base(block_va);
+  return std::min<std::uint64_t>(pagetable::kGpuPageSize, vma.end() - block_base);
+}
+
+bool Machine::map_gpu_block(os::Vma& vma, std::uint64_t block_va) {
+  const std::uint64_t block_base = gpu_pt_.page_base(block_va);
+  if (gpu_pt_.lookup(block_base) != nullptr) {
+    throw std::logic_error{"map_gpu_block: block already mapped"};
+  }
+  const std::uint64_t bytes = gpu_block_bytes(vma, block_base);
+  if (!gpu_fa_.allocate(bytes)) return false;
+  gpu_pt_.map(block_base, pagetable::Pte{.node = mem::Node::kGpu, .writable = true});
+  as_.note_resident_delta(vma, 0, static_cast<std::int64_t>(bytes));
+  ++epoch_;
+  return true;
+}
+
+void Machine::unmap_gpu_block(os::Vma& vma, std::uint64_t block_va) {
+  const std::uint64_t block_base = gpu_pt_.page_base(block_va);
+  if (gpu_pt_.lookup(block_base) == nullptr) {
+    throw std::logic_error{"unmap_gpu_block: not mapped"};
+  }
+  const std::uint64_t bytes = gpu_block_bytes(vma, block_base);
+  gpu_pt_.unmap(block_base);
+  gpu_fa_.release(bytes);
+  as_.note_resident_delta(vma, 0, -static_cast<std::int64_t>(bytes));
+  gmmu_.invalidate_gpu_table(block_base);
+  ++epoch_;
+}
+
+}  // namespace ghum::core

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/system_config.hpp"
+#include "interconnect/nvlink_c2c.hpp"
+#include "mem/frame_allocator.hpp"
+#include "mem/memory_device.hpp"
+#include "os/address_space.hpp"
+#include "pagetable/gmmu.hpp"
+#include "pagetable/page_table.hpp"
+#include "pagetable/smmu.hpp"
+#include "sim/clock.hpp"
+#include "sim/event_log.hpp"
+#include "sim/stats.hpp"
+
+/// \file machine.hpp
+/// Aggregation of all hardware models of one simulated Grace Hopper node,
+/// plus the *residency transition* helpers that keep the page tables, frame
+/// allocators, VMA residency counters and TLBs mutually consistent. All
+/// policy code (OS fault handling, driver migration/eviction) mutates page
+/// residency exclusively through these helpers, so invariants such as
+/// "resident bytes == frames used" hold globally (and are checked by
+/// property tests).
+///
+/// Transitions are cost-free: callers (the policy layers) charge the clock
+/// according to *why* the transition happened (fault, migration, eviction).
+
+namespace ghum::core {
+
+class Machine {
+ public:
+  explicit Machine(const SystemConfig& cfg)
+      : cfg_(cfg),
+        hbm_(mem::hbm3_spec(cfg.hbm_capacity)),
+        ddr_(mem::lpddr5x_spec(cfg.ddr_capacity)),
+        gpu_fa_(mem::Node::kGpu, cfg.hbm_capacity),
+        cpu_fa_(mem::Node::kCpu, cfg.ddr_capacity),
+        system_pt_(cfg.system_page_size),
+        gpu_pt_(pagetable::kGpuPageSize),
+        smmu_(system_pt_, pagetable::SmmuCosts{}, cfg.cpu_tlb_entries,
+              cfg.ats_tlb_entries),
+        gmmu_(gpu_pt_, smmu_, pagetable::GmmuCosts{}, cfg.gpu_utlb_entries,
+              cfg.gpu_utlb_entries) {
+    events_.set_enabled(cfg.event_log);
+    gpu_fa_.reserve_baseline(cfg.gpu_driver_baseline);
+  }
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // --- component access ---------------------------------------------------
+  [[nodiscard]] const SystemConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] sim::Clock& clock() noexcept { return clock_; }
+  [[nodiscard]] const sim::Clock& clock() const noexcept { return clock_; }
+  [[nodiscard]] sim::StatsRegistry& stats() noexcept { return stats_; }
+  [[nodiscard]] sim::EventLog& events() noexcept { return events_; }
+  [[nodiscard]] mem::MemoryDevice& hbm() noexcept { return hbm_; }
+  [[nodiscard]] mem::MemoryDevice& ddr() noexcept { return ddr_; }
+  [[nodiscard]] mem::MemoryDevice& device(mem::Node n) noexcept {
+    return n == mem::Node::kGpu ? hbm_ : ddr_;
+  }
+  [[nodiscard]] mem::FrameAllocator& frames(mem::Node n) noexcept {
+    return n == mem::Node::kGpu ? gpu_fa_ : cpu_fa_;
+  }
+  [[nodiscard]] interconnect::NvlinkC2C& c2c() noexcept { return c2c_; }
+  [[nodiscard]] const interconnect::NvlinkC2C& c2c() const noexcept { return c2c_; }
+  [[nodiscard]] const sim::StatsRegistry& stats() const noexcept { return stats_; }
+  [[nodiscard]] pagetable::PageTable& system_pt() noexcept { return system_pt_; }
+  [[nodiscard]] pagetable::PageTable& gpu_pt() noexcept { return gpu_pt_; }
+  [[nodiscard]] pagetable::Smmu& smmu() noexcept { return smmu_; }
+  [[nodiscard]] pagetable::Gmmu& gmmu() noexcept { return gmmu_; }
+  [[nodiscard]] os::AddressSpace& address_space() noexcept { return as_; }
+
+  /// Bumped on every residency change; spans use it to invalidate their
+  /// cached page resolutions when a migration lands mid-kernel.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// GPU used memory as nvidia-smi reports it: all GPU frames in use,
+  /// including the driver baseline (paper Section 3.2).
+  [[nodiscard]] std::uint64_t gpu_used_bytes() const noexcept { return gpu_fa_.used(); }
+  /// Process RSS as /proc/<pid>/smaps_rollup reports it.
+  [[nodiscard]] std::uint64_t cpu_rss_bytes() const noexcept { return as_.rss_bytes(); }
+
+  // --- system-page transitions ---------------------------------------------
+  /// Bytes of physical frame charged for the system page at \p page_va
+  /// (full page even when the VMA tail only covers part of it).
+  [[nodiscard]] std::uint64_t system_page_bytes() const noexcept {
+    return system_pt_.page_size();
+  }
+
+  /// Maps the system page containing \p va on \p node. Returns false when
+  /// the node's frames are exhausted (caller decides the fallback policy).
+  [[nodiscard]] bool map_system_page(os::Vma& vma, std::uint64_t va, mem::Node node);
+
+  /// Unmaps a present system page, releasing its frame.
+  void unmap_system_page(os::Vma& vma, std::uint64_t va);
+
+  /// Moves a present system page to \p to. Returns false when frames on
+  /// \p to are exhausted (page stays put).
+  [[nodiscard]] bool move_system_page(os::Vma& vma, std::uint64_t va, mem::Node to);
+
+  // --- GPU-page-table block transitions -------------------------------------
+  /// Size charged for the 2 MiB block containing \p va within \p vma
+  /// (clipped to the VMA end so short managed tails don't over-charge HBM).
+  [[nodiscard]] std::uint64_t gpu_block_bytes(const os::Vma& vma,
+                                              std::uint64_t block_va) const;
+
+  /// Maps a 2 MiB GPU-page-table block (managed or cudaMalloc ranges).
+  [[nodiscard]] bool map_gpu_block(os::Vma& vma, std::uint64_t block_va);
+
+  /// Unmaps a present GPU block, releasing its frames.
+  void unmap_gpu_block(os::Vma& vma, std::uint64_t block_va);
+
+ private:
+  SystemConfig cfg_;
+  sim::Clock clock_;
+  sim::StatsRegistry stats_;
+  sim::EventLog events_;
+  mem::MemoryDevice hbm_;
+  mem::MemoryDevice ddr_;
+  mem::FrameAllocator gpu_fa_;
+  mem::FrameAllocator cpu_fa_;
+  interconnect::NvlinkC2C c2c_;
+  pagetable::PageTable system_pt_;
+  pagetable::PageTable gpu_pt_;
+  pagetable::Smmu smmu_;
+  pagetable::Gmmu gmmu_;
+  os::AddressSpace as_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace ghum::core

@@ -1,0 +1,567 @@
+#include "core/system.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+#include <sstream>
+#include <stdexcept>
+
+namespace ghum::core {
+
+namespace {
+Buffer make_buffer(os::Vma& vma) {
+  return Buffer{.va = vma.base, .bytes = vma.size, .host = vma.data.get(),
+                .kind = vma.kind};
+}
+}  // namespace
+
+System::System(SystemConfig cfg)
+    : m_(cfg),
+      pf_(m_),
+      sysalloc_(m_),
+      mig_(m_),
+      ac_(m_, mig_),
+      managed_(m_, mig_, pf_),
+      profiler_(m_, cfg.profiler_period) {
+  if (cfg.system_page_size != pagetable::kSystemPage4K &&
+      cfg.system_page_size != pagetable::kSystemPage64K) {
+    throw std::invalid_argument{"SystemConfig: Grace supports 4 KiB or 64 KiB pages"};
+  }
+  if (cfg.profiler_enabled) profiler_.start();
+}
+
+// --- allocation ---------------------------------------------------------------
+
+Buffer System::sys_malloc(std::uint64_t bytes, std::string label) {
+  return make_buffer(sysalloc_.allocate(bytes, std::move(label)));
+}
+
+Buffer System::managed_malloc(std::uint64_t bytes, std::string label) {
+  ensure_gpu_context();
+  return make_buffer(managed_.allocate(bytes, std::move(label)));
+}
+
+Buffer System::gpu_malloc(std::uint64_t bytes, std::string label) {
+  ensure_gpu_context();
+  const auto& costs = m_.config().costs;
+  os::Vma& vma = m_.address_space().create(bytes, os::AllocKind::kGpuOnly,
+                                           pagetable::kGpuPageSize, std::move(label));
+  const std::uint64_t blocks =
+      (bytes + pagetable::kGpuPageSize - 1) / pagetable::kGpuPageSize;
+  m_.clock().advance(costs.gpu_alloc_base +
+                     costs.alloc_per_page * static_cast<sim::Picos>(blocks));
+  for (std::uint64_t block = vma.base; block < vma.end();
+       block += pagetable::kGpuPageSize) {
+    if (!m_.map_gpu_block(vma, block)) {
+      // cudaMalloc fails: roll the partial mapping back and report OOM.
+      for (std::uint64_t b = vma.base; b < block; b += pagetable::kGpuPageSize) {
+        m_.unmap_gpu_block(vma, b);
+      }
+      m_.address_space().destroy(vma.base);
+      throw std::bad_alloc{};
+    }
+  }
+  if (m_.events().enabled()) {
+    m_.events().record(sim::Event{.time = m_.clock().now(),
+                                  .type = sim::EventType::kAllocation,
+                                  .va = vma.base,
+                                  .bytes = bytes,
+                                  .aux = static_cast<std::uint32_t>(vma.kind)});
+  }
+  return make_buffer(vma);
+}
+
+Buffer System::pinned_malloc(std::uint64_t bytes, std::string label) {
+  ensure_gpu_context();
+  return make_buffer(sysalloc_.allocate_pinned(bytes, std::move(label)));
+}
+
+void System::free_buffer(Buffer& buf) {
+  if (!buf.valid()) return;
+  os::Vma* vma = m_.address_space().find_exact(buf.va);
+  if (vma == nullptr) throw std::invalid_argument{"free_buffer: unknown buffer"};
+  const auto& costs = m_.config().costs;
+  switch (vma->kind) {
+    case os::AllocKind::kSystem:
+    case os::AllocKind::kPinnedHost:
+      sysalloc_.deallocate(*vma);
+      break;
+    case os::AllocKind::kManaged:
+      managed_.release_gpu_blocks(*vma);
+      sysalloc_.deallocate(*vma);
+      break;
+    case os::AllocKind::kGpuOnly: {
+      for (std::uint64_t block = vma->base; block < vma->end();
+           block += pagetable::kGpuPageSize) {
+        m_.unmap_gpu_block(*vma, block);
+      }
+      m_.clock().advance(costs.gpu_free_base);
+      m_.address_space().destroy(vma->base);
+      break;
+    }
+  }
+  buf = Buffer{};
+}
+
+void System::host_register(const Buffer& buf) {
+  os::Vma* vma = m_.address_space().find_exact(buf.va);
+  if (vma == nullptr) throw std::invalid_argument{"host_register: unknown buffer"};
+  pf_.host_register(*vma);
+}
+
+void System::mem_advise(const Buffer& buf, MemAdvice advice) {
+  os::Vma* vma = m_.address_space().find_exact(buf.va);
+  if (vma == nullptr) throw std::invalid_argument{"mem_advise: unknown buffer"};
+  if (vma->kind == os::AllocKind::kGpuOnly || vma->kind == os::AllocKind::kPinnedHost) {
+    throw std::invalid_argument{"mem_advise: only system/managed memory takes advice"};
+  }
+  m_.clock().advance(sim::microseconds(2));  // driver ioctl
+  switch (advice) {
+    case MemAdvice::kPreferredLocationCpu:
+      vma->preferred_location = mem::Node::kCpu;
+      break;
+    case MemAdvice::kPreferredLocationGpu:
+      vma->preferred_location = mem::Node::kGpu;
+      break;
+    case MemAdvice::kUnsetPreferredLocation:
+      vma->preferred_location.reset();
+      break;
+    case MemAdvice::kReadMostly:
+      if (vma->kind != os::AllocKind::kManaged) {
+        throw std::invalid_argument{"mem_advise: read-mostly needs managed memory"};
+      }
+      vma->read_mostly = true;
+      break;
+    case MemAdvice::kUnsetReadMostly:
+      vma->read_mostly = false;
+      managed_.collapse_all_replicas(*vma);
+      break;
+  }
+  m_.stats().add("runtime.mem_advise");
+}
+
+void System::prefetch(const Buffer& buf, std::uint64_t offset, std::uint64_t len,
+                      mem::Node dst) {
+  ensure_gpu_context();
+  os::Vma* vma = m_.address_space().find_exact(buf.va);
+  if (vma == nullptr) throw std::invalid_argument{"prefetch: unknown buffer"};
+  if (vma->kind == os::AllocKind::kManaged) {
+    managed_.prefetch(*vma, buf.va + offset, len, dst);
+    return;
+  }
+  if (vma->kind == os::AllocKind::kSystem) {
+    // On Grace Hopper cudaMemPrefetchAsync also works on system memory:
+    // the driver migrates the system pages.
+    if (dst == mem::Node::kGpu) {
+      mig_.migrate_system_range_to_gpu(*vma, buf.va + offset, len, ~0ull);
+    } else {
+      mig_.migrate_system_range_to_cpu(*vma, buf.va + offset, len, ~0ull);
+    }
+    return;
+  }
+  throw std::invalid_argument{"prefetch: buffer kind cannot be prefetched"};
+}
+
+void System::memcpy_buffers(const Buffer& dst, std::uint64_t dst_off,
+                            const Buffer& src, std::uint64_t src_off,
+                            std::uint64_t bytes) {
+  m_.clock().advance(memcpy_cost_and_copy(dst, dst_off, src, src_off, bytes));
+}
+
+void System::memcpy_buffers_async(const Buffer& dst, std::uint64_t dst_off,
+                                  const Buffer& src, std::uint64_t src_off,
+                                  std::uint64_t bytes, runtime::Stream& stream) {
+  const sim::Picos t = memcpy_cost_and_copy(dst, dst_off, src, src_off, bytes);
+  stream.enqueue(m_.clock().now(), t);
+  m_.stats().add("runtime.memcpy_async");
+}
+
+void System::stream_synchronize(runtime::Stream& stream) {
+  const sim::Picos now = m_.clock().now();
+  if (stream.ready_at() > now) m_.clock().advance(stream.ready_at() - now);
+}
+
+sim::Picos System::memcpy_cost_and_copy(const Buffer& dst, std::uint64_t dst_off,
+                                        const Buffer& src, std::uint64_t src_off,
+                                        std::uint64_t bytes) {
+  ensure_gpu_context();
+  if (dst_off + bytes > dst.bytes || src_off + bytes > src.bytes) {
+    throw std::out_of_range{"memcpy_buffers: range outside buffer"};
+  }
+  const auto& costs = m_.config().costs;
+  std::memcpy(dst.host + dst_off, src.host + src_off, bytes);
+
+  const bool src_gpu = src.kind == os::AllocKind::kGpuOnly;
+  const bool dst_gpu = dst.kind == os::AllocKind::kGpuOnly;
+  sim::Picos t = costs.memcpy_base;
+  if (src_gpu && dst_gpu) {
+    t += m_.hbm().read_time(bytes) + m_.hbm().write_time(bytes);
+  } else if (!src_gpu && !dst_gpu) {
+    t += m_.ddr().read_time(bytes) + m_.ddr().write_time(bytes);
+  } else {
+    const auto dir = dst_gpu ? interconnect::Direction::kCpuToGpu
+                             : interconnect::Direction::kGpuToCpu;
+    sim::Picos link = m_.c2c().transfer(dir, bytes);
+    const bool pageable =
+        (dst_gpu ? src.kind : dst.kind) == os::AllocKind::kSystem ||
+        (dst_gpu ? src.kind : dst.kind) == os::AllocKind::kManaged;
+    if (pageable) {
+      link = static_cast<sim::Picos>(static_cast<double>(link) /
+                                     costs.memcpy_pageable_efficiency);
+      // Host-side staging touches the pageable pages: fault them in if the
+      // buffer was never touched (ensures RSS accounting stays honest).
+      os::Vma* vma = m_.address_space().find_exact(dst_gpu ? src.va : dst.va);
+      if (vma != nullptr && vma->kind != os::AllocKind::kManaged) {
+        const std::uint64_t page = m_.system_pt().page_size();
+        const std::uint64_t lo = (dst_gpu ? src.va + src_off : dst.va + dst_off);
+        for (std::uint64_t va = m_.system_pt().page_base(lo); va < lo + bytes;
+             va += page) {
+          if (m_.system_pt().lookup(va) == nullptr) {
+            pf_.first_touch(*vma, va, mem::Node::kCpu);
+          }
+        }
+      }
+    }
+    t += link;
+  }
+  m_.stats().add("runtime.memcpy_bytes", bytes);
+  return t;
+}
+
+// --- GPU context & phases --------------------------------------------------
+
+void System::ensure_gpu_context() {
+  if (ctx_init_) return;
+  ctx_init_ = true;
+  ctx_charged_ = m_.config().costs.context_init;
+  m_.clock().advance(m_.config().costs.context_init);
+  if (m_.events().enabled()) {
+    m_.events().record(sim::Event{.time = m_.clock().now(),
+                                  .type = sim::EventType::kContextInit,
+                                  .va = 0,
+                                  .bytes = 0,
+                                  .aux = 0});
+  }
+  m_.stats().add("runtime.context_init");
+}
+
+void System::kernel_begin(std::string name) {
+  begin_phase(std::move(name), /*gpu=*/true);
+  // Context initialization triggered by a kernel launch lands *inside* the
+  // kernel's measured duration — the paper's Section 4 observation about
+  // the system-memory version.
+  ensure_gpu_context();
+  m_.clock().advance(m_.config().costs.kernel_launch);
+  if (m_.events().enabled()) {
+    m_.events().record(sim::Event{.time = m_.clock().now(),
+                                  .type = sim::EventType::kKernelBegin,
+                                  .va = 0,
+                                  .bytes = 0,
+                                  .aux = static_cast<std::uint32_t>(kernel_seq_)});
+  }
+}
+
+const cache::KernelRecord& System::kernel_end(double flop_work) {
+  if (!in_kernel_) throw std::logic_error{"kernel_end: no kernel in flight"};
+  const double elapsed = sim::to_seconds(m_.clock().now() - phase_start_);
+  const double floor_s = flop_work / m_.config().costs.gpu_flops;
+  if (floor_s > elapsed) m_.clock().advance(sim::seconds(floor_s - elapsed));
+  if (m_.events().enabled()) {
+    m_.events().record(sim::Event{.time = m_.clock().now(),
+                                  .type = sim::EventType::kKernelEnd,
+                                  .va = 0,
+                                  .bytes = 0,
+                                  .aux = static_cast<std::uint32_t>(kernel_seq_)});
+  }
+  return end_phase(0.0);
+}
+
+void System::host_phase_begin(std::string name) {
+  begin_phase(std::move(name), /*gpu=*/false);
+}
+
+const cache::KernelRecord& System::host_phase_end(double flop_work) {
+  if (in_kernel_ || !in_phase_) {
+    throw std::logic_error{"host_phase_end: no host phase in flight"};
+  }
+  const double elapsed = sim::to_seconds(m_.clock().now() - phase_start_);
+  const double floor_s = flop_work / m_.config().costs.cpu_flops;
+  if (floor_s > elapsed) m_.clock().advance(sim::seconds(floor_s - elapsed));
+  return end_phase(0.0);
+}
+
+void System::device_synchronize() {
+  // Synchronous simulator: only the call overhead remains.
+  m_.clock().advance(sim::microseconds(1));
+}
+
+void System::begin_phase(std::string name, bool gpu) {
+  if (in_phase_) throw std::logic_error{"begin_phase: phases cannot nest"};
+  in_phase_ = true;
+  in_kernel_ = gpu;
+  if (gpu) ++kernel_seq_;
+  phase_name_ = std::move(name);
+  phase_start_ = m_.clock().now();
+  traffic_ = cache::KernelTraffic{};
+  c2c_h2d_at_start_ = m_.c2c().bytes_moved(interconnect::Direction::kCpuToGpu);
+  c2c_d2h_at_start_ = m_.c2c().bytes_moved(interconnect::Direction::kGpuToCpu);
+}
+
+const cache::KernelRecord& System::end_phase(double /*flop_work*/) {
+  const std::uint64_t h2d =
+      m_.c2c().bytes_moved(interconnect::Direction::kCpuToGpu) - c2c_h2d_at_start_;
+  const std::uint64_t d2h =
+      m_.c2c().bytes_moved(interconnect::Direction::kGpuToCpu) - c2c_d2h_at_start_;
+  // Link traffic not attributed to direct accesses was moved by the driver
+  // (migrations, evictions, prefetches) while this phase ran.
+  const std::uint64_t direct_h2d = traffic_.c2c_read_bytes + traffic_.cpu_remote_write_bytes;
+  const std::uint64_t direct_d2h = traffic_.c2c_write_bytes + traffic_.cpu_remote_read_bytes;
+  traffic_.migration_h2d_bytes = h2d > direct_h2d ? h2d - direct_h2d : 0;
+  traffic_.migration_d2h_bytes = d2h > direct_d2h ? d2h - direct_d2h : 0;
+
+  last_record_ = cache::KernelRecord{.name = phase_name_,
+                                     .kernel_id = kernel_seq_,
+                                     .start = phase_start_,
+                                     .duration = m_.clock().now() - phase_start_,
+                                     .traffic = traffic_};
+  workload_.add(last_record_);
+  in_phase_ = false;
+  in_kernel_ = false;
+  return last_record_;
+}
+
+// --- access path -------------------------------------------------------------
+
+void System::charge_dependent_access(const PageView& view) {
+  // Local chase pays the tier's first-word latency; a remote chase adds
+  // the NVLink-C2C round trip on top of the far tier's DRAM latency.
+  const sim::Picos t =
+      view.node == view.origin
+          ? m_.device(view.node).latency()
+          : 2 * m_.c2c().latency() + m_.device(view.node).latency();
+  m_.clock().advance(t);
+  m_.stats().add("mem.dependent_accesses");
+}
+
+std::string System::summary() const {
+  std::ostringstream out;
+  out << "=== ghum system summary (" << m_.config().name << ") ===\n";
+  out << "simulated time: " << sim::to_milliseconds(m_.clock().now()) << " ms\n";
+  out << "cpu rss: " << static_cast<double>(m_.cpu_rss_bytes()) / (1 << 20)
+      << " MiB, gpu used: " << static_cast<double>(m_.gpu_used_bytes()) / (1 << 20)
+      << " MiB\n";
+  out << "c2c h2d: "
+      << static_cast<double>(
+             m_.c2c().bytes_moved(interconnect::Direction::kCpuToGpu)) /
+             (1 << 20)
+      << " MiB, d2h: "
+      << static_cast<double>(
+             m_.c2c().bytes_moved(interconnect::Direction::kGpuToCpu)) /
+             (1 << 20)
+      << " MiB\n";
+  for (const auto& [name, value] : m_.stats().snapshot()) {
+    out << "  " << name << ": " << value << '\n';
+  }
+  return out.str();
+}
+
+void System::maybe_numa_hint_fault(std::uint64_t page_va, mem::Node origin) {
+  const auto& cfg = m_.config();
+  if (!cfg.autonuma_balancing) return;
+  pagetable::Pte* pte = m_.system_pt().lookup_mut(page_va);
+  if (pte == nullptr) return;
+  const auto gen =
+      static_cast<std::uint32_t>(m_.clock().now() / cfg.autonuma_scan_period + 1);
+  if (pte->numa_generation == gen) return;
+  pte->numa_generation = gen;
+  const auto& costs = cfg.costs;
+  m_.clock().advance(origin == mem::Node::kCpu ? costs.cpu_minor_fault
+                                               : costs.gpu_replayable_fault);
+  m_.stats().add("os.numa_hint_faults");
+  if (m_.events().enabled()) {
+    m_.events().record(sim::Event{.time = m_.clock().now(),
+                                  .type = sim::EventType::kNumaHintFault,
+                                  .va = page_va,
+                                  .bytes = m_.system_pt().page_size(),
+                                  .aux = static_cast<std::uint32_t>(origin)});
+  }
+}
+
+PageView System::resolve(std::uint64_t va, mem::Node origin) {
+  os::Vma* vma = m_.address_space().find(va);
+  if (vma == nullptr) {
+    throw std::out_of_range{"resolve: access outside any allocation (SIGSEGV)"};
+  }
+  PageView view;
+  view.origin = origin;
+  view.kind = vma->kind;
+  view.vma = vma;
+  view.line_size = origin == mem::Node::kGpu ? m_.c2c().spec().cacheline_gpu
+                                             : m_.c2c().spec().cacheline_cpu;
+
+  auto system_page_bounds = [&](std::uint64_t a) {
+    view.page_base = m_.system_pt().page_base(a);
+    view.page_end = std::min(view.page_base + m_.system_pt().page_size(), vma->end());
+  };
+  auto gpu_block_bounds = [&](std::uint64_t a) {
+    view.page_base = m_.gpu_pt().page_base(a);
+    view.page_end = std::min(view.page_base + pagetable::kGpuPageSize, vma->end());
+  };
+
+  switch (vma->kind) {
+    case os::AllocKind::kGpuOnly: {
+      if (origin == mem::Node::kCpu) {
+        throw std::logic_error{"CPU access to cudaMalloc memory (not coherent)"};
+      }
+      const auto t = m_.gmmu().translate_gpu_table(va);
+      m_.clock().advance(t.cost);
+      if (t.outcome != pagetable::GpuXlatOutcome::kResident) {
+        throw std::logic_error{"GPU-only allocation unexpectedly unmapped"};
+      }
+      view.node = mem::Node::kGpu;
+      gpu_block_bounds(va);
+      break;
+    }
+    case os::AllocKind::kPinnedHost: {
+      if (origin == mem::Node::kCpu) {
+        const auto t = m_.smmu().translate_cpu(va);
+        m_.clock().advance(t.cost);
+      } else {
+        const auto t = m_.gmmu().translate_system(va);
+        m_.clock().advance(t.cost);
+      }
+      view.node = mem::Node::kCpu;  // pinned memory never migrates
+      system_page_bounds(va);
+      break;
+    }
+    case os::AllocKind::kSystem: {
+      if (origin == mem::Node::kCpu) {
+        const auto t = m_.smmu().translate_cpu(va);
+        m_.clock().advance(t.cost);
+        view.node = t.present ? t.node : pf_.first_touch(*vma, va, origin);
+      } else {
+        const auto t = m_.gmmu().translate_system(va);
+        m_.clock().advance(t.cost);
+        if (t.outcome == pagetable::GpuXlatOutcome::kResident) {
+          view.node = t.node;
+        } else {
+          view.node = pf_.first_touch(*vma, va, origin);
+          ++traffic_.gpu_first_touch_faults;
+        }
+      }
+      system_page_bounds(va);
+      maybe_numa_hint_fault(view.page_base, origin);
+      break;
+    }
+    case os::AllocKind::kManaged: {
+      if (origin == mem::Node::kGpu) {
+        const auto t = m_.gmmu().translate_gpu_table(va);
+        m_.clock().advance(t.cost);
+        if (t.outcome == pagetable::GpuXlatOutcome::kResident) {
+          view.node = mem::Node::kGpu;
+          gpu_block_bounds(va);
+        } else {
+          const auto r = managed_.gpu_fault(*vma, va, kernel_seq_);
+          ++traffic_.managed_faults;
+          view.node = r.node;
+          view.remote_managed = r.remote_mapped;
+          if (r.node == mem::Node::kGpu) {
+            gpu_block_bounds(va);
+          } else {
+            system_page_bounds(va);
+          }
+        }
+      } else {
+        const auto t = m_.smmu().translate_cpu(va);
+        m_.clock().advance(t.cost);
+        view.node = t.present ? t.node : managed_.cpu_fault(*vma, va);
+        if (view.node == mem::Node::kGpu) {
+          // GPU-preferred range read remotely by the CPU (no migration).
+          gpu_block_bounds(va);
+        } else {
+          system_page_bounds(va);
+        }
+      }
+      break;
+    }
+  }
+  view.epoch = m_.epoch();
+  return view;
+}
+
+void System::commit(const PageView& view, std::uint64_t read_bytes,
+                    std::uint64_t write_bytes, std::uint64_t lines,
+                    std::uint64_t accesses) {
+  if (accesses == 0) return;
+  const std::uint64_t raw = read_bytes + write_bytes;
+  if (raw == 0) return;
+  const auto& costs = m_.config().costs;
+  const std::uint64_t line_bytes = lines * view.line_size;
+  // Unique-line volume split proportionally between reads and writes.
+  const std::uint64_t lr = static_cast<std::uint64_t>(
+      static_cast<double>(line_bytes) * static_cast<double>(read_bytes) /
+      static_cast<double>(raw));
+  const std::uint64_t lw = line_bytes - lr;
+
+  sim::Picos t = 0;
+  if (view.origin == mem::Node::kGpu) {
+    traffic_.gpu_accesses += accesses;
+    traffic_.l1l2_bytes += line_bytes;
+    if (view.node == mem::Node::kGpu) {
+      // Local HBM: DRAM moves 32-byte sectors, so sparse lines cost at
+      // least a quarter of the 128-byte line volume.
+      const std::uint64_t cr = std::max(read_bytes, lr / 4);
+      const std::uint64_t cw = std::max(write_bytes, lw / 4);
+      t += m_.hbm().read_time(cr) + m_.hbm().write_time(cw);
+      traffic_.hbm_read_bytes += cr;
+      traffic_.hbm_write_bytes += cw;
+    } else {
+      // Remote access over NVLink-C2C at GPU cacheline (128 B) granularity.
+      sim::Picos link = m_.c2c().transfer(interconnect::Direction::kCpuToGpu, lr) +
+                        m_.c2c().transfer(interconnect::Direction::kGpuToCpu, lw);
+      if (view.remote_managed) {
+        link = static_cast<sim::Picos>(static_cast<double>(link) /
+                                       costs.managed_remote_efficiency);
+      }
+      t += link;
+      traffic_.c2c_read_bytes += lr;
+      traffic_.c2c_write_bytes += lw;
+      if (view.kind == os::AllocKind::kSystem) {
+        ac_.note_gpu_access(*view.vma, view.page_base, lines, kernel_seq_);
+      }
+    }
+    if (view.kind == os::AllocKind::kManaged && view.node == mem::Node::kGpu) {
+      managed_.touch_gpu_block(view.page_base, kernel_seq_);
+      // A write to a read-duplicated block collapses the GPU replica (the
+      // next access re-resolves via the epoch bump).
+      if (write_bytes > 0 && managed_.is_replica(view.page_base)) {
+        managed_.collapse_replica(*view.vma, view.page_base);
+      }
+    }
+  } else {
+    if (view.node == mem::Node::kCpu) {
+      t += m_.ddr().read_time(lr) + m_.ddr().write_time(lw);
+      traffic_.ddr_read_bytes += lr;
+      traffic_.ddr_write_bytes += lw;
+      if (view.kind == os::AllocKind::kManaged && write_bytes > 0) {
+        // A CPU write invalidates any GPU read replica of this block.
+        const std::uint64_t block = m_.gpu_pt().page_base(view.page_base);
+        if (managed_.is_replica(block)) {
+          managed_.collapse_replica(*view.vma, block);
+        }
+      }
+    } else {
+      // CPU touching GPU-resident data: coherent remote access over C2C.
+      t += m_.c2c().transfer(interconnect::Direction::kGpuToCpu, lr) +
+           m_.c2c().transfer(interconnect::Direction::kCpuToGpu, lw);
+      traffic_.cpu_remote_read_bytes += lr;
+      traffic_.cpu_remote_write_bytes += lw;
+      if (view.kind == os::AllocKind::kSystem) {
+        ac_.note_cpu_access(*view.vma, view.page_base, lines);
+      }
+    }
+  }
+  m_.clock().advance(t);
+}
+
+}  // namespace ghum::core

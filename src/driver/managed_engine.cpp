@@ -1,0 +1,425 @@
+#include "driver/managed_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ghum::driver {
+
+namespace {
+constexpr std::uint64_t kBlock = pagetable::kGpuPageSize;
+}
+
+os::Vma& ManagedEngine::allocate(std::uint64_t bytes, std::string label) {
+  const auto& costs = m_->config().costs;
+  os::Vma& vma = m_->address_space().create(bytes, os::AllocKind::kManaged, kBlock,
+                                            std::move(label));
+  // VA-range bookkeeping happens at system-page granularity (the managed
+  // range is registered with the OS too), which is where managed memory's
+  // small but measurable 4 KiB allocation overhead comes from (Figure 8's
+  // decaying managed speedup).
+  const std::uint64_t page = m_->system_pt().page_size();
+  const std::uint64_t pages = (bytes + page - 1) / page;
+  m_->clock().advance(costs.managed_alloc_base +
+                      costs.alloc_per_page * static_cast<sim::Picos>(pages));
+  if (m_->events().enabled()) {
+    m_->events().record(sim::Event{.time = m_->clock().now(),
+                                   .type = sim::EventType::kAllocation,
+                                   .va = vma.base,
+                                   .bytes = bytes,
+                                   .aux = static_cast<std::uint32_t>(vma.kind)});
+  }
+  return vma;
+}
+
+void ManagedEngine::release_gpu_blocks(os::Vma& vma) {
+  const auto& costs = m_->config().costs;
+  std::uint64_t released = 0;
+  for (std::uint64_t block = m_->gpu_pt().page_base(vma.base); block < vma.end();
+       block += kBlock) {
+    if (m_->gpu_pt().lookup(block) == nullptr) continue;
+    m_->unmap_gpu_block(vma, block);
+    forget_block(block);
+    ++released;
+  }
+  m_->clock().advance(costs.unmap_per_page * static_cast<sim::Picos>(released));
+  vma_state_.erase(vma.base);
+}
+
+ManagedResolution ManagedEngine::gpu_fault(os::Vma& vma, std::uint64_t va,
+                                           std::uint64_t kernel_id) {
+  ++gpu_faults_;
+  m_->stats().add("driver.managed.gpu_faults");
+  const std::uint64_t block_base = m_->gpu_pt().page_base(va);
+  VmaState& vs = vma_state_[vma.base];
+
+  auto remote_resolve = [&]() -> ManagedResolution {
+    // Thrash guard: map the data remotely instead of migrating. Pages that
+    // were never touched still need CPU frames the first time.
+    if (m_->system_pt().lookup(va) == nullptr) {
+      if (!m_->map_system_page(vma, va, mem::Node::kCpu)) {
+        throw std::runtime_error{"managed remote map: CPU memory exhausted"};
+      }
+      m_->clock().advance(m_->config().costs.cpu_minor_fault);
+    }
+    return ManagedResolution{.node = mem::Node::kCpu, .remote_mapped = true};
+  };
+
+  if (vs.remote_mode) return remote_resolve();
+
+  // cudaMemAdvise interactions.
+  if (vma.read_mostly) {
+    if (make_replica(vma, block_base)) {
+      touch_gpu_block(block_base, kernel_id);
+      return ManagedResolution{.node = mem::Node::kGpu, .remote_mapped = false};
+    }
+    return remote_resolve();
+  }
+  if (vma.preferred_location == mem::Node::kCpu) {
+    // The range is pinned to CPU memory: the driver maps it remotely
+    // instead of migrating (coherent access over C2C).
+    return remote_resolve();
+  }
+
+  const std::uint64_t need = m_->gpu_block_bytes(vma, block_base);
+  if (m_->frames(mem::Node::kGpu).free_bytes() < need) {
+    if (!ensure_gpu_room(need, block_base)) {
+      enter_remote_mode(vma);
+      return remote_resolve();
+    }
+    // Heavy eviction churn on this allocation flips it to remote mapping
+    // (UVM's thrashing mitigation), reproducing the paper's oversubscribed
+    // steady state (Section 7).
+    if (vma_state_[vma.base].evicted_bytes >= vma.size) {
+      enter_remote_mode(vma);
+      return remote_resolve();
+    }
+  }
+
+  block_to_gpu(vma, block_base, /*via_fault=*/true);
+  touch_gpu_block(block_base, kernel_id);
+  return ManagedResolution{.node = mem::Node::kGpu, .remote_mapped = false};
+}
+
+mem::Node ManagedEngine::cpu_fault(os::Vma& vma, std::uint64_t va) {
+  ++cpu_faults_;
+  const std::uint64_t block_base = m_->gpu_pt().page_base(va);
+  if (m_->gpu_pt().lookup(block_base) != nullptr) {
+    if (vma.preferred_location == mem::Node::kGpu) {
+      // Pinned to the GPU: the CPU reads it remotely over C2C instead of
+      // pulling the block back.
+      m_->clock().advance(m_->config().costs.cpu_minor_fault);
+      return mem::Node::kGpu;
+    }
+    block_to_cpu(vma, block_base, /*is_eviction=*/false);
+    return mem::Node::kCpu;
+  }
+  if (vma.preferred_location == mem::Node::kGpu) {
+    // First touch of a GPU-preferred range from the CPU: populate at the
+    // preferred location and access it remotely.
+    const std::uint64_t need = m_->gpu_block_bytes(vma, block_base);
+    if (m_->frames(mem::Node::kGpu).free_bytes() >= need ||
+        ensure_gpu_room(need, block_base)) {
+      block_to_gpu(vma, block_base, /*via_fault=*/true);
+      touch_gpu_block(block_base, 0);
+      return mem::Node::kGpu;
+    }
+    // No room at the preferred location: fall back to CPU placement.
+  }
+  // Plain CPU first-touch: managed pages on the CPU live in the system
+  // page table like malloc'd pages.
+  pf_->first_touch(vma, va, mem::Node::kCpu);
+  return mem::Node::kCpu;
+}
+
+bool ManagedEngine::make_replica(os::Vma& vma, std::uint64_t block_base) {
+  const auto& costs = m_->config().costs;
+  const std::uint64_t need = m_->gpu_block_bytes(vma, block_base);
+  if (m_->frames(mem::Node::kGpu).free_bytes() < need &&
+      !ensure_gpu_room(need, block_base)) {
+    return false;
+  }
+  // The CPU copy stays authoritative; untouched pages materialize on the
+  // CPU first (zero-fill semantics), then the block is duplicated.
+  const std::uint64_t page = m_->system_pt().page_size();
+  const std::uint64_t stop = std::min(block_base + kBlock, vma.end());
+  for (std::uint64_t va = block_base; va < stop; va += page) {
+    if (m_->system_pt().lookup(va) == nullptr) {
+      (void)pf_->first_touch(vma, va, mem::Node::kCpu);
+    }
+  }
+  if (!m_->map_gpu_block(vma, block_base)) {
+    throw std::logic_error{"make_replica: GPU frames exhausted after ensure"};
+  }
+  const std::uint64_t bytes = m_->gpu_block_bytes(vma, block_base);
+  m_->clock().advance(costs.managed_fault_batch +
+                      mig_->bulk_copy_time(interconnect::Direction::kCpuToGpu, bytes));
+  register_block(vma, block_base);
+  replicas_.insert(block_base);
+  m_->stats().add("driver.managed.replicas_created");
+  if (m_->events().enabled()) {
+    m_->events().record(sim::Event{.time = m_->clock().now(),
+                                   .type = sim::EventType::kMigrationH2D,
+                                   .va = block_base,
+                                   .bytes = bytes,
+                                   .aux = 1 /* read-duplication */});
+  }
+  return true;
+}
+
+void ManagedEngine::collapse_replica(os::Vma& vma, std::uint64_t block_base) {
+  if (!replicas_.contains(block_base)) return;
+  m_->unmap_gpu_block(vma, block_base);
+  forget_block(block_base);
+  m_->clock().advance(m_->config().costs.unmap_per_page);
+  m_->stats().add("driver.managed.replicas_collapsed");
+}
+
+void ManagedEngine::collapse_all_replicas(os::Vma& vma) {
+  for (std::uint64_t block = m_->gpu_pt().page_base(vma.base); block < vma.end();
+       block += kBlock) {
+    if (replicas_.contains(block)) collapse_replica(vma, block);
+  }
+}
+
+void ManagedEngine::touch_gpu_block(std::uint64_t block_base, std::uint64_t kernel_id) {
+  auto it = blocks_.find(block_base);
+  if (it == blocks_.end()) return;
+  if (it->second.last_kernel == kernel_id && it->second.lru_it == lru_.begin()) return;
+  it->second.last_kernel = kernel_id;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+}
+
+void ManagedEngine::prefetch(os::Vma& vma, std::uint64_t base, std::uint64_t len,
+                             mem::Node dst) {
+  const auto& costs = m_->config().costs;
+  m_->clock().advance(costs.memcpy_base);
+  const std::uint64_t start = m_->gpu_pt().page_base(std::max(base, vma.base));
+  const std::uint64_t stop = std::min(base + len, vma.end());
+  std::uint64_t moved = 0;
+  bool fully_resident = true;
+  for (std::uint64_t block = start; block < stop; block += kBlock) {
+    const bool on_gpu = m_->gpu_pt().lookup(block) != nullptr;
+    if (dst == mem::Node::kGpu) {
+      if (on_gpu) {
+        // Prefetching a range never evicts already-resident parts of that
+        // same range to make room for its tail.
+        prefetch_protected_.insert(block);
+        continue;
+      }
+      if (vma.read_mostly) {
+        // Prefetch of a read-mostly range creates replicas (CUDA
+        // semantics: the CPU copy stays valid).
+        if (!make_replica(vma, block)) {
+          fully_resident = false;
+          break;
+        }
+        prefetch_protected_.insert(block);
+        moved += m_->gpu_block_bytes(vma, block);
+        continue;
+      }
+      const std::uint64_t need = m_->gpu_block_bytes(vma, block);
+      if (m_->frames(mem::Node::kGpu).free_bytes() < need &&
+          !ensure_gpu_room(need, block)) {
+        // GPU exhausted (everything evictable is protected by this very
+        // call): prefetch what fits and leave the rest CPU-resident.
+        fully_resident = false;
+        break;
+      }
+      block_to_gpu(vma, block, /*via_fault=*/false);
+      touch_gpu_block(block, 0);
+      prefetch_protected_.insert(block);
+      moved += need;
+    } else {
+      if (!on_gpu) continue;
+      block_to_cpu(vma, block, /*is_eviction=*/false);
+      moved += m_->gpu_block_bytes(vma, block);
+    }
+  }
+  prefetch_protected_.clear();
+  if (dst == mem::Node::kGpu && fully_resident) {
+    // A fully satisfied hint re-arms migration for this allocation; a
+    // partial prefetch keeps the thrash guard engaged so the non-resident
+    // remainder stays remote-mapped instead of churning evictions.
+    VmaState& vs = vma_state_[vma.base];
+    vs.remote_mode = false;
+    vs.evicted_bytes = 0;
+  }
+  if (m_->events().enabled()) {
+    m_->events().record(sim::Event{.time = m_->clock().now(),
+                                   .type = sim::EventType::kExplicitPrefetch,
+                                   .va = start,
+                                   .bytes = moved,
+                                   .aux = dst == mem::Node::kGpu ? 1u : 0u});
+  }
+  m_->stats().add("driver.managed.prefetch_bytes", moved);
+}
+
+bool ManagedEngine::remote_mode(const os::Vma& vma) const {
+  auto it = vma_state_.find(vma.base);
+  return it != vma_state_.end() && it->second.remote_mode;
+}
+
+bool ManagedEngine::ensure_gpu_room(std::uint64_t bytes, std::uint64_t keep_block) {
+  std::size_t skipped = 0;
+  while (m_->frames(mem::Node::kGpu).free_bytes() < bytes) {
+    if (lru_.size() <= skipped) return false;
+    std::uint64_t victim = lru_.back();
+    if (victim == keep_block || prefetch_protected_.contains(victim)) {
+      // Never evict the block being serviced or a block the in-flight
+      // prefetch just brought in.
+      ++skipped;
+      lru_.splice(lru_.begin(), lru_, std::prev(lru_.end()));
+      continue;
+    }
+    os::Vma* vma = m_->address_space().find(victim);
+    if (vma == nullptr) throw std::logic_error{"ManagedEngine: stale LRU block"};
+    if (replicas_.contains(victim)) {
+      // Read replicas are dropped for free (the CPU copy is authoritative)
+      // and do not count toward the thrash guard.
+      collapse_replica(*vma, victim);
+      continue;
+    }
+    const std::uint64_t block_bytes = m_->gpu_block_bytes(*vma, victim);
+    block_to_cpu(*vma, victim, /*is_eviction=*/true);
+    vma_state_[vma->base].evicted_bytes += block_bytes;
+  }
+  return true;
+}
+
+void ManagedEngine::enter_remote_mode(os::Vma& vma) {
+  VmaState& vs = vma_state_[vma.base];
+  if (vs.remote_mode) return;
+  vs.remote_mode = true;
+  m_->stats().add("driver.managed.remote_mode_entered");
+  // Pin-to-sysmem: write back whatever is still GPU-resident so the whole
+  // range is served over NVLink-C2C from now on. Replicas just drop (the
+  // CPU copy is authoritative).
+  for (std::uint64_t block = m_->gpu_pt().page_base(vma.base); block < vma.end();
+       block += kBlock) {
+    if (m_->gpu_pt().lookup(block) == nullptr) continue;
+    if (replicas_.contains(block)) {
+      collapse_replica(vma, block);
+    } else {
+      block_to_cpu(vma, block, /*is_eviction=*/true);
+    }
+  }
+}
+
+void ManagedEngine::block_to_cpu(os::Vma& vma, std::uint64_t block_base,
+                                 bool is_eviction) {
+  const auto& costs = m_->config().costs;
+  const std::uint64_t bytes = m_->gpu_block_bytes(vma, block_base);
+  m_->unmap_gpu_block(vma, block_base);
+  forget_block(block_base);
+
+  const std::uint64_t page = m_->system_pt().page_size();
+  const std::uint64_t stop = std::min(block_base + kBlock, vma.end());
+  std::uint64_t pages = 0;
+  for (std::uint64_t va = block_base; va < stop; va += page) {
+    if (!m_->map_system_page(vma, va, mem::Node::kCpu)) {
+      throw std::runtime_error{"managed eviction: CPU memory exhausted"};
+    }
+    ++pages;
+  }
+
+  m_->clock().advance(mig_->copy_time(interconnect::Direction::kGpuToCpu, bytes) +
+                      costs.migrate_per_page * static_cast<sim::Picos>(pages) +
+                      (is_eviction ? costs.evict_per_block : costs.managed_fault_batch));
+  if (is_eviction) {
+    ++evictions_;
+    m_->stats().add("driver.managed.evictions");
+  }
+  if (m_->events().enabled()) {
+    m_->events().record(sim::Event{.time = m_->clock().now(),
+                                   .type = is_eviction ? sim::EventType::kEviction
+                                                       : sim::EventType::kMigrationD2H,
+                                   .va = block_base,
+                                   .bytes = bytes,
+                                   .aux = 0});
+  }
+}
+
+void ManagedEngine::block_to_gpu(os::Vma& vma, std::uint64_t block_base,
+                                 bool via_fault) {
+  const auto& costs = m_->config().costs;
+  const std::uint64_t page = m_->system_pt().page_size();
+  const std::uint64_t stop = std::min(block_base + kBlock, vma.end());
+
+  std::uint64_t moved_bytes = 0;
+  std::uint64_t pages = 0;
+  for (std::uint64_t va = block_base; va < stop; va += page) {
+    if (m_->system_pt().lookup(va) == nullptr) continue;
+    m_->unmap_system_page(vma, va);
+    moved_bytes += page;
+    ++pages;
+  }
+
+  if (!m_->map_gpu_block(vma, block_base)) {
+    throw std::logic_error{"block_to_gpu: GPU frames exhausted after ensure_gpu_room"};
+  }
+  const std::uint64_t block_bytes = m_->gpu_block_bytes(vma, block_base);
+
+  sim::Picos t = 0;
+  if (via_fault) {
+    std::uint64_t batches;
+    if (moved_bytes == 0) {
+      // Pure GPU first touch: nothing to migrate, the driver maps the whole
+      // block off a single fault batch. This is why managed memory
+      // initializes fast for GPU-initialized apps (Section 5.1.2).
+      batches = 1;
+    } else if (prefetcher_.enabled() && vma_state_[vma.base].migrated_blocks > 0) {
+      // Warmed-up tree prefetcher: steady-state migration costs ~2 fault
+      // batches per block instead of the full 64K->2M doubling ramp.
+      batches = 2;
+    } else {
+      batches = prefetcher_.fault_batches(block_bytes);
+    }
+    t += costs.managed_fault_batch * static_cast<sim::Picos>(batches);
+  }
+  if (moved_bytes > 0) {
+    t += via_fault ? mig_->copy_time(interconnect::Direction::kCpuToGpu, moved_bytes)
+                   : mig_->bulk_copy_time(interconnect::Direction::kCpuToGpu, moved_bytes);
+    t += costs.migrate_per_page * static_cast<sim::Picos>(pages);
+    ++vma_state_[vma.base].migrated_blocks;
+  }
+  if (block_bytes > moved_bytes) {
+    // First-touch part of the block is cleared in HBM at device bandwidth.
+    t += m_->hbm().write_time(block_bytes - moved_bytes);
+  }
+  m_->clock().advance(t);
+
+  register_block(vma, block_base);
+  if (m_->events().enabled()) {
+    if (via_fault) {
+      m_->events().record(sim::Event{.time = m_->clock().now(),
+                                     .type = sim::EventType::kGpuManagedFault,
+                                     .va = block_base,
+                                     .bytes = block_bytes,
+                                     .aux = 0});
+    }
+    if (moved_bytes > 0) {
+      m_->events().record(sim::Event{.time = m_->clock().now(),
+                                     .type = sim::EventType::kMigrationH2D,
+                                     .va = block_base,
+                                     .bytes = moved_bytes,
+                                     .aux = 0});
+    }
+  }
+  m_->stats().add("driver.managed.h2d_bytes", moved_bytes);
+}
+
+void ManagedEngine::register_block(os::Vma& vma, std::uint64_t block_base) {
+  lru_.push_front(block_base);
+  blocks_[block_base] = BlockInfo{.lru_it = lru_.begin(), .vma_base = vma.base,
+                                  .last_kernel = 0};
+}
+
+void ManagedEngine::forget_block(std::uint64_t block_base) {
+  replicas_.erase(block_base);
+  auto it = blocks_.find(block_base);
+  if (it == blocks_.end()) return;
+  lru_.erase(it->second.lru_it);
+  blocks_.erase(it);
+}
+
+}  // namespace ghum::driver

@@ -1,0 +1,75 @@
+#include "driver/migration_engine.hpp"
+
+#include <algorithm>
+
+namespace ghum::driver {
+
+sim::Picos MigrationEngine::copy_time(interconnect::Direction dir,
+                                      std::uint64_t bytes) {
+  const sim::Picos raw = m_->c2c().transfer(dir, bytes);
+  const double eff = m_->config().costs.migration_efficiency;
+  return static_cast<sim::Picos>(static_cast<double>(raw) / eff);
+}
+
+sim::Picos MigrationEngine::bulk_copy_time(interconnect::Direction dir,
+                                           std::uint64_t bytes) {
+  return m_->c2c().transfer(dir, bytes);
+}
+
+std::uint64_t MigrationEngine::migrate_system_range_to_gpu(os::Vma& vma,
+                                                           std::uint64_t base,
+                                                           std::uint64_t len,
+                                                           std::uint64_t max_bytes) {
+  return migrate_system_range(vma, base, len, max_bytes, mem::Node::kGpu);
+}
+
+std::uint64_t MigrationEngine::migrate_system_range_to_cpu(os::Vma& vma,
+                                                           std::uint64_t base,
+                                                           std::uint64_t len,
+                                                           std::uint64_t max_bytes) {
+  return migrate_system_range(vma, base, len, max_bytes, mem::Node::kCpu);
+}
+
+std::uint64_t MigrationEngine::migrate_system_range(os::Vma& vma, std::uint64_t base,
+                                                    std::uint64_t len,
+                                                    std::uint64_t max_bytes,
+                                                    mem::Node to) {
+  const auto& costs = m_->config().costs;
+  const std::uint64_t page = m_->system_pt().page_size();
+  const std::uint64_t start = m_->system_pt().page_base(std::max(base, vma.base));
+  const std::uint64_t stop = std::min(base + len, vma.end());
+
+  std::uint64_t moved = 0;
+  std::uint64_t pages = 0;
+  for (std::uint64_t va = start; va < stop && moved < max_bytes; va += page) {
+    const pagetable::Pte* pte = m_->system_pt().lookup(va);
+    if (pte == nullptr || pte->node == to) continue;
+    if (!m_->move_system_page(vma, va, to)) break;  // destination exhausted
+    moved += page;
+    ++pages;
+  }
+  if (moved == 0) return 0;
+
+  const auto dir = to == mem::Node::kGpu ? interconnect::Direction::kCpuToGpu
+                                         : interconnect::Direction::kGpuToCpu;
+  m_->clock().advance(copy_time(dir, moved) +
+                      costs.migrate_per_page * static_cast<sim::Picos>(pages));
+  (to == mem::Node::kGpu ? h2d_bytes_ : d2h_bytes_) += moved;
+
+  auto& events = m_->events();
+  if (events.enabled()) {
+    events.record(sim::Event{.time = m_->clock().now(),
+                             .type = to == mem::Node::kGpu
+                                         ? sim::EventType::kMigrationH2D
+                                         : sim::EventType::kMigrationD2H,
+                             .va = start,
+                             .bytes = moved,
+                             .aux = 0});
+  }
+  m_->stats().add(to == mem::Node::kGpu ? "driver.migrate.h2d_bytes"
+                                        : "driver.migrate.d2h_bytes",
+                  moved);
+  return moved;
+}
+
+}  // namespace ghum::driver

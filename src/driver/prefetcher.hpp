@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/system_config.hpp"
+#include "pagetable/page_table.hpp"
+
+/// \file prefetcher.hpp
+/// The managed-memory driver's speculative prefetching policy (paper
+/// Section 2.3.2). On a GMMU fault the driver does not move only the
+/// faulting system page: its tree-based prefetcher (Ganguly et al.) ramps
+/// the migration up from a 64 KiB basic block by doublings until the whole
+/// 2 MiB virtual block is resident — so one block costs a logarithmic
+/// number of fault batches (6 for 64K->2M) instead of one per basic block
+/// (32). With prefetching disabled every 64 KiB basic block pays its own
+/// fault batch (bench/bench_ablation_prefetch quantifies this trade).
+
+namespace ghum::driver {
+
+class Prefetcher {
+ public:
+  explicit Prefetcher(bool enabled) : enabled_(enabled) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// UVM basic block: the finest migration granularity of the driver.
+  static constexpr std::uint64_t kBasicBlock = 64ull << 10;
+
+  /// Number of fault batches the driver pays to bring one GPU block of
+  /// \p block_bytes into GPU memory: logarithmic ramp with the tree
+  /// prefetcher, one per basic block without it.
+  [[nodiscard]] std::uint64_t fault_batches(std::uint64_t block_bytes) const {
+    const std::uint64_t basics = (block_bytes + kBasicBlock - 1) / kBasicBlock;
+    if (!enabled_) return basics;
+    std::uint64_t batches = 1, covered = 1;
+    while (covered < basics) {
+      covered *= 2;
+      ++batches;
+    }
+    return batches;
+  }
+
+ private:
+  bool enabled_;
+};
+
+}  // namespace ghum::driver

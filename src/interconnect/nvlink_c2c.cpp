@@ -1,0 +1,19 @@
+#include "interconnect/nvlink_c2c.hpp"
+
+namespace ghum::interconnect {
+
+sim::Picos NvlinkC2C::transfer(Direction dir, std::uint64_t bytes) {
+  bytes_[static_cast<int>(dir)] += bytes;
+  const double bw = dir == Direction::kCpuToGpu ? spec_.bandwidth_h2d_Bps
+                                                : spec_.bandwidth_d2h_Bps;
+  return sim::transfer_time(bytes, bw);
+}
+
+sim::Picos NvlinkC2C::atomic_op() {
+  ++atomics_;
+  // Round trip: request + response, plus one cacheline each way is already
+  // dominated by latency for a single atomic.
+  return 2 * spec_.latency;
+}
+
+}  // namespace ghum::interconnect

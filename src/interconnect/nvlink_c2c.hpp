@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+/// \file nvlink_c2c.hpp
+/// Model of the NVLink-C2C (chip-to-chip) cache-coherent interconnect
+/// (paper Section 2.1.1). Properties reproduced:
+///   - direct remote access at cacheline granularity: 64 B transfers on the
+///     CPU side, 128 B on the GPU side;
+///   - asymmetric sustained bandwidth measured with Comm|Scope: 375 GB/s
+///     host-to-device, 297 GB/s device-to-host (450 GB/s theoretical);
+///   - hardware atomics across the link;
+///   - full coherence (no software invalidation needed) per Arm AMBA CHI.
+/// Traffic counters feed the per-kernel Memory Workload Analysis
+/// (profile/workload_analysis.hpp), used by paper Figures 10 and 12.
+
+namespace ghum::interconnect {
+
+/// Direction of *data flow* over the link.
+enum class Direction : std::uint8_t {
+  kCpuToGpu = 0,  ///< H2D: GPU reads of CPU-resident data, CPU->GPU migration
+  kGpuToCpu = 1,  ///< D2H: GPU writes to CPU-resident data, CPU reads of GPU data
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Direction d) noexcept {
+  return d == Direction::kCpuToGpu ? "h2d" : "d2h";
+}
+
+struct C2CSpec {
+  double bandwidth_h2d_Bps = 375e9;  ///< Comm|Scope-measured H2D
+  double bandwidth_d2h_Bps = 297e9;  ///< Comm|Scope-measured D2H
+  sim::Picos latency = sim::nanoseconds(650);  ///< one-way request latency
+  std::uint32_t cacheline_cpu = 64;   ///< CPU-side access granularity, bytes
+  std::uint32_t cacheline_gpu = 128;  ///< GPU-side access granularity, bytes
+};
+
+class NvlinkC2C {
+ public:
+  explicit NvlinkC2C(C2CSpec spec = {}) : spec_(spec) {}
+
+  [[nodiscard]] const C2CSpec& spec() const noexcept { return spec_; }
+
+  /// Streaming cost of moving \p bytes in \p dir; counts traffic.
+  [[nodiscard]] sim::Picos transfer(Direction dir, std::uint64_t bytes);
+
+  /// Cost of one remote atomic (paper: atomics are native on the link).
+  [[nodiscard]] sim::Picos atomic_op();
+
+  [[nodiscard]] sim::Picos latency() const noexcept { return spec_.latency; }
+
+  /// Cumulative data volume moved, by direction.
+  [[nodiscard]] std::uint64_t bytes_moved(Direction dir) const noexcept {
+    return bytes_[static_cast<int>(dir)];
+  }
+  [[nodiscard]] std::uint64_t atomics_issued() const noexcept { return atomics_; }
+
+ private:
+  C2CSpec spec_;
+  std::uint64_t bytes_[2]{};
+  std::uint64_t atomics_ = 0;
+};
+
+}  // namespace ghum::interconnect

@@ -1,0 +1,27 @@
+#include "mem/frame_allocator.hpp"
+
+#include <stdexcept>
+
+namespace ghum::mem {
+
+void FrameAllocator::reserve_baseline(std::uint64_t bytes) {
+  if (!allocate(bytes)) {
+    throw std::runtime_error{"FrameAllocator: baseline exceeds capacity"};
+  }
+  baseline_ += bytes;
+}
+
+bool FrameAllocator::allocate(std::uint64_t bytes) {
+  if (used_ + bytes > capacity_) return false;
+  used_ += bytes;
+  total_allocated_ += bytes;
+  if (used_ > peak_used_) peak_used_ = used_;
+  return true;
+}
+
+void FrameAllocator::release(std::uint64_t bytes) {
+  if (bytes > used_) throw std::logic_error{"FrameAllocator: release underflow"};
+  used_ -= bytes;
+}
+
+}  // namespace ghum::mem

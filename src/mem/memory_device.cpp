@@ -1,0 +1,29 @@
+#include "mem/memory_device.hpp"
+
+namespace ghum::mem {
+
+DeviceSpec hbm3_spec(std::uint64_t capacity_bytes) {
+  return DeviceSpec{
+      .name = "HBM3",
+      .node = Node::kGpu,
+      .capacity_bytes = capacity_bytes,
+      // Paper Section 2.1: STREAM-measured 3.4 TB/s (theoretical 4 TB/s).
+      .read_bandwidth_Bps = 3.4e12,
+      .write_bandwidth_Bps = 3.4e12,
+      .access_latency = sim::nanoseconds(350),
+  };
+}
+
+DeviceSpec lpddr5x_spec(std::uint64_t capacity_bytes) {
+  return DeviceSpec{
+      .name = "LPDDR5X",
+      .node = Node::kCpu,
+      .capacity_bytes = capacity_bytes,
+      // Paper Section 2.1: STREAM-measured 486 GB/s (theoretical 500 GB/s).
+      .read_bandwidth_Bps = 486e9,
+      .write_bandwidth_Bps = 486e9,
+      .access_latency = sim::nanoseconds(110),
+  };
+}
+
+}  // namespace ghum::mem

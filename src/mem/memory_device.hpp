@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mem/node.hpp"
+#include "sim/time.hpp"
+
+/// \file memory_device.hpp
+/// Bandwidth/latency model of one physical memory tier (HBM3 or LPDDR5X).
+/// Default parameters come from the paper's own microbenchmarks
+/// (Section 2.1): HBM3 reaches 3.4 TB/s with STREAM (4 TB/s theoretical),
+/// LPDDR5X reaches 486 GB/s (500 GB/s theoretical).
+
+namespace ghum::mem {
+
+struct DeviceSpec {
+  std::string name;
+  Node node = Node::kCpu;
+  std::uint64_t capacity_bytes = 0;
+  double read_bandwidth_Bps = 0.0;   ///< sustained read bandwidth, bytes/s
+  double write_bandwidth_Bps = 0.0;  ///< sustained write bandwidth, bytes/s
+  sim::Picos access_latency = 0;     ///< first-word latency for one request
+};
+
+/// Accounts capacity and converts byte volumes to simulated durations.
+/// Frame bookkeeping (which page owns which bytes) lives in
+/// FrameAllocator; this class only models the device itself.
+class MemoryDevice {
+ public:
+  explicit MemoryDevice(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  [[nodiscard]] const DeviceSpec& spec() const noexcept { return spec_; }
+
+  /// Time to stream \p bytes of reads from this device.
+  [[nodiscard]] sim::Picos read_time(std::uint64_t bytes) const {
+    return sim::transfer_time(bytes, spec_.read_bandwidth_Bps);
+  }
+  /// Time to stream \p bytes of writes to this device.
+  [[nodiscard]] sim::Picos write_time(std::uint64_t bytes) const {
+    return sim::transfer_time(bytes, spec_.write_bandwidth_Bps);
+  }
+
+  [[nodiscard]] sim::Picos latency() const noexcept { return spec_.access_latency; }
+
+ private:
+  DeviceSpec spec_;
+};
+
+/// Paper-measured device presets. Capacity is a parameter because the
+/// reproduction runs at scaled capacities (DESIGN.md Section 4) while
+/// keeping bandwidths unscaled.
+[[nodiscard]] DeviceSpec hbm3_spec(std::uint64_t capacity_bytes);
+[[nodiscard]] DeviceSpec lpddr5x_spec(std::uint64_t capacity_bytes);
+
+}  // namespace ghum::mem

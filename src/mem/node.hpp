@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// \file node.hpp
+/// The Grace Hopper two-tier memory system is exposed as two NUMA nodes
+/// (paper Section 2.1): node 0 is the Grace CPU with LPDDR5X, node 1 is the
+/// Hopper GPU with HBM3.
+
+namespace ghum::mem {
+
+enum class Node : std::uint8_t {
+  kCpu = 0,  ///< Grace CPU, LPDDR5X tier
+  kGpu = 1,  ///< Hopper GPU, HBM3 tier
+};
+
+[[nodiscard]] constexpr Node other(Node n) noexcept {
+  return n == Node::kCpu ? Node::kGpu : Node::kCpu;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(Node n) noexcept {
+  return n == Node::kCpu ? "cpu" : "gpu";
+}
+
+}  // namespace ghum::mem

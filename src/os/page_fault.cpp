@@ -1,0 +1,78 @@
+#include "os/page_fault.hpp"
+
+#include <stdexcept>
+
+namespace ghum::os {
+
+mem::Node PageFaultHandler::first_touch(Vma& vma, std::uint64_t va,
+                                        mem::Node origin) {
+  const auto& costs = m_->config().costs;
+  // cudaMemAdvise(kSetPreferredLocation) overrides first-touch placement
+  // for system allocations; managed ranges handle advice in the driver
+  // (their GPU-side residency lives in the GPU page table, not here).
+  mem::Node placed = vma.kind == AllocKind::kSystem
+                         ? vma.preferred_location.value_or(origin)
+                         : origin;
+  if (!m_->map_system_page(vma, va, placed)) {
+    // Preferred node exhausted: the OS falls back to the other node rather
+    // than failing the fault. For GPU first-touch under oversubscription
+    // this leaves the page CPU-resident, accessed remotely over C2C —
+    // system memory never evicts (paper Section 7).
+    placed = mem::other(placed);
+    if (!m_->map_system_page(vma, va, placed)) {
+      throw std::runtime_error{"PageFaultHandler: out of physical memory on both nodes"};
+    }
+  }
+
+  ++fault_count_[static_cast<int>(origin)];
+  const sim::Picos handle = origin == mem::Node::kCpu ? costs.cpu_minor_fault
+                                                      : costs.gpu_replayable_fault;
+  const sim::Picos zero =
+      sim::transfer_time(m_->system_page_bytes(), costs.fault_zero_bandwidth_Bps);
+  m_->clock().advance(handle + zero);
+
+  auto& events = m_->events();
+  if (events.enabled()) {
+    events.record(sim::Event{
+        .time = m_->clock().now(),
+        .type = origin == mem::Node::kCpu ? sim::EventType::kCpuFirstTouchFault
+                                          : sim::EventType::kGpuFirstTouchFault,
+        .va = m_->system_pt().page_base(va),
+        .bytes = m_->system_page_bytes(),
+        .aux = 0,
+    });
+  }
+  m_->stats().add(origin == mem::Node::kCpu ? "os.fault.cpu_first_touch"
+                                            : "os.fault.gpu_first_touch");
+  return placed;
+}
+
+void PageFaultHandler::host_register(Vma& vma) {
+  const auto& costs = m_->config().costs;
+  const std::uint64_t page = m_->system_pt().page_size();
+  m_->clock().advance(costs.host_register_base);
+
+  std::uint64_t populated = 0;
+  for (std::uint64_t va = vma.base; va < vma.end(); va += page) {
+    if (m_->system_pt().lookup(va) != nullptr) continue;
+    if (!m_->map_system_page(vma, va, mem::Node::kCpu)) {
+      throw std::runtime_error{"host_register: CPU memory exhausted"};
+    }
+    ++populated;
+    const sim::Picos zero = sim::transfer_time(page, costs.fault_zero_bandwidth_Bps);
+    m_->clock().advance(costs.host_register_per_page + zero);
+  }
+  vma.host_registered = true;
+
+  auto& events = m_->events();
+  if (events.enabled()) {
+    events.record(sim::Event{.time = m_->clock().now(),
+                             .type = sim::EventType::kHostRegister,
+                             .va = vma.base,
+                             .bytes = populated * page,
+                             .aux = 0});
+  }
+  m_->stats().add("os.host_register.pages", populated);
+}
+
+}  // namespace ghum::os

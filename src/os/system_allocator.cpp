@@ -1,0 +1,72 @@
+#include "os/system_allocator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ghum::os {
+
+Vma& SystemAllocator::allocate(std::uint64_t bytes, std::string label) {
+  const auto& costs = m_->config().costs;
+  const std::uint64_t page = m_->system_pt().page_size();
+  const std::uint64_t pages = (bytes + page - 1) / page;
+  Vma& vma = m_->address_space().create(bytes, AllocKind::kSystem,
+                                        std::max<std::uint64_t>(page, 64 << 10),
+                                        std::move(label));
+  m_->clock().advance(costs.malloc_base +
+                      costs.alloc_per_page * static_cast<sim::Picos>(pages));
+  auto& events = m_->events();
+  if (events.enabled()) {
+    events.record(sim::Event{.time = m_->clock().now(),
+                             .type = sim::EventType::kAllocation,
+                             .va = vma.base,
+                             .bytes = bytes,
+                             .aux = static_cast<std::uint32_t>(vma.kind)});
+  }
+  return vma;
+}
+
+Vma& SystemAllocator::allocate_pinned(std::uint64_t bytes, std::string label) {
+  const auto& costs = m_->config().costs;
+  const std::uint64_t page = m_->system_pt().page_size();
+  Vma& vma = m_->address_space().create(bytes, AllocKind::kPinnedHost,
+                                        std::max<std::uint64_t>(page, 64 << 10),
+                                        std::move(label));
+  m_->clock().advance(costs.malloc_base);
+  // Pinned memory is populated and locked at allocation time.
+  for (std::uint64_t va = vma.base; va < vma.end(); va += page) {
+    if (!m_->map_system_page(vma, va, mem::Node::kCpu)) {
+      throw std::runtime_error{"allocate_pinned: CPU memory exhausted"};
+    }
+    const sim::Picos zero = sim::transfer_time(page, costs.fault_zero_bandwidth_Bps);
+    m_->clock().advance(costs.host_register_per_page + zero);
+  }
+  return vma;
+}
+
+void SystemAllocator::deallocate(Vma& vma) {
+  const auto& costs = m_->config().costs;
+  const std::uint64_t page = m_->system_pt().page_size();
+  std::uint64_t torn_down = 0;
+  for (std::uint64_t va = vma.base; va < vma.end(); va += page) {
+    if (m_->system_pt().lookup(va) == nullptr) continue;
+    m_->unmap_system_page(vma, va);
+    ++torn_down;
+  }
+  m_->clock().advance(costs.unmap_base +
+                      costs.unmap_per_page * static_cast<sim::Picos>(torn_down));
+  if (vma.resident_gpu_bytes != 0 || vma.resident_cpu_bytes != 0) {
+    throw std::logic_error{"SystemAllocator::deallocate: residual residency"};
+  }
+  auto& events = m_->events();
+  if (events.enabled()) {
+    events.record(sim::Event{.time = m_->clock().now(),
+                             .type = sim::EventType::kDeallocation,
+                             .va = vma.base,
+                             .bytes = vma.size,
+                             .aux = 0});
+  }
+  m_->stats().add("os.dealloc.pages", torn_down);
+  m_->address_space().destroy(vma.base);
+}
+
+}  // namespace ghum::os

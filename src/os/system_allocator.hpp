@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "core/machine.hpp"
+
+/// \file system_allocator.hpp
+/// The system-level allocator: the malloc()/free() path of paper
+/// Section 2.2. Allocation creates a VMA without assigning physical
+/// memory (pages materialize at first touch); deallocation tears down
+/// every *present* PTE, which is where the strong 4 KiB vs 64 KiB
+/// asymmetry of paper Figure 6 comes from.
+///
+/// The same VMA mechanics back the pinned-host allocations
+/// (cudaMallocHost / numa_alloc_onnode of Table 1), which are eagerly
+/// populated on the CPU and never migrate.
+
+namespace ghum::os {
+
+class SystemAllocator {
+ public:
+  explicit SystemAllocator(core::Machine& m) : m_(&m) {}
+
+  /// malloc(): lazy system allocation. Charges VMA-creation time only.
+  Vma& allocate(std::uint64_t bytes, std::string label);
+
+  /// cudaMallocHost()-style pinned allocation: eagerly populated on CPU.
+  Vma& allocate_pinned(std::uint64_t bytes, std::string label);
+
+  /// free(): releases every present page (charging per-PTE teardown and
+  /// shootdown costs) and destroys the VMA. Valid for kSystem, kManaged
+  /// and kPinnedHost VMAs — the system-page teardown path is the same;
+  /// managed GPU blocks are the caller's (driver's) business and must be
+  /// released before calling this.
+  void deallocate(Vma& vma);
+
+ private:
+  core::Machine* m_;
+};
+
+}  // namespace ghum::os

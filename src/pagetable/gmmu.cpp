@@ -1,0 +1,52 @@
+#include "pagetable/gmmu.hpp"
+
+namespace ghum::pagetable {
+
+GpuTranslation Gmmu::translate_gpu_table(std::uint64_t va) {
+  const std::uint64_t vpn = gpu_pt_->vpn(va);
+  if (auto node = utlb_gpu_.lookup(vpn)) {
+    return GpuTranslation{.outcome = GpuXlatOutcome::kResident, .tlb_hit = true,
+                          .node = *node, .cost = 0};
+  }
+  const Pte* pte = gpu_pt_->lookup(va);
+  if (pte == nullptr) {
+    return GpuTranslation{.outcome = GpuXlatOutcome::kManagedFault, .tlb_hit = false,
+                          .node = mem::Node::kCpu, .cost = costs_.walk};
+  }
+  utlb_gpu_.insert(vpn, pte->node);
+  return GpuTranslation{.outcome = GpuXlatOutcome::kResident, .tlb_hit = false,
+                        .node = pte->node, .cost = costs_.walk};
+}
+
+GpuTranslation Gmmu::translate_system(std::uint64_t va) {
+  // The uTLB caches earlier ATS answers at system-page granularity; a hit
+  // means the ATS-TBU already holds the translation, so no C2C round trip.
+  const std::uint64_t vpn = smmu_->system_vpn(va);
+  if (auto node = utlb_sys_.lookup(vpn)) {
+    return GpuTranslation{.outcome = GpuXlatOutcome::kResident, .tlb_hit = true,
+                          .node = *node, .cost = 0};
+  }
+  const Translation t = smmu_->translate_ats(va);
+  if (!t.present) {
+    return GpuTranslation{.outcome = GpuXlatOutcome::kSystemFirstTouch,
+                          .tlb_hit = false, .node = mem::Node::kCpu, .cost = t.cost};
+  }
+  utlb_sys_.insert(vpn, t.node);
+  return GpuTranslation{.outcome = GpuXlatOutcome::kResident, .tlb_hit = false,
+                        .node = t.node, .cost = t.cost};
+}
+
+void Gmmu::invalidate_gpu_table(std::uint64_t va) {
+  utlb_gpu_.invalidate(gpu_pt_->vpn(va));
+}
+
+void Gmmu::invalidate_system(std::uint64_t va) {
+  utlb_sys_.invalidate(smmu_->system_vpn(va));
+}
+
+void Gmmu::flush_tlbs() {
+  utlb_gpu_.flush();
+  utlb_sys_.flush();
+}
+
+}  // namespace ghum::pagetable

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+
+#include "pagetable/page_table.hpp"
+#include "pagetable/smmu.hpp"
+#include "pagetable/tlb.hpp"
+
+/// \file gmmu.hpp
+/// The GPU Memory Management Unit. For a GPU access the GMMU first
+/// consults the GPU uTLBs; on a miss it walks the *GPU-exclusive page
+/// table* (2 MiB pages; cudaMalloc and GPU-resident managed allocations).
+/// If the address is not there, behaviour depends on the allocation type
+/// (paper Sections 2.2/2.3):
+///  - system allocations: the ATS-TBU forwards a translation request to
+///    the SMMU over NVLink-C2C; an unmapped page becomes an SMMU fault
+///    that the OS resolves (GPU first-touch) — *not* a GPU page fault;
+///  - managed allocations: a GMMU page fault is raised and the GPU driver
+///    resolves it by migrating pages to GPU memory (pre-Grace-Hopper UVM
+///    behaviour, retained for cudaMallocManaged).
+/// The caller tells translate() which path the VMA uses.
+
+namespace ghum::pagetable {
+
+/// What a GPU-side translation attempt resolved to.
+enum class GpuXlatOutcome : std::uint8_t {
+  kResident,          ///< valid translation found (either page table)
+  kSystemFirstTouch,  ///< SMMU fault: OS must populate the system PTE
+  kManagedFault,      ///< GMMU fault: driver must migrate the page in
+};
+
+struct GpuTranslation {
+  GpuXlatOutcome outcome = GpuXlatOutcome::kResident;
+  bool tlb_hit = false;
+  mem::Node node = mem::Node::kGpu;
+  sim::Picos cost = 0;
+};
+
+struct GmmuCosts {
+  /// Effective (overlap-adjusted) GPU page-table walk in HBM, charged once
+  /// per page visit (see SmmuCosts::walk for the rationale).
+  sim::Picos walk = sim::nanoseconds(2);
+};
+
+class Gmmu {
+ public:
+  Gmmu(PageTable& gpu_pt, Smmu& smmu, GmmuCosts costs,
+       std::size_t utlb_gpu_entries, std::size_t utlb_sys_entries)
+      : gpu_pt_(&gpu_pt),
+        smmu_(&smmu),
+        costs_(costs),
+        utlb_gpu_(utlb_gpu_entries),
+        utlb_sys_(utlb_sys_entries) {}
+
+  /// Translation for an access to a *GPU-page-table* backed range
+  /// (cudaMalloc, or managed memory that may be GPU-resident).
+  /// Misses on managed ranges produce kManagedFault.
+  [[nodiscard]] GpuTranslation translate_gpu_table(std::uint64_t va);
+
+  /// Translation for a *system-allocated* range: uTLB, then ATS to SMMU.
+  [[nodiscard]] GpuTranslation translate_system(std::uint64_t va);
+
+  void invalidate_gpu_table(std::uint64_t va);
+  void invalidate_system(std::uint64_t va);
+  void flush_tlbs();
+
+  [[nodiscard]] const Tlb& utlb_gpu() const noexcept { return utlb_gpu_; }
+  [[nodiscard]] const Tlb& utlb_sys() const noexcept { return utlb_sys_; }
+
+ private:
+  PageTable* gpu_pt_;
+  Smmu* smmu_;
+  GmmuCosts costs_;
+  Tlb utlb_gpu_;  ///< caches GPU-exclusive page table entries (2 MiB pages)
+  Tlb utlb_sys_;  ///< caches ATS results (system page granularity)
+};
+
+}  // namespace ghum::pagetable

@@ -1,0 +1,46 @@
+#include "pagetable/page_table.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ghum::pagetable {
+
+PageTable::PageTable(std::uint64_t page_size) : page_size_(page_size) {
+  if (page_size == 0 || !std::has_single_bit(page_size)) {
+    throw std::invalid_argument{"PageTable: page size must be a power of two"};
+  }
+  page_shift_ = static_cast<unsigned>(std::countr_zero(page_size));
+}
+
+const Pte* PageTable::lookup(std::uint64_t va) const {
+  auto it = entries_.find(vpn(va));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Pte* PageTable::lookup_mut(std::uint64_t va) {
+  auto it = entries_.find(vpn(va));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void PageTable::map(std::uint64_t va, Pte pte) { entries_[vpn(va)] = pte; }
+
+bool PageTable::unmap(std::uint64_t va) { return entries_.erase(vpn(va)) > 0; }
+
+void PageTable::set_node(std::uint64_t va, mem::Node node) {
+  auto it = entries_.find(vpn(va));
+  if (it == entries_.end()) {
+    throw std::logic_error{"PageTable::set_node: page not mapped"};
+  }
+  it->second.node = node;
+}
+
+std::size_t PageTable::resident_pages(mem::Node node) const {
+  std::size_t n = 0;
+  for (const auto& [vpn, pte] : entries_) {
+    (void)vpn;
+    if (pte.node == node) ++n;
+  }
+  return n;
+}
+
+}  // namespace ghum::pagetable

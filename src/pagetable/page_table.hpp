@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/node.hpp"
+
+/// \file page_table.hpp
+/// Page tables of the Grace Hopper system (paper Section 2.1.3). Two
+/// instances exist:
+///  - the *system-wide page table*, located in CPU memory, managed by the
+///    OS, used by the SMMU to translate for both CPU and GPU (via ATS).
+///    Its page size is the system page size: 4 KiB or 64 KiB on Grace.
+///  - the *GPU-exclusive page table*, located in GPU memory, used by the
+///    GMMU for cudaMalloc allocations and for managed allocations whose
+///    physical location is GPU memory. Its page size is 2 MiB.
+
+namespace ghum::pagetable {
+
+struct Pte {
+  mem::Node node = mem::Node::kCpu;  ///< tier holding the physical frame
+  bool writable = true;
+  /// AutoNUMA scanner generation that last hint-faulted this page (only
+  /// meaningful when SystemConfig::autonuma_balancing is on).
+  std::uint32_t numa_generation = 0;
+};
+
+class PageTable {
+ public:
+  explicit PageTable(std::uint64_t page_size);
+
+  [[nodiscard]] std::uint64_t page_size() const noexcept { return page_size_; }
+
+  [[nodiscard]] std::uint64_t vpn(std::uint64_t va) const noexcept {
+    return va >> page_shift_;
+  }
+  [[nodiscard]] std::uint64_t page_base(std::uint64_t va) const noexcept {
+    return va & ~(page_size_ - 1);
+  }
+
+  /// nullptr when the page is not mapped (not present).
+  [[nodiscard]] const Pte* lookup(std::uint64_t va) const;
+
+  /// Mutable entry access (AutoNUMA generation bookkeeping).
+  [[nodiscard]] Pte* lookup_mut(std::uint64_t va);
+
+  /// Creates or overwrites the entry for the page containing \p va.
+  void map(std::uint64_t va, Pte pte);
+
+  /// Removes the entry; returns true if one existed.
+  bool unmap(std::uint64_t va);
+
+  /// Changes the resident node of an existing entry.
+  void set_node(std::uint64_t va, mem::Node node);
+
+  [[nodiscard]] std::size_t mapped_pages() const noexcept { return entries_.size(); }
+
+  /// Count of mapped pages resident on \p node (O(n); for tests/reports).
+  [[nodiscard]] std::size_t resident_pages(mem::Node node) const;
+
+ private:
+  std::uint64_t page_size_;
+  unsigned page_shift_;
+  std::unordered_map<std::uint64_t, Pte> entries_;  // keyed by VPN
+};
+
+/// GPU-exclusive page table page size (constant on Hopper).
+inline constexpr std::uint64_t kGpuPageSize = 2ull << 20;
+
+/// Valid Grace system page sizes.
+inline constexpr std::uint64_t kSystemPage4K = 4ull << 10;
+inline constexpr std::uint64_t kSystemPage64K = 64ull << 10;
+
+}  // namespace ghum::pagetable

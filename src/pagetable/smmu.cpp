@@ -1,0 +1,46 @@
+#include "pagetable/smmu.hpp"
+
+namespace ghum::pagetable {
+
+Translation Smmu::translate_cpu(std::uint64_t va) {
+  const std::uint64_t vpn = system_pt_->vpn(va);
+  if (auto node = cpu_tlb_.lookup(vpn)) {
+    return Translation{.present = true, .tlb_hit = true, .node = *node, .cost = 0};
+  }
+  const Pte* pte = system_pt_->lookup(va);
+  if (pte == nullptr) {
+    return Translation{.present = false, .tlb_hit = false, .node = mem::Node::kCpu,
+                       .cost = costs_.walk};
+  }
+  cpu_tlb_.insert(vpn, pte->node);
+  return Translation{.present = true, .tlb_hit = false, .node = pte->node,
+                     .cost = costs_.walk};
+}
+
+Translation Smmu::translate_ats(std::uint64_t va) {
+  const std::uint64_t vpn = system_pt_->vpn(va);
+  if (auto node = ats_tlb_.lookup(vpn)) {
+    return Translation{.present = true, .tlb_hit = true, .node = *node, .cost = 0};
+  }
+  const Pte* pte = system_pt_->lookup(va);
+  const sim::Picos cost = costs_.ats_round_trip + costs_.walk;
+  if (pte == nullptr) {
+    return Translation{.present = false, .tlb_hit = false, .node = mem::Node::kCpu,
+                       .cost = cost};
+  }
+  ats_tlb_.insert(vpn, pte->node);
+  return Translation{.present = true, .tlb_hit = false, .node = pte->node, .cost = cost};
+}
+
+void Smmu::invalidate(std::uint64_t va) {
+  const std::uint64_t vpn = system_pt_->vpn(va);
+  cpu_tlb_.invalidate(vpn);
+  ats_tlb_.invalidate(vpn);
+}
+
+void Smmu::flush_tlbs() {
+  cpu_tlb_.flush();
+  ats_tlb_.flush();
+}
+
+}  // namespace ghum::pagetable

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+
+#include "pagetable/page_table.hpp"
+#include "pagetable/tlb.hpp"
+#include "sim/time.hpp"
+
+/// \file smmu.hpp
+/// The System Memory Management Unit (paper Section 2.1.2). The SMMU,
+/// defined by Arm's SMMUv3 specification, performs virtual-to-physical
+/// translation by walking the *system-wide page table*. Unlike a classic
+/// MMU it additionally serves translation requests arriving from the GPU
+/// over NVLink-C2C through the Address Translation Service (ATS): the GPU's
+/// ATS-TBU sends a translation request, the SMMU walks the system page
+/// table, and either returns a translation or raises a page fault that the
+/// OS handles with its regular fault path.
+///
+/// This class is pure mechanism: it resolves translations and reports
+/// faults with their modeled latency. Fault *handling* (first-touch
+/// placement) is policy and lives in os/page_fault.hpp.
+
+namespace ghum::pagetable {
+
+/// Outcome of one translation attempt.
+struct Translation {
+  bool present = false;      ///< true when a valid PTE was found
+  bool tlb_hit = false;      ///< translation served from a TLB
+  mem::Node node = mem::Node::kCpu;  ///< resident tier when present
+  sim::Picos cost = 0;       ///< modeled time spent translating
+};
+
+struct SmmuCosts {
+  /// Effective (overlap-adjusted) cost of one system page-table walk. Raw
+  /// walk latency is ~150 ns, but the SMMU pipelines many walks while the
+  /// model charges them serially once per page visit, so a
+  /// throughput-equivalent value is used. Page *faults* — the expensive
+  /// path the paper studies — are charged separately by the OS layer.
+  sim::Picos walk = sim::nanoseconds(2);
+  /// GPU -> SMMU translation request over NVLink-C2C
+  /// (throughput-equivalent; see walk).
+  sim::Picos ats_round_trip = sim::nanoseconds(3);
+};
+
+class Smmu {
+ public:
+  Smmu(PageTable& system_pt, SmmuCosts costs, std::size_t cpu_tlb_entries,
+       std::size_t ats_tlb_entries)
+      : system_pt_(&system_pt),
+        costs_(costs),
+        cpu_tlb_(cpu_tlb_entries),
+        ats_tlb_(ats_tlb_entries) {}
+
+  /// Translation for a CPU-core access.
+  [[nodiscard]] Translation translate_cpu(std::uint64_t va);
+
+  /// Translation for a GPU-originated ATS request (arrives over C2C).
+  [[nodiscard]] Translation translate_ats(std::uint64_t va);
+
+  /// Invalidate cached translations for the page containing \p va
+  /// (called on migration/unmap; shootdown cost is charged by the caller).
+  void invalidate(std::uint64_t va);
+  void flush_tlbs();
+
+  /// VPN of \p va at system-page granularity (used by the GMMU to key its
+  /// ATS-result cache the same way the SMMU keys the system page table).
+  [[nodiscard]] std::uint64_t system_vpn(std::uint64_t va) const noexcept {
+    return system_pt_->vpn(va);
+  }
+
+  [[nodiscard]] const Tlb& cpu_tlb() const noexcept { return cpu_tlb_; }
+  [[nodiscard]] const Tlb& ats_tlb() const noexcept { return ats_tlb_; }
+  [[nodiscard]] const SmmuCosts& costs() const noexcept { return costs_; }
+
+ private:
+  PageTable* system_pt_;
+  SmmuCosts costs_;
+  Tlb cpu_tlb_;
+  Tlb ats_tlb_;
+};
+
+}  // namespace ghum::pagetable

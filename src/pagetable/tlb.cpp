@@ -1,0 +1,43 @@
+#include "pagetable/tlb.hpp"
+
+namespace ghum::pagetable {
+
+std::optional<mem::Node> Tlb::lookup(std::uint64_t vpn) {
+  auto it = map_.find(vpn);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->node;
+}
+
+void Tlb::insert(std::uint64_t vpn, mem::Node node) {
+  auto it = map_.find(vpn);
+  if (it != map_.end()) {
+    it->second->node = node;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_ && !lru_.empty()) {
+    map_.erase(lru_.back().vpn);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{vpn, node});
+  map_[vpn] = lru_.begin();
+}
+
+void Tlb::invalidate(std::uint64_t vpn) {
+  auto it = map_.find(vpn);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void Tlb::flush() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace ghum::pagetable

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "mem/node.hpp"
+
+/// \file tlb.hpp
+/// A fully-associative LRU translation lookaside buffer. Grace Hopper has
+/// several translation caches (CPU core TLBs, SMMU TLBs/TBU, GPU uTLBs);
+/// we model each as one capacity-bounded LRU cache keyed by virtual page
+/// number. A TLB hit avoids the page-walk cost; migration and unmapping
+/// invalidate entries (TLB shootdown costs are charged by the cost model).
+
+namespace ghum::pagetable {
+
+class Tlb {
+ public:
+  explicit Tlb(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Looks up a VPN; refreshes LRU position on hit.
+  [[nodiscard]] std::optional<mem::Node> lookup(std::uint64_t vpn);
+
+  /// Inserts (or refreshes) a translation, evicting LRU when full.
+  void insert(std::uint64_t vpn, mem::Node node);
+
+  /// Invalidates one VPN (no-op if absent).
+  void invalidate(std::uint64_t vpn);
+
+  /// Invalidates everything (full shootdown).
+  void flush();
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Entry {
+    std::uint64_t vpn;
+    mem::Node node;
+  };
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ghum::pagetable

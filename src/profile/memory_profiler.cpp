@@ -1,0 +1,58 @@
+#include "profile/memory_profiler.hpp"
+
+#include <sstream>
+
+namespace ghum::profile {
+
+void MemoryProfiler::start() {
+  if (running_) return;
+  running_ = true;
+  next_sample_ = m_->clock().now();
+  observer_id_ = m_->clock().add_observer(
+      [this](sim::Picos before, sim::Picos after) { on_advance(before, after); });
+  mark();
+}
+
+void MemoryProfiler::stop() {
+  if (!running_) return;
+  mark();
+  m_->clock().remove_observer(observer_id_);
+  running_ = false;
+}
+
+void MemoryProfiler::mark() { sample_at(m_->clock().now()); }
+
+void MemoryProfiler::clear() {
+  samples_.clear();
+  peak_gpu_ = 0;
+  peak_rss_ = 0;
+}
+
+void MemoryProfiler::on_advance(sim::Picos /*before*/, sim::Picos after) {
+  while (next_sample_ <= after) {
+    sample_at(next_sample_);
+    next_sample_ += period_;
+  }
+}
+
+void MemoryProfiler::sample_at(sim::Picos t) {
+  MemorySample s{.time = t,
+                 .cpu_rss_bytes = m_->cpu_rss_bytes(),
+                 .gpu_used_bytes = m_->gpu_used_bytes()};
+  if (s.gpu_used_bytes > peak_gpu_) peak_gpu_ = s.gpu_used_bytes;
+  if (s.cpu_rss_bytes > peak_rss_) peak_rss_ = s.cpu_rss_bytes;
+  samples_.push_back(s);
+}
+
+std::string MemoryProfiler::to_tsv() const {
+  std::ostringstream out;
+  out << "time_ms\tcpu_rss_mib\tgpu_used_mib\n";
+  for (const auto& s : samples_) {
+    out << sim::to_milliseconds(s.time) << '\t'
+        << static_cast<double>(s.cpu_rss_bytes) / (1 << 20) << '\t'
+        << static_cast<double>(s.gpu_used_bytes) / (1 << 20) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ghum::profile

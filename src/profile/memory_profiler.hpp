@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "sim/time.hpp"
+
+/// \file memory_profiler.hpp
+/// Reproduction of the paper's memory utilization profiler (Section 3.2):
+/// it periodically samples (a) the process resident set size, as
+/// /proc/<pid>/smaps_rollup reports it, and (b) the GPU used memory as
+/// nvidia-smi reports it (which includes cudaMalloc, cudaMallocManaged and
+/// GPU-resident system allocations, plus the driver baseline). The paper
+/// samples every 100 ms of wall time; we sample on a configurable period of
+/// *simulated* time, attached as a clock observer so samples land inside
+/// long-running phases too (that is where Figures 4 and 5 get their ramps).
+
+namespace ghum::profile {
+
+struct MemorySample {
+  sim::Picos time = 0;
+  std::uint64_t cpu_rss_bytes = 0;
+  std::uint64_t gpu_used_bytes = 0;
+};
+
+class MemoryProfiler {
+ public:
+  MemoryProfiler(core::Machine& m, sim::Picos period) : m_(&m), period_(period) {}
+
+  /// Attaches to the machine clock and starts sampling.
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// Takes one sample immediately (also used for phase boundary marks).
+  void mark();
+
+  [[nodiscard]] const std::vector<MemorySample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::uint64_t peak_gpu_used() const noexcept { return peak_gpu_; }
+  [[nodiscard]] std::uint64_t peak_cpu_rss() const noexcept { return peak_rss_; }
+
+  void clear();
+
+  /// Writes a plot-ready TSV (time_ms, cpu_rss_mib, gpu_used_mib).
+  [[nodiscard]] std::string to_tsv() const;
+
+ private:
+  void on_advance(sim::Picos before, sim::Picos after);
+  void sample_at(sim::Picos t);
+
+  core::Machine* m_;
+  sim::Picos period_;
+  sim::Picos next_sample_ = 0;
+  bool running_ = false;
+  std::size_t observer_id_ = 0;
+  std::vector<MemorySample> samples_;
+  std::uint64_t peak_gpu_ = 0;
+  std::uint64_t peak_rss_ = 0;
+};
+
+}  // namespace ghum::profile

@@ -1,0 +1,59 @@
+#include "profile/trace_export.hpp"
+
+#include <sstream>
+
+namespace ghum::profile {
+
+namespace {
+
+double us(sim::Picos t) { return sim::to_microseconds(t); }
+
+void append_event(std::ostringstream& out, bool& first, const sim::Event& e) {
+  switch (e.type) {
+    case sim::EventType::kKernelBegin:
+    case sim::EventType::kKernelEnd:
+      return;  // kernels are exported as duration events from the records
+    default:
+      break;
+  }
+  if (!first) out << ",\n";
+  first = false;
+  out << R"({"name":")" << sim::to_string(e.type)
+      << R"(","ph":"i","s":"g","pid":1,"tid":2,"ts":)" << us(e.time)
+      << R"(,"args":{"va":")" << std::hex << "0x" << e.va << std::dec
+      << R"(","bytes":)" << e.bytes << "}}";
+}
+
+void append_kernel(std::ostringstream& out, bool& first,
+                   const cache::KernelRecord& r) {
+  if (!first) out << ",\n";
+  first = false;
+  out << R"({"name":")" << r.name << R"(","ph":"X","pid":1,"tid":1,"ts":)"
+      << us(r.start) << R"(,"dur":)" << us(r.duration) << R"(,"args":{)"
+      << R"("hbm_bytes":)" << r.traffic.gpu_local_bytes() << R"(,"c2c_bytes":)"
+      << r.traffic.gpu_remote_bytes() << R"(,"l1l2_bytes":)"
+      << r.traffic.l1l2_bytes << R"(,"managed_faults":)"
+      << r.traffic.managed_faults << R"(,"first_touch_faults":)"
+      << r.traffic.gpu_first_touch_faults << "}}";
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const sim::EventLog& log,
+                            const WorkloadAnalysis& workload) {
+  std::ostringstream out;
+  out << R"({"displayTimeUnit":"ms","traceEvents":[)" << "\n";
+  bool first = true;
+  out << R"({"name":"process_name","ph":"M","pid":1,"args":{"name":"ghum"}})";
+  out << ",\n"
+      << R"({"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"GPU kernels"}})";
+  out << ",\n"
+      << R"({"name":"thread_name","ph":"M","pid":1,"tid":2,"args":{"name":"MemSys events"}})";
+  first = false;
+  for (const auto& r : workload.records()) append_kernel(out, first, r);
+  for (const auto& e : log.events()) append_event(out, first, e);
+  out << "\n]}\n";
+  return out.str();
+}
+
+}  // namespace ghum::profile

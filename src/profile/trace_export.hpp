@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "profile/workload_analysis.hpp"
+#include "sim/event_log.hpp"
+
+/// \file trace_export.hpp
+/// Export of the simulator's event log and kernel records to the Chrome
+/// trace-event JSON format (chrome://tracing, Perfetto, Speedscope). This
+/// is the ghum counterpart of exporting an Nsight Systems timeline: kernel
+/// launches become duration events on a "GPU" track; faults, migrations
+/// and evictions become instant events on a "MemSys" track; simulated
+/// picoseconds map to trace microseconds.
+
+namespace ghum::profile {
+
+/// Renders \p log and \p workload as a complete Chrome trace JSON document.
+[[nodiscard]] std::string to_chrome_trace(const sim::EventLog& log,
+                                          const WorkloadAnalysis& workload);
+
+}  // namespace ghum::profile

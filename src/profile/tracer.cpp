@@ -1,0 +1,55 @@
+#include "profile/tracer.hpp"
+
+#include <limits>
+#include <sstream>
+
+namespace ghum::profile {
+
+TraceSummary Tracer::summarize() const {
+  return summarize(0, std::numeric_limits<sim::Picos>::max());
+}
+
+TraceSummary Tracer::summarize(sim::Picos t0, sim::Picos t1) const {
+  TraceSummary s;
+  for (const auto& e : log_->events()) {
+    if (e.time < t0 || e.time >= t1) continue;
+    switch (e.type) {
+      case sim::EventType::kCpuFirstTouchFault: ++s.cpu_first_touch_faults; break;
+      case sim::EventType::kGpuFirstTouchFault: ++s.gpu_first_touch_faults; break;
+      case sim::EventType::kGpuManagedFault: ++s.managed_gpu_faults; break;
+      case sim::EventType::kMigrationH2D:
+        ++s.migrations_h2d;
+        s.migrated_h2d_bytes += e.bytes;
+        break;
+      case sim::EventType::kMigrationD2H:
+        ++s.migrations_d2h;
+        s.migrated_d2h_bytes += e.bytes;
+        break;
+      case sim::EventType::kEviction:
+        ++s.evictions;
+        s.evicted_bytes += e.bytes;
+        break;
+      case sim::EventType::kCounterNotification: ++s.counter_notifications; break;
+      case sim::EventType::kExplicitPrefetch: ++s.explicit_prefetches; break;
+      default: break;
+    }
+  }
+  return s;
+}
+
+std::string Tracer::to_text(std::size_t max_events) const {
+  std::ostringstream out;
+  std::size_t n = 0;
+  for (const auto& e : log_->events()) {
+    if (n++ >= max_events) {
+      out << "... (" << log_->events().size() - max_events << " more)\n";
+      break;
+    }
+    out << sim::to_microseconds(e.time) << " us  " << sim::to_string(e.type)
+        << "  va=0x" << std::hex << e.va << std::dec << "  bytes=" << e.bytes
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ghum::profile

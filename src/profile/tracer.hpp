@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+
+#include "sim/event_log.hpp"
+
+/// \file tracer.hpp
+/// Nsight-Systems-style view over the event log (paper Section 3.2). The
+/// paper notes that Nsight only reliably reports page faults and
+/// migrations for *managed* memory — system-memory faults are invisible to
+/// it on real hardware. The simulator has no such blind spot, which the
+/// tests exploit; the summary below still groups events the way the
+/// paper's methodology discusses them.
+
+namespace ghum::profile {
+
+struct TraceSummary {
+  std::size_t cpu_first_touch_faults = 0;
+  std::size_t gpu_first_touch_faults = 0;
+  std::size_t managed_gpu_faults = 0;
+  std::size_t migrations_h2d = 0;
+  std::size_t migrations_d2h = 0;
+  std::size_t evictions = 0;
+  std::size_t counter_notifications = 0;
+  std::size_t explicit_prefetches = 0;
+  std::uint64_t migrated_h2d_bytes = 0;
+  std::uint64_t migrated_d2h_bytes = 0;
+  std::uint64_t evicted_bytes = 0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(const sim::EventLog& log) : log_(&log) {}
+
+  [[nodiscard]] TraceSummary summarize() const;
+
+  /// Summary over events in the half-open simulated-time window [t0, t1).
+  [[nodiscard]] TraceSummary summarize(sim::Picos t0, sim::Picos t1) const;
+
+  /// Human-readable event listing (one line per event).
+  [[nodiscard]] std::string to_text(std::size_t max_events = 200) const;
+
+ private:
+  const sim::EventLog* log_;
+};
+
+}  // namespace ghum::profile

@@ -1,0 +1,49 @@
+#include "runtime/runtime.hpp"
+
+#include <stdexcept>
+
+namespace ghum::runtime {
+
+namespace {
+bool is_device(const core::Buffer& b) { return b.kind == os::AllocKind::kGpuOnly; }
+}  // namespace
+
+namespace {
+void validate_direction(const core::Buffer& dst, const core::Buffer& src,
+                        CopyKind kind) {
+  const bool dst_dev = is_device(dst);
+  const bool src_dev = is_device(src);
+  const bool ok = (kind == CopyKind::kHostToDevice && dst_dev && !src_dev) ||
+                  (kind == CopyKind::kDeviceToHost && !dst_dev && src_dev) ||
+                  (kind == CopyKind::kDeviceToDevice && dst_dev && src_dev) ||
+                  (kind == CopyKind::kHostToHost && !dst_dev && !src_dev);
+  if (!ok) throw std::invalid_argument{"memcpy: direction does not match buffers"};
+}
+}  // namespace
+
+void Runtime::memcpy(const core::Buffer& dst, const core::Buffer& src,
+                     std::uint64_t bytes, CopyKind kind, std::uint64_t dst_off,
+                     std::uint64_t src_off) {
+  validate_direction(dst, src, kind);
+  sys_->memcpy_buffers(dst, dst_off, src, src_off, bytes);
+}
+
+void Runtime::memcpy_async(const core::Buffer& dst, const core::Buffer& src,
+                           std::uint64_t bytes, CopyKind kind, Stream& stream,
+                           std::uint64_t dst_off, std::uint64_t src_off) {
+  validate_direction(dst, src, kind);
+  sys_->memcpy_buffers_async(dst, dst_off, src, src_off, bytes, stream);
+}
+
+DeviceProperties get_device_properties(core::System& sys) {
+  return DeviceProperties{
+      .name = "Simulated GH200 (Hopper H100 + Grace)",
+      .total_global_mem = sys.config().hbm_capacity,
+      .free_global_mem = sys.gpu_free_bytes(),
+      .system_page_size = sys.config().system_page_size,
+      .concurrent_managed_access = true,
+      .pageable_memory_access = true,
+  };
+}
+
+}  // namespace ghum::runtime

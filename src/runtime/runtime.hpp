@@ -1,0 +1,131 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "core/system.hpp"
+#include "runtime/span.hpp"
+
+/// \file runtime.hpp
+/// CUDA-look-alike runtime API over one simulated Grace Hopper node. The
+/// names mirror the calls of paper Table 1 and Figure 2 so the application
+/// ports in src/apps follow exactly the code transformation the paper
+/// applies (replace cudaMalloc+cudaMemcpy pairs with one unified buffer
+/// from malloc()/cudaMallocManaged(), then add device synchronization).
+
+namespace ghum::runtime {
+
+enum class CopyKind { kHostToDevice, kDeviceToHost, kDeviceToDevice, kHostToHost };
+
+class Runtime {
+ public:
+  explicit Runtime(core::System& sys) : sys_(&sys) {}
+
+  [[nodiscard]] core::System& system() noexcept { return *sys_; }
+
+  // --- allocation (Table 1) -------------------------------------------------
+  /// malloc(): system-allocated memory.
+  [[nodiscard]] core::Buffer malloc_system(std::uint64_t bytes,
+                                           std::string label = "sys") {
+    return sys_->sys_malloc(bytes, std::move(label));
+  }
+  /// cudaMallocManaged().
+  [[nodiscard]] core::Buffer malloc_managed(std::uint64_t bytes,
+                                            std::string label = "managed") {
+    return sys_->managed_malloc(bytes, std::move(label));
+  }
+  /// cudaMalloc().
+  [[nodiscard]] core::Buffer malloc_device(std::uint64_t bytes,
+                                           std::string label = "gpu") {
+    return sys_->gpu_malloc(bytes, std::move(label));
+  }
+  /// cudaMallocHost()/cudaHostAlloc().
+  [[nodiscard]] core::Buffer malloc_host(std::uint64_t bytes,
+                                         std::string label = "pinned") {
+    return sys_->pinned_malloc(bytes, std::move(label));
+  }
+  void free(core::Buffer& buf) { sys_->free_buffer(buf); }
+
+  // --- copies & hints ---------------------------------------------------------
+  /// cudaMemcpy (direction validated against the buffer kinds).
+  void memcpy(const core::Buffer& dst, const core::Buffer& src, std::uint64_t bytes,
+              CopyKind kind, std::uint64_t dst_off = 0, std::uint64_t src_off = 0);
+
+  /// cudaMemcpyAsync: time lands on the stream; synchronous work before
+  /// the matching stream_synchronize overlaps with the transfer.
+  void memcpy_async(const core::Buffer& dst, const core::Buffer& src,
+                    std::uint64_t bytes, CopyKind kind, Stream& stream,
+                    std::uint64_t dst_off = 0, std::uint64_t src_off = 0);
+
+  /// cudaStreamSynchronize.
+  void stream_synchronize(Stream& stream) { sys_->stream_synchronize(stream); }
+
+  /// cudaMemPrefetchAsync.
+  void mem_prefetch(const core::Buffer& buf, std::uint64_t offset,
+                    std::uint64_t bytes, mem::Node dst) {
+    sys_->prefetch(buf, offset, bytes, dst);
+  }
+
+  /// cudaHostRegister.
+  void host_register(const core::Buffer& buf) { sys_->host_register(buf); }
+
+  /// cudaMemAdvise.
+  void mem_advise(const core::Buffer& buf, core::System::MemAdvice advice) {
+    sys_->mem_advise(buf, advice);
+  }
+
+  /// cudaDeviceSynchronize.
+  void device_synchronize() { sys_->device_synchronize(); }
+
+  // --- kernels -----------------------------------------------------------------
+  /// Launches \p body as a GPU kernel named \p name. \p flop_work is the
+  /// arithmetic work in floating-point operations; the kernel's simulated
+  /// duration is max(memory time, flop_work / gpu_flops) + launch cost.
+  template <typename F>
+  cache::KernelRecord launch(std::string name, double flop_work, F&& body) {
+    sys_->kernel_begin(std::move(name));
+    std::forward<F>(body)();
+    return sys_->kernel_end(flop_work);
+  }
+
+  /// Runs \p body as a named host phase (CPU-side initialization etc.).
+  template <typename F>
+  cache::KernelRecord host_phase(std::string name, double flop_work, F&& body) {
+    sys_->host_phase_begin(std::move(name));
+    std::forward<F>(body)();
+    return sys_->host_phase_end(flop_work);
+  }
+
+  // --- spans -------------------------------------------------------------------
+  /// Accessor for GPU-side (kernel) code.
+  template <typename T>
+  [[nodiscard]] Span<T> device_span(const core::Buffer& buf,
+                                    std::uint64_t elem_offset = 0,
+                                    std::uint64_t count = ~0ull) {
+    return Span<T>{*sys_, buf, mem::Node::kGpu, elem_offset, count};
+  }
+  /// Accessor for host-side code.
+  template <typename T>
+  [[nodiscard]] Span<T> host_span(const core::Buffer& buf,
+                                  std::uint64_t elem_offset = 0,
+                                  std::uint64_t count = ~0ull) {
+    return Span<T>{*sys_, buf, mem::Node::kCpu, elem_offset, count};
+  }
+
+ private:
+  core::System* sys_;
+};
+
+/// Device properties, as cudaGetDeviceProperties would report them.
+struct DeviceProperties {
+  std::string name;
+  std::uint64_t total_global_mem = 0;
+  std::uint64_t free_global_mem = 0;
+  std::uint64_t system_page_size = 0;
+  bool concurrent_managed_access = true;  ///< true on Grace Hopper
+  bool pageable_memory_access = true;     ///< ATS: full malloc access
+};
+
+[[nodiscard]] DeviceProperties get_device_properties(core::System& sys);
+
+}  // namespace ghum::runtime

@@ -1,0 +1,153 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/system.hpp"
+
+/// \file span.hpp
+/// Instrumented typed accessor: application kernels read and write real
+/// data through Span<T> while every access is charged to the simulated
+/// memory system. A per-span *page cursor* caches the System::resolve()
+/// result for the page currently being traversed, so the per-access fast
+/// path is a few compares plus a bitmap bit-set; page transitions (and any
+/// migration, detected via the machine epoch) re-resolve and flush the
+/// aggregated counts through System::commit().
+///
+/// The line bitmap counts *unique* cachelines touched per page visit,
+/// modeling L1/L2 coalescing: dense sweeps are charged their raw byte
+/// volume, while sparse/irregular patterns are charged whole cachelines —
+/// the read-amplification effect the paper attributes to irregular access
+/// patterns.
+///
+/// Spans must not outlive the kernel/phase they are used in: create them
+/// inside the launch body (they flush on destruction).
+
+namespace ghum::runtime {
+
+template <typename T>
+class Span {
+ public:
+  Span(core::System& sys, const core::Buffer& buf, mem::Node origin,
+       std::uint64_t elem_offset = 0, std::uint64_t count = ~0ull)
+      : sys_(&sys),
+        origin_(origin),
+        va_(buf.va + elem_offset * sizeof(T)),
+        ptr_(reinterpret_cast<T*>(buf.host) + elem_offset) {
+    const std::uint64_t avail = (buf.bytes / sizeof(T)) - elem_offset;
+    n_ = count == ~0ull ? avail : count;
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& o) = delete;
+  Span& operator=(Span&&) = delete;
+
+  ~Span() { flush(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Accounted read.
+  [[nodiscard]] T load(std::size_t i) {
+    touch(i, /*write=*/false);
+    return ptr_[i];
+  }
+
+  /// Accounted *dependent* read (pointer chase): the next instruction
+  /// needs this value, so the access serializes on the full tier latency
+  /// instead of pipelining with its neighbours. Use for linked-list /
+  /// index-chain traversals.
+  [[nodiscard]] T load_chased(std::size_t i) {
+    touch(i, /*write=*/false);
+    sys_->charge_dependent_access(view_);
+    return ptr_[i];
+  }
+
+  /// Accounted write.
+  void store(std::size_t i, T v) {
+    touch(i, /*write=*/true);
+    ptr_[i] = v;
+  }
+
+  /// Accounted read-modify-write access.
+  [[nodiscard]] T& mutate(std::size_t i) {
+    touch(i, false);
+    touch(i, true);
+    return ptr_[i];
+  }
+
+  /// Remote-capable atomic op on element \p i (cost of a C2C atomic when
+  /// the data is on the other side of the link).
+  T atomic_exchange(std::size_t i, T v) {
+    touch(i, true);
+    if (view_.node != origin_) {
+      flush();
+      sys_->clock().advance(sys_->machine().c2c().atomic_op());
+    }
+    T old = ptr_[i];
+    ptr_[i] = v;
+    return old;
+  }
+
+  /// Unaccounted escape hatch (reference checking in tests only).
+  [[nodiscard]] const T* raw() const noexcept { return ptr_; }
+
+  /// Pushes pending aggregated accesses into the memory model.
+  void flush() {
+    if (pend_acc_ != 0) {
+      sys_->commit(view_, pend_r_, pend_w_, pend_lines_, pend_acc_);
+      pend_r_ = pend_w_ = pend_lines_ = pend_acc_ = 0;
+    }
+    // Invalidate so the next access re-resolves.
+    view_.page_base = 1;
+    view_.page_end = 0;
+  }
+
+ private:
+  void touch(std::size_t i, bool write) {
+    const std::uint64_t addr = va_ + i * sizeof(T);
+    if (addr < view_.page_base || addr >= view_.page_end ||
+        sys_->epoch() != view_.epoch) {
+      reenter(addr);
+    }
+    const std::uint64_t line = (addr - view_.page_base) >> line_shift_;
+    std::uint64_t& word = bitmap_[line >> 6];
+    const std::uint64_t bit = 1ull << (line & 63);
+    if ((word & bit) == 0) {
+      word |= bit;
+      ++pend_lines_;
+    }
+    (write ? pend_w_ : pend_r_) += sizeof(T);
+    ++pend_acc_;
+  }
+
+  void reenter(std::uint64_t addr) {
+    if (pend_acc_ != 0) {
+      sys_->commit(view_, pend_r_, pend_w_, pend_lines_, pend_acc_);
+      pend_r_ = pend_w_ = pend_lines_ = pend_acc_ = 0;
+    }
+    view_ = sys_->resolve(addr, origin_);
+    line_shift_ = static_cast<unsigned>(std::countr_zero(
+        static_cast<std::uint64_t>(view_.line_size)));
+    const std::uint64_t lines =
+        ((view_.page_end - view_.page_base) + view_.line_size - 1) / view_.line_size;
+    bitmap_.assign((lines + 63) / 64, 0);
+  }
+
+  core::System* sys_;
+  mem::Node origin_;
+  std::uint64_t va_;
+  T* ptr_;
+  std::size_t n_ = 0;
+
+  core::PageView view_{};  // starts invalid (page_base=1 > page_end=0)
+  unsigned line_shift_ = 6;
+  std::vector<std::uint64_t> bitmap_;
+  std::uint64_t pend_r_ = 0;
+  std::uint64_t pend_w_ = 0;
+  std::uint64_t pend_lines_ = 0;
+  std::uint64_t pend_acc_ = 0;
+};
+
+}  // namespace ghum::runtime

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+/// \file stream.hpp
+/// CUDA-stream analogue for asynchronous copies. The simulator executes
+/// synchronously, so a stream is modeled as its own timeline: an async
+/// operation completes at `ready_at = max(now, ready_at) + duration`
+/// without advancing the global clock; synchronizing advances the clock to
+/// the stream's completion point. Work done on the default (synchronous)
+/// path between issue and synchronize therefore *overlaps* with the
+/// stream's transfers — exactly the double-buffered copy/compute overlap
+/// that pipelines like Qiskit-Aer's chunk exchange rely on.
+///
+/// Only data transfers are stream-able in the model (kernels execute
+/// inline because their memory charges drive the global clock); that is
+/// sufficient for copy/compute overlap, the dominant use.
+
+namespace ghum::runtime {
+
+class Stream {
+ public:
+  /// Simulated time at which all work issued to this stream has finished.
+  [[nodiscard]] sim::Picos ready_at() const noexcept { return ready_at_; }
+
+  /// Enqueues an operation of \p duration starting no earlier than \p now;
+  /// returns the new completion time.
+  sim::Picos enqueue(sim::Picos now, sim::Picos duration) {
+    if (ready_at_ < now) ready_at_ = now;
+    ready_at_ += duration;
+    return ready_at_;
+  }
+
+  /// True when everything issued has completed by \p now.
+  [[nodiscard]] bool idle_at(sim::Picos now) const noexcept {
+    return ready_at_ <= now;
+  }
+
+ private:
+  sim::Picos ready_at_ = 0;
+};
+
+}  // namespace ghum::runtime

@@ -1,0 +1,42 @@
+#include "sim/event_log.hpp"
+
+namespace ghum::sim {
+
+std::string_view to_string(EventType t) noexcept {
+  switch (t) {
+    case EventType::kCpuFirstTouchFault: return "cpu_first_touch_fault";
+    case EventType::kGpuFirstTouchFault: return "gpu_first_touch_fault";
+    case EventType::kGpuManagedFault: return "gpu_managed_fault";
+    case EventType::kMigrationH2D: return "migration_h2d";
+    case EventType::kMigrationD2H: return "migration_d2h";
+    case EventType::kEviction: return "eviction";
+    case EventType::kCounterNotification: return "counter_notification";
+    case EventType::kExplicitPrefetch: return "explicit_prefetch";
+    case EventType::kHostRegister: return "host_register";
+    case EventType::kAllocation: return "allocation";
+    case EventType::kDeallocation: return "deallocation";
+    case EventType::kKernelBegin: return "kernel_begin";
+    case EventType::kKernelEnd: return "kernel_end";
+    case EventType::kContextInit: return "context_init";
+    case EventType::kNumaHintFault: return "numa_hint_fault";
+  }
+  return "unknown";
+}
+
+std::size_t EventLog::count(EventType t) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.type == t) ++n;
+  }
+  return n;
+}
+
+std::uint64_t EventLog::total_bytes(EventType t) const {
+  std::uint64_t n = 0;
+  for (const auto& e : events_) {
+    if (e.type == t) n += e.bytes;
+  }
+  return n;
+}
+
+}  // namespace ghum::sim

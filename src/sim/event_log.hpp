@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file event_log.hpp
+/// A structured log of memory-system events (faults, migrations, evictions,
+/// access-counter notifications). This is the substrate of the Nsight-like
+/// tracer in src/profile/tracer.hpp: the paper uses Nsight Systems to
+/// identify GPU page faults and migrations for managed memory (Section 3.2);
+/// our tests additionally rely on it for system-memory events, which real
+/// Nsight cannot report.
+
+namespace ghum::sim {
+
+enum class EventType : std::uint8_t {
+  kCpuFirstTouchFault,    ///< CPU-origin minor fault populating a system PTE
+  kGpuFirstTouchFault,    ///< GPU-origin replayable fault via SMMU/ATS
+  kGpuManagedFault,       ///< GMMU fault on managed memory (pre-GH style)
+  kMigrationH2D,          ///< pages moved CPU -> GPU
+  kMigrationD2H,          ///< pages moved GPU -> CPU
+  kEviction,              ///< managed pages evicted GPU -> CPU under pressure
+  kCounterNotification,   ///< access-counter threshold crossed (interrupt)
+  kExplicitPrefetch,      ///< cudaMemPrefetchAsync-style bulk migration
+  kHostRegister,          ///< cudaHostRegister-style PTE pre-population
+  kAllocation,            ///< virtual allocation created
+  kDeallocation,          ///< virtual allocation destroyed
+  kKernelBegin,
+  kKernelEnd,
+  kContextInit,           ///< GPU context initialization
+  kNumaHintFault,         ///< AutoNUMA scanner hint fault (when enabled)
+};
+
+[[nodiscard]] std::string_view to_string(EventType t) noexcept;
+
+struct Event {
+  Picos time = 0;
+  EventType type{};
+  std::uint64_t va = 0;     ///< virtual address (or 0 when not applicable)
+  std::uint64_t bytes = 0;  ///< size touched/moved by the event
+  std::uint32_t aux = 0;    ///< event-specific payload (e.g. kernel id)
+};
+
+class EventLog {
+ public:
+  /// Logging is disabled by default: large app runs would otherwise
+  /// accumulate millions of fault events. Benches/tests enable it.
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void record(Event e) {
+    if (enabled_) events_.push_back(e);
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept { return events_; }
+  [[nodiscard]] std::size_t count(EventType t) const;
+  [[nodiscard]] std::uint64_t total_bytes(EventType t) const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::vector<Event> events_;
+};
+
+}  // namespace ghum::sim

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file rng.hpp
+/// Deterministic pseudo-random generator (xoshiro256**). Workload
+/// generators (graphs, images, quantum circuits) must be reproducible
+/// across platforms and standard-library versions, so we do not use
+/// std::mt19937 / std::uniform_*_distribution anywhere.
+
+namespace ghum::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, bound) without modulo bias (bound must be > 0).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x) noexcept;
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace ghum::sim

@@ -1,0 +1,19 @@
+#include "sim/stats.hpp"
+
+namespace ghum::sim {
+
+void StatsRegistry::add(std::string_view name, std::uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string{name}, delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::uint64_t StatsRegistry::get(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+}  // namespace ghum::sim

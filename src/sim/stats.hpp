@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+/// \file stats.hpp
+/// Named monotonically increasing counters. Used for global accounting
+/// (faults, migrations, traffic) that tests and benches assert against.
+/// Hot-path per-kernel traffic accounting uses cache/kernel_traffic.hpp
+/// instead; this registry is for low-frequency events and reporting.
+
+namespace ghum::sim {
+
+class StatsRegistry {
+ public:
+  void add(std::string_view name, std::uint64_t delta = 1);
+  [[nodiscard]] std::uint64_t get(std::string_view name) const;
+
+  /// Full snapshot (sorted by name); useful for diffing around a phase.
+  [[nodiscard]] std::map<std::string, std::uint64_t> snapshot() const {
+    return {counters_.begin(), counters_.end()};
+  }
+
+  void reset() { counters_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+};
+
+}  // namespace ghum::sim

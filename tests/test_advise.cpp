@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "profile/tracer.hpp"
+#include "runtime/runtime.hpp"
+
+/// cudaMemAdvise semantics: preferred location (placement pinning) and
+/// read-mostly duplication, including their interactions with first-touch,
+/// access-counter migration, eviction pressure and writes.
+
+namespace ghum {
+namespace {
+
+using MemAdvice = core::System::MemAdvice;
+
+core::SystemConfig advise_config(bool counters = true) {
+  core::SystemConfig cfg;
+  cfg.system_page_size = pagetable::kSystemPage64K;
+  cfg.hbm_capacity = 8ull << 20;
+  cfg.ddr_capacity = 64ull << 20;
+  cfg.gpu_driver_baseline = 0;
+  cfg.event_log = true;
+  cfg.access_counter_migration = counters;
+  cfg.counter_min_interval = 0;
+  return cfg;
+}
+
+class AdviseTest : public ::testing::Test {
+ protected:
+  core::System sys{advise_config()};
+  runtime::Runtime rt{sys};
+
+  os::Vma& vma_of(const core::Buffer& b) {
+    return *sys.machine().address_space().find_exact(b.va);
+  }
+};
+
+TEST_F(AdviseTest, RejectsNonAdvisableKinds) {
+  core::Buffer dev = rt.malloc_device(1 << 20);
+  core::Buffer pin = rt.malloc_host(1 << 20);
+  EXPECT_THROW(rt.mem_advise(dev, MemAdvice::kPreferredLocationCpu),
+               std::invalid_argument);
+  EXPECT_THROW(rt.mem_advise(pin, MemAdvice::kReadMostly), std::invalid_argument);
+  core::Buffer sysb = rt.malloc_system(1 << 20);
+  EXPECT_THROW(rt.mem_advise(sysb, MemAdvice::kReadMostly), std::invalid_argument);
+}
+
+TEST_F(AdviseTest, PreferredLocationOverridesGpuFirstTouchForSystemMemory) {
+  core::Buffer b = rt.malloc_system(1 << 20);
+  rt.mem_advise(b, MemAdvice::kPreferredLocationCpu);
+  (void)rt.launch("touch", 0, [&] {
+    auto s = rt.device_span<float>(b);
+    for (std::size_t i = 0; i < s.size(); i += 16384) s.store(i, 1.f);
+  });
+  // GPU-origin first touch, but placement followed the advice.
+  EXPECT_EQ(vma_of(b).resident_cpu_bytes, 1ull << 20);
+  EXPECT_EQ(vma_of(b).resident_gpu_bytes, 0u);
+}
+
+TEST_F(AdviseTest, PreferredLocationGpuPlacesCpuFirstTouchOnGpu) {
+  core::Buffer b = rt.malloc_system(1 << 20);
+  rt.mem_advise(b, MemAdvice::kPreferredLocationGpu);
+  (void)rt.host_phase("init", 0, [&] {
+    auto s = rt.host_span<float>(b);
+    for (std::size_t i = 0; i < s.size(); i += 16384) s.store(i, 1.f);
+  });
+  EXPECT_EQ(vma_of(b).resident_gpu_bytes, 1ull << 20);
+}
+
+TEST_F(AdviseTest, PreferredCpuSuppressesCounterMigration) {
+  core::Buffer b = rt.malloc_system(4 << 20);
+  rt.mem_advise(b, MemAdvice::kPreferredLocationCpu);
+  (void)rt.host_phase("init", 0, [&] {
+    auto s = rt.host_span<float>(b);
+    for (std::size_t i = 0; i < s.size(); ++i) s.store(i, 1.f);
+  });
+  for (int round = 0; round < 4; ++round) {
+    (void)rt.launch("sweep", 0, [&] {
+      auto s = rt.device_span<float>(b);
+      for (std::size_t i = 0; i < s.size(); ++i) (void)s.load(i);
+    });
+  }
+  // Hot data, but the advice pins it: no counter-driven migration.
+  EXPECT_EQ(sys.access_counters().migrated_h2d_bytes(), 0u);
+  EXPECT_EQ(vma_of(b).resident_cpu_bytes, 4ull << 20);
+}
+
+TEST_F(AdviseTest, UnsetPreferredLocationRestoresMigration) {
+  core::Buffer b = rt.malloc_system(4 << 20);
+  rt.mem_advise(b, MemAdvice::kPreferredLocationCpu);
+  rt.mem_advise(b, MemAdvice::kUnsetPreferredLocation);
+  (void)rt.host_phase("init", 0, [&] {
+    auto s = rt.host_span<float>(b);
+    for (std::size_t i = 0; i < s.size(); ++i) s.store(i, 1.f);
+  });
+  for (int round = 0; round < 4; ++round) {
+    (void)rt.launch("sweep", 0, [&] {
+      auto s = rt.device_span<float>(b);
+      for (std::size_t i = 0; i < s.size(); ++i) (void)s.load(i);
+    });
+  }
+  EXPECT_GT(sys.access_counters().migrated_h2d_bytes(), 0u);
+}
+
+TEST_F(AdviseTest, ManagedPreferredCpuRemoteMapsInsteadOfMigrating) {
+  core::Buffer b = rt.malloc_managed(2 << 20);
+  rt.mem_advise(b, MemAdvice::kPreferredLocationCpu);
+  (void)rt.host_phase("init", 0, [&] {
+    auto s = rt.host_span<float>(b);
+    for (std::size_t i = 0; i < s.size(); ++i) s.store(i, 1.f);
+  });
+  const auto rec = rt.launch("read", 0, [&] {
+    auto s = rt.device_span<float>(b);
+    for (std::size_t i = 0; i < s.size(); ++i) (void)s.load(i);
+  });
+  EXPECT_EQ(rec.traffic.migration_h2d_bytes, 0u);
+  EXPECT_GT(rec.traffic.c2c_read_bytes, 0u);
+  EXPECT_EQ(vma_of(b).resident_gpu_bytes, 0u);
+}
+
+TEST_F(AdviseTest, ManagedPreferredGpuKeepsCpuAccessRemote) {
+  core::Buffer b = rt.malloc_managed(2 << 20);
+  rt.mem_advise(b, MemAdvice::kPreferredLocationGpu);
+  (void)rt.launch("gpu_init", 0, [&] {
+    auto s = rt.device_span<float>(b);
+    for (std::size_t i = 0; i < s.size(); ++i) s.store(i, 2.f);
+  });
+  ASSERT_EQ(vma_of(b).resident_gpu_bytes, 2ull << 20);
+  const auto rec = rt.host_phase("cpu_read", 0, [&] {
+    auto s = rt.host_span<float>(b);
+    for (std::size_t i = 0; i < s.size(); i += 1024) (void)s.load(i);
+  });
+  // Data stayed GPU-resident; the CPU read it over the link.
+  EXPECT_EQ(vma_of(b).resident_gpu_bytes, 2ull << 20);
+  EXPECT_GT(rec.traffic.cpu_remote_read_bytes, 0u);
+  EXPECT_EQ(rec.traffic.migration_d2h_bytes, 0u);
+}
+
+TEST_F(AdviseTest, ReadMostlyDuplicatesAndServesBothSidesLocally) {
+  core::Buffer b = rt.malloc_managed(2 << 20);
+  rt.mem_advise(b, MemAdvice::kReadMostly);
+  (void)rt.host_phase("init", 0, [&] {
+    auto s = rt.host_span<float>(b);
+    for (std::size_t i = 0; i < s.size(); ++i) s.store(i, 3.f);
+  });
+  const auto gpu_rec = rt.launch("gpu_read", 0, [&] {
+    auto s = rt.device_span<float>(b);
+    for (std::size_t i = 0; i < s.size(); ++i) (void)s.load(i);
+  });
+  // Replica built (one-off copy), then reads are local HBM.
+  EXPECT_EQ(sys.managed_engine().replica_count(), 1u);
+  EXPECT_GT(gpu_rec.traffic.hbm_read_bytes, 0u);
+  EXPECT_EQ(gpu_rec.traffic.c2c_read_bytes, 0u);
+  // Both copies accounted: residency exceeds the allocation size.
+  EXPECT_EQ(vma_of(b).resident_cpu_bytes, 2ull << 20);
+  EXPECT_EQ(vma_of(b).resident_gpu_bytes, 2ull << 20);
+  // CPU reads stay local too.
+  const auto cpu_rec = rt.host_phase("cpu_read", 0, [&] {
+    auto s = rt.host_span<float>(b);
+    for (std::size_t i = 0; i < s.size(); i += 64) (void)s.load(i);
+  });
+  EXPECT_EQ(cpu_rec.traffic.cpu_remote_read_bytes, 0u);
+  EXPECT_GT(cpu_rec.traffic.ddr_read_bytes, 0u);
+}
+
+TEST_F(AdviseTest, GpuWriteCollapsesReplica) {
+  core::Buffer b = rt.malloc_managed(2 << 20);
+  rt.mem_advise(b, MemAdvice::kReadMostly);
+  (void)rt.launch("read_then_write", 0, [&] {
+    auto s = rt.device_span<float>(b);
+    (void)s.load(0);  // builds the replica
+    s.store(1, 9.f);  // write collapses it
+    s.flush();
+  });
+  EXPECT_EQ(sys.managed_engine().replica_count(), 0u);
+  EXPECT_EQ(vma_of(b).resident_gpu_bytes, 0u);
+}
+
+TEST_F(AdviseTest, CpuWriteCollapsesReplica) {
+  core::Buffer b = rt.malloc_managed(2 << 20);
+  rt.mem_advise(b, MemAdvice::kReadMostly);
+  (void)rt.launch("read", 0, [&] {
+    auto s = rt.device_span<float>(b);
+    (void)s.load(0);
+  });
+  ASSERT_EQ(sys.managed_engine().replica_count(), 1u);
+  (void)rt.host_phase("write", 0, [&] {
+    auto s = rt.host_span<float>(b);
+    s.store(0, 1.f);
+  });
+  EXPECT_EQ(sys.managed_engine().replica_count(), 0u);
+}
+
+TEST_F(AdviseTest, UnsetReadMostlyDropsAllReplicas) {
+  core::Buffer b = rt.malloc_managed(6 << 20);
+  rt.mem_advise(b, MemAdvice::kReadMostly);
+  (void)rt.launch("read", 0, [&] {
+    auto s = rt.device_span<float>(b);
+    for (std::size_t i = 0; i < s.size(); i += 1024) (void)s.load(i);
+  });
+  ASSERT_EQ(sys.managed_engine().replica_count(), 3u);
+  rt.mem_advise(b, MemAdvice::kUnsetReadMostly);
+  EXPECT_EQ(sys.managed_engine().replica_count(), 0u);
+  EXPECT_EQ(vma_of(b).resident_gpu_bytes, 0u);
+}
+
+TEST_F(AdviseTest, ReplicasAreDroppedFirstUnderPressure) {
+  // 8 MiB HBM: 3 replicas + then a big cudaMalloc forces... replicas are
+  // invisible to cudaMalloc; pressure comes from managed faults instead.
+  core::Buffer ro = rt.malloc_managed(6 << 20, "ro");
+  rt.mem_advise(ro, MemAdvice::kReadMostly);
+  (void)rt.launch("read", 0, [&] {
+    auto s = rt.device_span<float>(ro);
+    for (std::size_t i = 0; i < s.size(); i += 1024) (void)s.load(i);
+  });
+  ASSERT_EQ(sys.managed_engine().replica_count(), 3u);
+  // A second managed allocation faults in 4 MiB: replicas must yield
+  // without counting as real evictions.
+  core::Buffer rw = rt.malloc_managed(4 << 20, "rw");
+  (void)rt.launch("fill", 0, [&] {
+    auto s = rt.device_span<float>(rw);
+    for (std::size_t i = 0; i < s.size(); i += 4096) s.store(i, 1.f);
+  });
+  EXPECT_LT(sys.managed_engine().replica_count(), 3u);
+  EXPECT_EQ(sys.managed_engine().evictions(), 0u);
+  // The read-mostly data is still fully CPU-resident (authoritative copy).
+  EXPECT_EQ(vma_of(ro).resident_cpu_bytes, 6ull << 20);
+}
+
+TEST_F(AdviseTest, ReadMostlyFreeReleasesEverything) {
+  core::Buffer b = rt.malloc_managed(4 << 20);
+  rt.mem_advise(b, MemAdvice::kReadMostly);
+  (void)rt.launch("read", 0, [&] {
+    auto s = rt.device_span<float>(b);
+    for (std::size_t i = 0; i < s.size(); i += 1024) (void)s.load(i);
+  });
+  rt.free(b);
+  EXPECT_EQ(sys.machine().frames(mem::Node::kGpu).used(), 0u);
+  EXPECT_EQ(sys.machine().frames(mem::Node::kCpu).used(), 0u);
+  EXPECT_EQ(sys.managed_engine().replica_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ghum

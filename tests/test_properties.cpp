@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "benchsupport/scenarios.hpp"
+#include "profile/tracer.hpp"
+#include "runtime/runtime.hpp"
+
+/// Property-based sweeps: global invariants of the memory system that must
+/// hold for every (application, memory mode, page size, counter setting)
+/// combination. These are the simulator's conservation laws.
+
+namespace ghum {
+namespace {
+
+namespace bs = benchsupport;
+using apps::MemMode;
+
+struct Combo {
+  std::size_t app_index;
+  MemMode mode;
+  std::uint64_t page_size;
+  bool counters;
+};
+
+class Invariants
+    : public ::testing::TestWithParam<std::tuple<int, MemMode, std::uint64_t, bool>> {
+};
+
+TEST_P(Invariants, ResidencyLedgersStayConsistent) {
+  const auto [app_idx, mode, page, counters] = GetParam();
+  core::SystemConfig cfg = bs::rodinia_config(page, counters);
+  core::System sys{cfg};
+  runtime::Runtime rt{sys};
+  const auto& app = bs::rodinia_apps()[static_cast<std::size_t>(app_idx)];
+  (void)app.run(rt, mode, bs::Scale::kSmall);
+
+  auto& m = sys.machine();
+  // 1. After freeing everything, no frames remain beyond the baseline.
+  EXPECT_EQ(m.frames(mem::Node::kGpu).used(), cfg.gpu_driver_baseline)
+      << app.name << " leaked GPU frames";
+  EXPECT_EQ(m.frames(mem::Node::kCpu).used(), 0u) << app.name << " leaked CPU frames";
+  // 2. Page tables are empty again.
+  EXPECT_EQ(m.system_pt().mapped_pages(), 0u);
+  EXPECT_EQ(m.gpu_pt().mapped_pages(), 0u);
+  // 3. RSS returns to zero.
+  EXPECT_EQ(m.cpu_rss_bytes(), 0u);
+  // 4. Peak usage never exceeded capacity (frame allocator enforces it,
+  //    but the ledger must agree).
+  EXPECT_LE(m.frames(mem::Node::kGpu).peak_used(), cfg.hbm_capacity);
+  EXPECT_LE(m.frames(mem::Node::kCpu).peak_used(), cfg.ddr_capacity);
+}
+
+TEST_P(Invariants, SimulatedTimeAdvancesAndIsDeterministic) {
+  const auto [app_idx, mode, page, counters] = GetParam();
+  const auto& app = bs::rodinia_apps()[static_cast<std::size_t>(app_idx)];
+  auto run_once = [&]() {
+    core::System sys{bs::rodinia_config(page, counters)};
+    runtime::Runtime rt{sys};
+    const auto r = app.run(rt, mode, bs::Scale::kSmall);
+    return std::pair{sys.now(), r.checksum};
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_GT(a.first, 0);
+  EXPECT_EQ(a.first, b.first) << "simulated time must be bit-reproducible";
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST_P(Invariants, TrafficAccountingIsConserved) {
+  const auto [app_idx, mode, page, counters] = GetParam();
+  core::System sys{bs::rodinia_config(page, counters)};
+  runtime::Runtime rt{sys};
+  const auto& app = bs::rodinia_apps()[static_cast<std::size_t>(app_idx)];
+  (void)app.run(rt, mode, bs::Scale::kSmall);
+
+  // Sum of per-phase attributed C2C traffic (direct + migration) must not
+  // exceed the link's own byte counters (phases cover all work the apps
+  // do; out-of-phase traffic like memcpy staging may add to the link).
+  std::uint64_t attributed = 0;
+  for (const auto& rec : sys.workload().records()) {
+    attributed += rec.traffic.c2c_read_bytes + rec.traffic.c2c_write_bytes +
+                  rec.traffic.cpu_remote_read_bytes +
+                  rec.traffic.cpu_remote_write_bytes +
+                  rec.traffic.migration_h2d_bytes + rec.traffic.migration_d2h_bytes;
+  }
+  auto& link = sys.machine().c2c();
+  const std::uint64_t link_total =
+      link.bytes_moved(interconnect::Direction::kCpuToGpu) +
+      link.bytes_moved(interconnect::Direction::kGpuToCpu);
+  EXPECT_LE(attributed, link_total) << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Invariants,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(MemMode::kExplicit, MemMode::kManaged,
+                                         MemMode::kSystem),
+                       ::testing::Values(pagetable::kSystemPage4K,
+                                         pagetable::kSystemPage64K),
+                       ::testing::Bool()),
+    [](const testing::TestParamInfo<std::tuple<int, MemMode, std::uint64_t, bool>>&
+           info) {
+      const int app = std::get<0>(info.param);
+      const MemMode mode = std::get<1>(info.param);
+      const std::uint64_t page = std::get<2>(info.param);
+      const bool counters = std::get<3>(info.param);
+      return bs::rodinia_apps()[static_cast<std::size_t>(app)].name + "_" +
+             std::string{apps::to_string(mode)} + "_" +
+             (page == pagetable::kSystemPage4K ? "4k" : "64k") +
+             (counters ? "_ctr" : "_noctr");
+    });
+
+// --- page-size direction properties (paper Figures 6 and 8) --------------------
+
+class PageSizeProps : public ::testing::TestWithParam<int> {};
+
+TEST_P(PageSizeProps, DeallocationIsCheaperWith64KPages) {
+  const auto& app = bs::rodinia_apps()[static_cast<std::size_t>(GetParam())];
+  auto dealloc_time = [&](std::uint64_t page) {
+    core::System sys{bs::rodinia_config(page, false)};
+    runtime::Runtime rt{sys};
+    return app.run(rt, MemMode::kSystem, bs::Scale::kSmall).times.dealloc_s;
+  };
+  // Paper Figure 6: 64 KiB pages cut deallocation cost 4.6x-38x.
+  EXPECT_GT(dealloc_time(pagetable::kSystemPage4K),
+            dealloc_time(pagetable::kSystemPage64K))
+      << app.name;
+}
+
+TEST_P(PageSizeProps, SystemVersionFaultCountScalesWithPageSize) {
+  const auto& app = bs::rodinia_apps()[static_cast<std::size_t>(GetParam())];
+  auto fault_count = [&](std::uint64_t page) {
+    core::System sys{bs::rodinia_config(page, false)};
+    runtime::Runtime rt{sys};
+    (void)app.run(rt, MemMode::kSystem, bs::Scale::kSmall);
+    return sys.stats().get("os.fault.cpu_first_touch") +
+           sys.stats().get("os.fault.gpu_first_touch");
+  };
+  EXPECT_GT(fault_count(pagetable::kSystemPage4K),
+            4 * fault_count(pagetable::kSystemPage64K))
+      << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, PageSizeProps, ::testing::Range(0, 5),
+                         [](const auto& info) {
+                           return bs::rodinia_apps()[static_cast<std::size_t>(
+                                                         info.param)]
+                               .name;
+                         });
+
+// --- oversubscription properties -----------------------------------------------
+
+TEST(OversubscriptionProps, SystemMemoryNeverEvicts) {
+  // Fill most of the GPU, then run the system version: no evictions may
+  // occur (Section 7: system memory falls back to remote access).
+  core::SystemConfig cfg = bs::rodinia_config(pagetable::kSystemPage4K, false);
+  cfg.hbm_capacity = 16ull << 20;
+  cfg.event_log = true;
+  core::System sys{cfg};
+  runtime::Runtime rt{sys};
+  core::Buffer reserve = sys.gpu_malloc(13ull << 20, "reserve");
+  (void)apps::run_hotspot(rt, MemMode::kSystem,
+                          bs::hotspot_config(bs::Scale::kSmall));
+  profile::Tracer tracer{sys.events()};
+  EXPECT_EQ(tracer.summarize().evictions, 0u);
+  rt.free(reserve);
+}
+
+TEST(OversubscriptionProps, ManagedEvictsUnderPressure) {
+  core::SystemConfig cfg = bs::rodinia_config(pagetable::kSystemPage4K, false);
+  cfg.hbm_capacity = 8ull << 20;
+  cfg.event_log = true;
+  core::System sys{cfg};
+  runtime::Runtime rt{sys};
+  // Managed allocation larger than HBM, written wholesale by the GPU.
+  core::Buffer big = rt.malloc_managed(12ull << 20, "big");
+  (void)rt.launch("fill", 0, [&] {
+    auto s = rt.device_span<float>(big);
+    for (std::size_t i = 0; i < s.size(); i += 1024) s.store(i, 1.0f);
+  });
+  profile::Tracer tracer{sys.events()};
+  EXPECT_GT(tracer.summarize().evictions, 0u);
+  rt.free(big);
+}
+
+TEST(OversubscriptionProps, RigComputesReserveFromRatio) {
+  core::SystemConfig cfg = bs::rodinia_config(pagetable::kSystemPage64K, false);
+  core::System sys{cfg};
+  const std::uint64_t peak = 64ull << 20;
+  auto reserve = bs::reserve_for_oversubscription(sys, peak, 2.0);
+  ASSERT_TRUE(reserve.has_value());
+  // Free GPU memory must now be ~peak/2.
+  EXPECT_NEAR(static_cast<double>(sys.gpu_free_bytes()),
+              static_cast<double>(peak) / 2.0, static_cast<double>(4 << 20));
+  EXPECT_FALSE(bs::reserve_for_oversubscription(sys, peak, 1.0).has_value());
+}
+
+}  // namespace
+}  // namespace ghum

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "runtime/span.hpp"
+#include "sim/rng.hpp"
+
+namespace ghum {
+namespace {
+
+core::SystemConfig span_config() {
+  core::SystemConfig cfg;
+  cfg.system_page_size = pagetable::kSystemPage4K;
+  cfg.hbm_capacity = 8ull << 20;
+  cfg.ddr_capacity = 64ull << 20;
+  cfg.gpu_driver_baseline = 0;
+  cfg.event_log = true;
+  return cfg;
+}
+
+class SpanTest : public ::testing::Test {
+ protected:
+  core::System sys{span_config()};
+  runtime::Runtime rt{sys};
+};
+
+TEST_F(SpanTest, LoadStoreRoundTripsRealData) {
+  core::Buffer b = rt.malloc_system(1 << 16);
+  sys.host_phase_begin("p");
+  {
+    auto s = rt.host_span<int>(b);
+    for (int i = 0; i < 1000; ++i) s.store(i, i * 3);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(s.load(i), i * 3);
+  }
+  (void)sys.host_phase_end();
+}
+
+TEST_F(SpanTest, SequentialSweepChargesRawByteVolume) {
+  core::Buffer b = rt.malloc_system(1 << 16);
+  sys.host_phase_begin("seq");
+  {
+    auto s = rt.host_span<float>(b);
+    for (std::size_t i = 0; i < s.size(); ++i) s.store(i, 1.0f);
+  }
+  const auto& rec = sys.host_phase_end();
+  // Dense write sweep: line volume equals the buffer size exactly.
+  EXPECT_EQ(rec.traffic.ddr_write_bytes, std::uint64_t{1} << 16);
+}
+
+TEST_F(SpanTest, StridedSweepIsAmplifiedToWholeLines) {
+  core::Buffer b = rt.malloc_system(1 << 16);
+  sys.host_phase_begin("strided");
+  {
+    auto s = rt.host_span<float>(b);
+    // One 4-byte store per 64-byte line: 1024 lines.
+    for (std::size_t i = 0; i < s.size(); i += 16) s.store(i, 1.0f);
+  }
+  const auto& rec = sys.host_phase_end();
+  EXPECT_EQ(rec.traffic.ddr_write_bytes, 1024u * 64u);
+}
+
+TEST_F(SpanTest, RepeatedAccessToSameLineCountsOncePerPageVisit) {
+  core::Buffer b = rt.malloc_system(1 << 16);
+  sys.host_phase_begin("reuse");
+  {
+    auto s = rt.host_span<float>(b);
+    for (int rep = 0; rep < 100; ++rep) {
+      (void)s.load(3);  // same element, same line, same page visit
+    }
+  }
+  const auto& rec = sys.host_phase_end();
+  EXPECT_EQ(rec.traffic.ddr_read_bytes, 64u);
+}
+
+TEST_F(SpanTest, PageTransitionFlushesAndReresolves) {
+  core::Buffer b = rt.malloc_system(16 << 10);  // 4 pages of 4 KiB
+  sys.host_phase_begin("pages");
+  {
+    auto s = rt.host_span<std::uint8_t>(b);
+    s.store(0, 1);
+    s.store(4096, 1);
+    s.store(8192, 1);
+    s.store(12288, 1);
+  }
+  (void)sys.host_phase_end();
+  // Four first-touch faults: one per page.
+  EXPECT_EQ(sys.stats().get("os.fault.cpu_first_touch"), 4u);
+}
+
+TEST_F(SpanTest, GpuSpanUses128ByteLines) {
+  core::Buffer b = rt.malloc_device(1 << 16);
+  auto rec = rt.launch("k", 0, [&] {
+    auto s = rt.device_span<float>(b);
+    // One store per 128-byte line: 512 lines.
+    for (std::size_t i = 0; i < s.size(); i += 32) s.store(i, 2.0f);
+  });
+  EXPECT_EQ(rec.traffic.l1l2_bytes, 512u * 128u);
+}
+
+TEST_F(SpanTest, EpochInvalidationAfterMigration) {
+  core::Buffer b = rt.malloc_system(64 << 10);
+  sys.host_phase_begin("touch");
+  {
+    auto s = rt.host_span<float>(b);
+    for (std::size_t i = 0; i < s.size(); ++i) s.store(i, 1.0f);
+  }
+  (void)sys.host_phase_end();
+  auto rec = rt.launch("k", 0, [&] {
+    auto s = rt.device_span<float>(b);
+    (void)s.load(0);  // resolves page 0 (CPU-resident, remote)
+    // Mid-kernel migration invalidates the cached view via the epoch.
+    sys.prefetch(b, 0, b.bytes, mem::Node::kGpu);
+    (void)s.load(1);  // must re-resolve and see GPU-resident data
+  });
+  EXPECT_GT(rec.traffic.hbm_read_bytes, 0u);
+}
+
+TEST_F(SpanTest, OffsetSpanAddressesSubrange) {
+  core::Buffer b = rt.malloc_system(1 << 12);
+  sys.host_phase_begin("off");
+  {
+    auto s = rt.host_span<std::uint32_t>(b, 16, 4);
+    EXPECT_EQ(s.size(), 4u);
+    s.store(0, 7);
+  }
+  (void)sys.host_phase_end();
+  EXPECT_EQ(reinterpret_cast<std::uint32_t*>(b.host)[16], 7u);
+}
+
+TEST_F(SpanTest, MutateCountsReadAndWrite) {
+  core::Buffer b = rt.malloc_system(1 << 12);
+  sys.host_phase_begin("rmw");
+  {
+    auto s = rt.host_span<int>(b);
+    s.mutate(0) += 1;
+  }
+  const auto& rec = sys.host_phase_end();
+  EXPECT_GT(rec.traffic.ddr_read_bytes, 0u);
+  EXPECT_GT(rec.traffic.ddr_write_bytes, 0u);
+}
+
+TEST_F(SpanTest, ChasedLoadsPayFullTierLatency) {
+  core::Buffer local = rt.malloc_host(1 << 12);
+  sys.host_phase_begin("chase");
+  const sim::Picos t0 = sys.now();
+  {
+    auto s = rt.host_span<std::uint32_t>(local);
+    std::uint32_t cur = 0;
+    for (int hop = 0; hop < 100; ++hop) cur = s.load_chased(cur % 1024);
+    (void)cur;
+  }
+  (void)sys.host_phase_end();
+  // 100 hops x 110 ns LPDDR5X latency dominates.
+  EXPECT_GE(sys.now() - t0, 100 * sim::nanoseconds(110));
+}
+
+TEST_F(SpanTest, RemoteChaseIsSlowerThanLocalChase) {
+  auto chase = [&](const core::Buffer& buf, mem::Node origin) {
+    const sim::Picos t0 = sys.now();
+    if (origin == mem::Node::kGpu) sys.kernel_begin("chase");
+    {
+      runtime::Span<std::uint32_t> s{sys, buf, origin};
+      for (int hop = 0; hop < 100; ++hop) (void)s.load_chased(0);
+    }
+    if (origin == mem::Node::kGpu) {
+      (void)sys.kernel_end();
+    }
+    return sys.now() - t0;
+  };
+  sys.ensure_gpu_context();
+  core::Buffer dev = rt.malloc_device(1 << 12);
+  core::Buffer host_side = rt.malloc_host(1 << 12);
+  const sim::Picos local = chase(dev, mem::Node::kGpu);
+  const sim::Picos remote = chase(host_side, mem::Node::kGpu);
+  EXPECT_GT(remote, local);
+}
+
+TEST_F(SpanTest, RandomPatternChargesMatchAnalyticLineCount) {
+  // Property: for any access pattern within one page visit, charged line
+  // volume equals (distinct cachelines touched) x line size.
+  core::Buffer b = rt.malloc_system(4 << 10);  // one 4 KiB page
+  sim::Rng rng{123};
+  std::vector<std::uint64_t> offsets;
+  for (int i = 0; i < 400; ++i) offsets.push_back(rng.next_below(1024));
+  std::set<std::uint64_t> distinct_lines;
+  for (auto off : offsets) distinct_lines.insert(off * 4 / 64);
+
+  sys.host_phase_begin("rand");
+  {
+    auto s = rt.host_span<std::uint32_t>(b);
+    for (auto off : offsets) (void)s.load(off);
+  }
+  const auto& rec = sys.host_phase_end();
+  EXPECT_EQ(rec.traffic.ddr_read_bytes, distinct_lines.size() * 64);
+}
+
+TEST_F(SpanTest, FlushIsIdempotent) {
+  core::Buffer b = rt.malloc_system(1 << 12);
+  sys.host_phase_begin("flush");
+  {
+    auto s = rt.host_span<int>(b);
+    s.store(0, 1);
+    s.flush();
+    s.flush();
+    s.store(1, 2);
+  }
+  const auto& rec = sys.host_phase_end();
+  EXPECT_EQ(rec.traffic.ddr_write_bytes, 2u * 64u);  // two page visits, 1 line each
+}
+
+}  // namespace
+}  // namespace ghum
