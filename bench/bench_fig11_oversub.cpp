@@ -10,6 +10,7 @@
 // too, and the qv simulation behaves like srad.
 
 #include <cstdio>
+#include <optional>
 
 #include "benchsupport/report.hpp"
 #include "benchsupport/scenarios.hpp"
@@ -20,25 +21,31 @@ namespace bs = benchsupport;
 
 namespace {
 
-double run_with_ratio(const bs::NamedApp& app, apps::MemMode mode, double ratio,
-                      std::uint64_t peak) {
+// nullopt => the run died of memory exhaustion at this ratio (the row
+// prints FAILED instead of a speedup).
+std::optional<double> run_with_ratio(const bs::NamedApp& app, apps::MemMode mode,
+                                     double ratio, std::uint64_t peak) {
   core::System sys{bs::rodinia_config(pagetable::kSystemPage4K, false)};
   runtime::Runtime rt{sys};
   auto reserve = bs::reserve_for_oversubscription(sys, peak, ratio);
-  const auto r = app.run(rt, mode, bs::Scale::kDefault);
+  const auto r =
+      bs::guarded_run([&] { return app.run(rt, mode, bs::Scale::kDefault); });
   if (reserve) rt.free(*reserve);
-  return r.times.reported_total_s();
+  if (!r.ok()) return std::nullopt;
+  return r.report.times.reported_total_s();
 }
 
-double qv_with_ratio(apps::MemMode mode, double ratio, std::uint64_t peak,
-                     std::uint32_t qubits) {
+std::optional<double> qv_with_ratio(apps::MemMode mode, double ratio,
+                                    std::uint64_t peak, std::uint32_t qubits) {
   core::System sys{bs::qv_config(pagetable::kSystemPage4K, false)};
   runtime::Runtime rt{sys};
   auto reserve = bs::reserve_for_oversubscription(sys, peak, ratio);
-  const auto r =
-      apps::run_qvsim(rt, mode, bs::qv_sim_config(bs::Scale::kDefault, qubits));
+  const auto r = bs::guarded_run([&] {
+    return apps::run_qvsim(rt, mode, bs::qv_sim_config(bs::Scale::kDefault, qubits));
+  });
   if (reserve) rt.free(*reserve);
-  return r.times.reported_total_s();
+  if (!r.ok()) return std::nullopt;
+  return r.report.times.reported_total_s();
 }
 
 }  // namespace
@@ -62,18 +69,29 @@ int main() {
           return app.run(rt, apps::MemMode::kManaged, bs::Scale::kDefault);
         });
     std::printf("%-12s", app.name.c_str());
-    double spd[4];
+    std::optional<double> spd[4];
     int i = 0;
     for (const double ratio : ratios) {
-      const double t_sys = run_with_ratio(app, apps::MemMode::kSystem, ratio, peak);
-      const double t_man = run_with_ratio(app, apps::MemMode::kManaged, ratio, peak);
-      spd[i++] = t_man / t_sys;
-      std::printf(" %9.2fx", t_man / t_sys);
+      const auto t_sys = run_with_ratio(app, apps::MemMode::kSystem, ratio, peak);
+      const auto t_man = run_with_ratio(app, apps::MemMode::kManaged, ratio, peak);
+      if (t_sys && t_man) {
+        spd[i] = *t_man / *t_sys;
+        std::printf(" %9.2fx", *spd[i]);
+      } else {
+        std::printf(" %10s", "FAILED");  // out of memory at this ratio
+      }
+      ++i;
     }
     std::printf("\n");
     i = 0;
     for (const double ratio : ratios) {
-      std::printf("data\tfig11\t%s\t%.2f\t%.4f\n", app.name.c_str(), ratio, spd[i++]);
+      if (spd[i]) {
+        std::printf("data\tfig11\t%s\t%.2f\t%.4f\n", app.name.c_str(), ratio, *spd[i]);
+      } else {
+        std::printf("data\tfig11\t%s\t%.2f\tFAILED: out of memory\n",
+                    app.name.c_str(), ratio);
+      }
+      ++i;
     }
   }
 
@@ -86,9 +104,13 @@ int main() {
         });
     std::printf("%-12s", "qiskit");
     for (const double ratio : ratios) {
-      const double t_sys = qv_with_ratio(apps::MemMode::kSystem, ratio, peak, qubits);
-      const double t_man = qv_with_ratio(apps::MemMode::kManaged, ratio, peak, qubits);
-      std::printf(" %9.2fx", t_man / t_sys);
+      const auto t_sys = qv_with_ratio(apps::MemMode::kSystem, ratio, peak, qubits);
+      const auto t_man = qv_with_ratio(apps::MemMode::kManaged, ratio, peak, qubits);
+      if (t_sys && t_man) {
+        std::printf(" %9.2fx", *t_man / *t_sys);
+      } else {
+        std::printf(" %10s", "FAILED");
+      }
     }
     std::printf("\n");
   }

@@ -38,16 +38,27 @@ void run_case(const char* label, std::uint32_t qubits, double oversub_ratio) {
         const std::uint64_t sv_bytes = 16ull << qubits;
         reserve = bs::reserve_for_oversubscription(sys, sv_bytes, oversub_ratio);
       }
-      const auto r = apps::run_qvsim(
-          rt, mode, bs::qv_sim_config(bs::Scale::kDefault, qubits));
+      const auto res = bs::guarded_run([&] {
+        return apps::run_qvsim(rt, mode, bs::qv_sim_config(bs::Scale::kDefault, qubits));
+      });
+      const char* page_name = page == pagetable::kSystemPage4K ? "4k" : "64k";
+      if (!res.ok()) {
+        // How the run ends on the real machine when the mode cannot survive
+        // this oversubscription level — reported as a row, not a crash.
+        std::printf("%-9s %-6s FAILED: %s\n", std::string{to_string(mode)}.c_str(),
+                    page_name, std::string{to_string(res.status)}.c_str());
+        std::printf("data\tfig13\t%s\t%s\t%s\tFAILED\tFAILED\n", label,
+                    std::string{to_string(mode)}.c_str(), page_name);
+        if (reserve) rt.free(*reserve);
+        continue;
+      }
+      const auto& r = res.report;
       std::printf("%-9s %-6s %12.3f %12.3f %12.3f\n",
-                  std::string{to_string(mode)}.c_str(),
-                  page == pagetable::kSystemPage4K ? "4k" : "64k",
+                  std::string{to_string(mode)}.c_str(), page_name,
                   r.times.gpu_init_s * 1e3, r.times.compute_s * 1e3,
                   r.times.reported_total_s() * 1e3);
       std::printf("data\tfig13\t%s\t%s\t%s\t%g\t%g\n", label,
-                  std::string{to_string(mode)}.c_str(),
-                  page == pagetable::kSystemPage4K ? "4k" : "64k",
+                  std::string{to_string(mode)}.c_str(), page_name,
                   r.times.gpu_init_s * 1e3, r.times.compute_s * 1e3);
       if (reserve) rt.free(*reserve);
     }

@@ -1,0 +1,235 @@
+// Robustness chaos sweep: every application x memory mode under injected
+// memory-system faults (frame-allocation denials, flaky migration batches,
+// NVLink-C2C brownouts, uncorrectable-ECC frame retirement, and a combined
+// scenario under GPU memory pressure).
+//
+// Expectations: zero uncaught exceptions — every run either completes
+// (OK/DEGRADED vs. the fault-free baseline) or fails with a reported
+// ghum::Status row ("FAILED: out of memory"), and every scenario is
+// bit-for-bit reproducible: the same seed and config give the same
+// simulated end time and event-log digest on a second run.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "benchsupport/report.hpp"
+#include "benchsupport/scenarios.hpp"
+#include "profile/tracer.hpp"
+#include "runtime/runtime.hpp"
+
+using namespace ghum;
+namespace bs = benchsupport;
+
+namespace {
+
+struct Scenario {
+  std::string name;
+  fault::FaultConfig faults;
+  bool pressure = false;  ///< shrink HBM to ~75 % of the managed peak
+};
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> v;
+  v.push_back({.name = "baseline", .faults = {}});
+
+  fault::FaultConfig denial;
+  denial.enabled = true;
+  denial.frame_alloc_denial_prob = 0.02;
+  v.push_back({.name = "alloc_denial", .faults = denial});
+
+  fault::FaultConfig flaky;
+  flaky.enabled = true;
+  flaky.migration_batch_fail_prob = 0.25;
+  v.push_back({.name = "flaky_migration", .faults = flaky});
+
+  // The apps spend their first ~8 ms of simulated time in host-side init;
+  // compute (and thus C2C traffic) runs in the tail, so the brownout
+  // windows straddle the mid-run and the compute phase.
+  fault::FaultConfig brownout;
+  brownout.enabled = true;
+  brownout.link_degrade.push_back({.start = sim::milliseconds(4),
+                                   .duration = sim::milliseconds(3),
+                                   .bandwidth_factor = 4.0,
+                                   .latency_factor = 3.0});
+  brownout.link_degrade.push_back({.start = sim::milliseconds(7.5),
+                                   .duration = sim::milliseconds(10),
+                                   .bandwidth_factor = 2.0,
+                                   .latency_factor = 2.0});
+  v.push_back({.name = "link_brownout", .faults = brownout});
+
+  fault::FaultConfig ecc;
+  ecc.enabled = true;
+  ecc.ecc_events.push_back({.time = sim::milliseconds(1), .bytes = 2ull << 20});
+  ecc.ecc_events.push_back({.time = sim::milliseconds(2), .bytes = 2ull << 20});
+  ecc.ecc_events.push_back({.time = sim::milliseconds(5), .bytes = 2ull << 20});
+  v.push_back({.name = "ecc_storm", .faults = ecc});
+
+  fault::FaultConfig combined;
+  combined.enabled = true;
+  combined.frame_alloc_denial_prob = 0.01;
+  combined.migration_batch_fail_prob = 0.1;
+  combined.link_degrade.push_back({.start = sim::milliseconds(6),
+                                   .duration = sim::milliseconds(6),
+                                   .bandwidth_factor = 3.0,
+                                   .latency_factor = 2.0});
+  combined.ecc_events.push_back({.time = sim::milliseconds(1), .bytes = 2ull << 20});
+  combined.ecc_events.push_back({.time = sim::milliseconds(3), .bytes = 2ull << 20});
+  v.push_back({.name = "combined_pressure", .faults = combined, .pressure = true});
+  return v;
+}
+
+struct ChaosApp {
+  std::string name;
+  std::function<core::SystemConfig()> config;
+  std::function<apps::AppReport(runtime::Runtime&, apps::MemMode)> run;
+};
+
+std::vector<ChaosApp> chaos_apps() {
+  std::vector<ChaosApp> v;
+  for (const auto& a : bs::rodinia_apps()) {
+    v.push_back(ChaosApp{
+        .name = a.name,
+        .config = [] { return bs::rodinia_config(pagetable::kSystemPage64K, false); },
+        .run = [run = a.run](runtime::Runtime& rt, apps::MemMode m) {
+          return run(rt, m, bs::Scale::kDefault);
+        }});
+  }
+  v.push_back(ChaosApp{
+      .name = "qiskit",
+      .config = [] { return bs::qv_config(pagetable::kSystemPage64K, false); },
+      .run = [](runtime::Runtime& rt, apps::MemMode m) {
+        return apps::run_qvsim(rt, m, bs::qv_sim_config(bs::Scale::kDefault, 17));
+      }});
+  return v;
+}
+
+/// FNV-1a over the full event stream plus the final simulated time: two
+/// runs match iff they took the same decisions at the same times.
+std::uint64_t digest_events(const sim::EventLog& log, sim::Picos end_time) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const auto& e : log.events()) {
+    mix(static_cast<std::uint64_t>(e.time));
+    mix(static_cast<std::uint64_t>(e.type));
+    mix(e.va);
+    mix(e.bytes);
+    mix(e.aux);
+  }
+  mix(static_cast<std::uint64_t>(end_time));
+  return h;
+}
+
+struct RunOutcome {
+  Status status = Status::kSuccess;
+  sim::Picos end_time = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t denials = 0;
+  std::size_t retries = 0;
+  std::size_t retirements = 0;
+  std::size_t fallbacks = 0;
+};
+
+RunOutcome one_run(const ChaosApp& app, apps::MemMode mode, const Scenario& sc,
+                   std::uint64_t peak) {
+  core::SystemConfig cfg = app.config();
+  cfg.event_log = true;
+  cfg.faults = sc.faults;
+  if (sc.pressure) {
+    cfg.hbm_capacity =
+        std::max<std::uint64_t>(8ull << 20, cfg.gpu_driver_baseline + peak * 3 / 4);
+  }
+  core::System sys{cfg};
+  runtime::Runtime rt{sys};
+  const auto res = bs::guarded_run([&] { return app.run(rt, mode); });
+
+  RunOutcome out;
+  out.status = res.status;
+  out.end_time = sys.now();
+  out.digest = digest_events(sys.events(), sys.now());
+  out.denials = sys.fault_injector().denials();
+  const auto trace = profile::Tracer{sys.events()}.summarize();
+  out.retries = trace.migration_retries;
+  out.retirements = trace.ecc_retirements;
+  out.fallbacks = trace.fallback_placements;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bs::print_figure_header(
+      "Robustness", "chaos sweep: apps x memory modes under injected faults",
+      "every cell completes or fails with a Status row; repeated runs are "
+      "bit-for-bit identical (same simulated end time and event digest)");
+
+  const auto apps_v = chaos_apps();
+  const auto scenarios_v = scenarios();
+
+  // Fault-free per-(app, mode) reference times, filled by the baseline
+  // scenario (first in the list) and used to classify DEGRADED cells.
+  std::vector<double> baseline_ms(apps_v.size() * 3, 0.0);
+
+  std::size_t failed_cells = 0;
+  std::size_t nonrepro_cells = 0;
+
+  std::printf("%-18s %-12s %-9s %-24s %10s %9s %8s %8s %6s\n", "scenario", "app",
+              "mode", "outcome", "time_ms", "slowdown", "denials", "retries",
+              "repro");
+  for (const auto& sc : scenarios_v) {
+    for (std::size_t ai = 0; ai < apps_v.size(); ++ai) {
+      const auto& app = apps_v[ai];
+      // Managed-version peak GPU footprint (paper Section 3.2), used to
+      // size the pressure scenario's shrunken HBM.
+      const std::uint64_t peak =
+          sc.pressure ? bs::measure_peak_gpu(app.config(),
+                                             [&](runtime::Runtime& rt) {
+                                               return app.run(rt, apps::MemMode::kManaged);
+                                             })
+                      : 0;
+      for (apps::MemMode mode : {apps::MemMode::kExplicit, apps::MemMode::kManaged,
+                                 apps::MemMode::kSystem}) {
+        const RunOutcome r1 = one_run(app, mode, sc, peak);
+        const RunOutcome r2 = one_run(app, mode, sc, peak);
+        const bool repro = r1.end_time == r2.end_time && r1.digest == r2.digest;
+        if (!repro) ++nonrepro_cells;
+
+        const double ms = sim::to_milliseconds(r1.end_time);
+        const std::size_t bi = ai * 3 + static_cast<std::size_t>(mode);
+        if (sc.name == "baseline") baseline_ms[bi] = ms;
+        const double slowdown = baseline_ms[bi] > 0 ? ms / baseline_ms[bi] : 1.0;
+
+        std::string outcome;
+        if (r1.status != Status::kSuccess) {
+          ++failed_cells;
+          outcome = "FAILED: " + std::string{to_string(r1.status)};
+        } else {
+          outcome = slowdown > 1.05 ? "DEGRADED" : "OK";
+        }
+        std::printf("%-18s %-12s %-9s %-24s %10.3f %8.2fx %8llu %8zu %6s\n",
+                    sc.name.c_str(), app.name.c_str(),
+                    std::string{to_string(mode)}.c_str(), outcome.c_str(), ms,
+                    slowdown, static_cast<unsigned long long>(r1.denials),
+                    r1.retries, repro ? "yes" : "NO");
+        std::printf("data\tchaos\t%s\t%s\t%s\t%s\t%.4f\t%.4f\t%llu\t%zu\t%zu\t%zu\t%d\n",
+                    sc.name.c_str(), app.name.c_str(),
+                    std::string{to_string(mode)}.c_str(), outcome.c_str(), ms,
+                    slowdown, static_cast<unsigned long long>(r1.denials),
+                    r1.retries, r1.retirements, r1.fallbacks, repro ? 1 : 0);
+      }
+    }
+  }
+
+  std::printf("\nsummary: %zu cells, %zu failed-with-status, %zu non-reproducible, "
+              "0 uncaught exceptions\n",
+              scenarios_v.size() * apps_v.size() * 3, failed_cells, nonrepro_cells);
+  // Non-reproducibility is a bug in the deterministic-injection contract.
+  return nonrepro_cells == 0 ? 0 : 1;
+}

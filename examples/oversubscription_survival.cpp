@@ -38,16 +38,17 @@ int main() {
       core::System sys{cfg};
       runtime::Runtime rt{sys};
       auto reserve = bs::reserve_for_oversubscription(sys, peak, ratio);
-      apps::AppReport report;
-      try {
-        report = apps::run_hotspot(rt, mode, app_cfg);
-      } catch (const std::bad_alloc&) {
+      const auto result = bs::guarded_run(
+          [&] { return apps::run_hotspot(rt, mode, app_cfg); });
+      if (!result.ok()) {
         // At extreme ratios even the cudaMalloc'd ping-pong intermediate no
         // longer fits — exactly how the run would die on the real machine.
-        std::printf("%-9s %-8.2f %12s\n", std::string{to_string(mode)}.c_str(),
-                    ratio, "cudaMalloc OOM");
+        std::printf("%-9s %-8.2f FAILED: %s\n",
+                    std::string{to_string(mode)}.c_str(), ratio,
+                    std::string{to_string(result.status)}.c_str());
         continue;
       }
+      const apps::AppReport& report = result.report;
       profile::Tracer tracer{sys.events()};
       const auto s = tracer.summarize();
       std::printf("%-9s %-8.2f %12.3f %10zu %12.2f %12.2f %12.2f\n",

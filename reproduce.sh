@@ -4,10 +4,18 @@
 # bench_output.txt (see EXPERIMENTS.md for the paper-vs-measured reading).
 set -eu
 
-cmake -B build -G Ninja
+cmake -B build -S . -G Ninja
 cmake --build build
 
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+# Sanitized pass (ASan + UBSan): the whole test suite again, instrumented.
+# Benches and examples are skipped here — they rerun the same simulator
+# paths the tests cover, just for longer.
+cmake -B build-asan -S . -G Ninja -DGHUM_SANITIZE=ON \
+  -DGHUM_BUILD_BENCH=OFF -DGHUM_BUILD_EXAMPLES=OFF
+cmake --build build-asan
+ctest --test-dir build-asan --output-on-failure 2>&1 | tee test_output_asan.txt
 
 {
   for b in build/bench/bench_*; do

@@ -1,5 +1,7 @@
 #include "benchsupport/scenarios.hpp"
 
+#include <new>
+
 #include "runtime/runtime.hpp"
 
 namespace ghum::benchsupport {
@@ -122,6 +124,18 @@ std::uint64_t measure_peak_gpu(
   const std::uint64_t peak = sys.profiler().peak_gpu_used();
   const std::uint64_t base = cfg.gpu_driver_baseline;
   return peak > base ? peak - base : 0;
+}
+
+GuardedResult guarded_run(const std::function<apps::AppReport()>& run) {
+  GuardedResult r;
+  try {
+    r.report = run();
+  } catch (const StatusError& e) {
+    r.status = e.status();
+  } catch (const std::bad_alloc&) {
+    r.status = Status::kErrorMemoryAllocation;
+  }
+  return r;
 }
 
 }  // namespace ghum::benchsupport

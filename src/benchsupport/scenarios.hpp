@@ -65,4 +65,17 @@ struct NamedApp {
     const core::SystemConfig& cfg,
     const std::function<apps::AppReport(runtime::Runtime&)>& run);
 
+/// Outcome of a run guarded against memory exhaustion: either a report, or
+/// the ghum::Status the run died with (out of memory, allocation failure).
+struct GuardedResult {
+  Status status = Status::kSuccess;
+  apps::AppReport report{};
+  [[nodiscard]] bool ok() const noexcept { return status == Status::kSuccess; }
+};
+
+/// Runs \p run, converting memory-exhaustion escapes (ghum::StatusError,
+/// std::bad_alloc) into a Status — so sweep benches print a
+/// "FAILED: out of memory" row and keep going instead of dying mid-table.
+[[nodiscard]] GuardedResult guarded_run(const std::function<apps::AppReport()>& run);
+
 }  // namespace ghum::benchsupport

@@ -109,6 +109,13 @@ struct CostModel {
   /// time depending on the type of memory management", Section 4).
   sim::Picos gpu_free_base = sim::microseconds(180);
 
+  // --- Fault handling (fault-injection subsystem) --------------------------
+  /// Driver-side handling of one uncorrectable-ECC retirement: parse the
+  /// error record, offline the affected frames, update the retirement map.
+  /// (Real driver: dynamic page retirement / row remapping on recoverable
+  /// paths; we only model the bookkeeping latency, not a process kill.)
+  sim::Picos ecc_retire = sim::microseconds(50);
+
   // --- GPU compute throughput ---------------------------------------------
   /// Used to convert kernels' arithmetic-work hints into a compute-time
   /// floor: simulated kernel time is at least work_flops / this.

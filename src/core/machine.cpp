@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fault/fault_injector.hpp"
+
 namespace ghum::core {
 
 bool Machine::map_system_page(os::Vma& vma, std::uint64_t va, mem::Node node) {
@@ -11,6 +13,7 @@ bool Machine::map_system_page(os::Vma& vma, std::uint64_t va, mem::Node node) {
     throw std::logic_error{"map_system_page: page already mapped"};
   }
   const std::uint64_t bytes = system_page_bytes();
+  if (fi_ != nullptr && fi_->deny_frame_alloc(node)) return false;
   if (!frames(node).allocate(bytes)) return false;
   system_pt_.map(page_va, pagetable::Pte{.node = node, .writable = true});
   const auto delta = static_cast<std::int64_t>(bytes);
@@ -43,6 +46,7 @@ bool Machine::move_system_page(os::Vma& vma, std::uint64_t va, mem::Node to) {
   const mem::Node from = pte->node;
   if (from == to) return true;
   const std::uint64_t bytes = system_page_bytes();
+  if (fi_ != nullptr && fi_->deny_frame_alloc(to)) return false;
   if (!frames(to).allocate(bytes)) return false;
   frames(from).release(bytes);
   system_pt_.set_node(page_va, to);
@@ -67,6 +71,7 @@ bool Machine::map_gpu_block(os::Vma& vma, std::uint64_t block_va) {
     throw std::logic_error{"map_gpu_block: block already mapped"};
   }
   const std::uint64_t bytes = gpu_block_bytes(vma, block_base);
+  if (fi_ != nullptr && fi_->deny_frame_alloc(mem::Node::kGpu)) return false;
   if (!gpu_fa_.allocate(bytes)) return false;
   gpu_pt_.map(block_base, pagetable::Pte{.node = mem::Node::kGpu, .writable = true});
   as_.note_resident_delta(vma, 0, static_cast<std::int64_t>(bytes));

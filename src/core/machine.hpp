@@ -26,6 +26,10 @@
 /// Transitions are cost-free: callers (the policy layers) charge the clock
 /// according to *why* the transition happened (fault, migration, eviction).
 
+namespace ghum::fault {
+class FaultInjector;
+}  // namespace ghum::fault
+
 namespace ghum::core {
 
 class Machine {
@@ -71,6 +75,12 @@ class Machine {
   [[nodiscard]] pagetable::Smmu& smmu() noexcept { return smmu_; }
   [[nodiscard]] pagetable::Gmmu& gmmu() noexcept { return gmmu_; }
   [[nodiscard]] os::AddressSpace& address_space() noexcept { return as_; }
+
+  /// Installed by core::System when cfg.faults.enabled. The injector gets a
+  /// veto on every frame allocation (transient ENOMEM / allocation-retry
+  /// paths in the real driver); nullptr means no injection.
+  void set_fault_injector(fault::FaultInjector* fi) noexcept { fi_ = fi; }
+  [[nodiscard]] fault::FaultInjector* fault_injector() const noexcept { return fi_; }
 
   /// Bumped on every residency change; spans use it to invalidate their
   /// cached page resolutions when a migration lands mid-kernel.
@@ -127,6 +137,7 @@ class Machine {
   pagetable::Smmu smmu_;
   pagetable::Gmmu gmmu_;
   os::AddressSpace as_;
+  fault::FaultInjector* fi_ = nullptr;
   std::uint64_t epoch_ = 0;
 };
 

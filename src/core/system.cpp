@@ -17,6 +17,7 @@ Buffer make_buffer(os::Vma& vma) {
 
 System::System(SystemConfig cfg)
     : m_(cfg),
+      fi_(m_),
       pf_(m_),
       sysalloc_(m_),
       mig_(m_),
@@ -28,21 +29,43 @@ System::System(SystemConfig cfg)
     throw std::invalid_argument{"SystemConfig: Grace supports 4 KiB or 64 KiB pages"};
   }
   if (cfg.profiler_enabled) profiler_.start();
+  if (cfg.faults.enabled) {
+    m_.set_fault_injector(&fi_);
+    if (fi_.has_link_windows()) {
+      // The observer only flips link-degradation state (no clock advance,
+      // no eviction), so it is safe to run inside Clock::advance.
+      m_.clock().add_observer(
+          [this](sim::Picos /*before*/, sim::Picos after) { fi_.on_time_advance(after); });
+      fi_.on_time_advance(m_.clock().now());
+    }
+  }
 }
 
 // --- allocation ---------------------------------------------------------------
 
 Buffer System::sys_malloc(std::uint64_t bytes, std::string label) {
+  service_faults();
   return make_buffer(sysalloc_.allocate(bytes, std::move(label)));
 }
 
 Buffer System::managed_malloc(std::uint64_t bytes, std::string label) {
   ensure_gpu_context();
+  service_faults();
   return make_buffer(managed_.allocate(bytes, std::move(label)));
 }
 
 Buffer System::gpu_malloc(std::uint64_t bytes, std::string label) {
+  Buffer out;
+  if (gpu_malloc_status(bytes, out, std::move(label)) != Status::kSuccess) {
+    throw std::bad_alloc{};
+  }
+  return out;
+}
+
+Status System::gpu_malloc_status(std::uint64_t bytes, Buffer& out,
+                                 std::string label) {
   ensure_gpu_context();
+  service_faults();
   const auto& costs = m_.config().costs;
   os::Vma& vma = m_.address_space().create(bytes, os::AllocKind::kGpuOnly,
                                            pagetable::kGpuPageSize, std::move(label));
@@ -52,13 +75,32 @@ Buffer System::gpu_malloc(std::uint64_t bytes, std::string label) {
                      costs.alloc_per_page * static_cast<sim::Picos>(blocks));
   for (std::uint64_t block = vma.base; block < vma.end();
        block += pagetable::kGpuPageSize) {
-    if (!m_.map_gpu_block(vma, block)) {
+    bool mapped = false;
+    for (int attempt = 0; attempt < 4 && !mapped; ++attempt) {
+      mapped = m_.map_gpu_block(vma, block);
+      if (mapped) break;
+      // Genuinely out of HBM frames: no amount of retrying helps.
+      if (m_.frames(mem::Node::kGpu).free_bytes() < m_.gpu_block_bytes(vma, block)) {
+        break;
+      }
+      // Transient injected denial: the driver's allocator retries.
+      m_.clock().advance(sim::microseconds(5));
+    }
+    if (!mapped) {
       // cudaMalloc fails: roll the partial mapping back and report OOM.
       for (std::uint64_t b = vma.base; b < block; b += pagetable::kGpuPageSize) {
         m_.unmap_gpu_block(vma, b);
       }
       m_.address_space().destroy(vma.base);
-      throw std::bad_alloc{};
+      m_.stats().add("runtime.oom.gpu_malloc");
+      if (m_.events().enabled()) {
+        m_.events().record(sim::Event{.time = m_.clock().now(),
+                                      .type = sim::EventType::kOutOfMemory,
+                                      .va = block,
+                                      .bytes = bytes,
+                                      .aux = 1});
+      }
+      return Status::kErrorMemoryAllocation;
     }
   }
   if (m_.events().enabled()) {
@@ -68,7 +110,8 @@ Buffer System::gpu_malloc(std::uint64_t bytes, std::string label) {
                                   .bytes = bytes,
                                   .aux = static_cast<std::uint32_t>(vma.kind)});
   }
-  return make_buffer(vma);
+  out = make_buffer(vma);
+  return Status::kSuccess;
 }
 
 Buffer System::pinned_malloc(std::uint64_t bytes, std::string label) {
@@ -76,10 +119,13 @@ Buffer System::pinned_malloc(std::uint64_t bytes, std::string label) {
   return make_buffer(sysalloc_.allocate_pinned(bytes, std::move(label)));
 }
 
-void System::free_buffer(Buffer& buf) {
-  if (!buf.valid()) return;
+Status System::free_buffer(Buffer& buf) {
+  if (!buf.valid()) return Status::kSuccess;  // cudaFree(nullptr) semantics
   os::Vma* vma = m_.address_space().find_exact(buf.va);
-  if (vma == nullptr) throw std::invalid_argument{"free_buffer: unknown buffer"};
+  if (vma == nullptr) {
+    return freed_bases_.contains(buf.va) ? Status::kErrorDoubleFree
+                                         : Status::kErrorInvalidValue;
+  }
   const auto& costs = m_.config().costs;
   switch (vma->kind) {
     case os::AllocKind::kSystem:
@@ -100,13 +146,53 @@ void System::free_buffer(Buffer& buf) {
       break;
     }
   }
+  freed_bases_.insert(buf.va);
   buf = Buffer{};
+  return Status::kSuccess;
 }
 
-void System::host_register(const Buffer& buf) {
+Status System::host_register(const Buffer& buf) {
   os::Vma* vma = m_.address_space().find_exact(buf.va);
-  if (vma == nullptr) throw std::invalid_argument{"host_register: unknown buffer"};
-  pf_.host_register(*vma);
+  if (vma == nullptr) return Status::kErrorInvalidValue;
+  return pf_.host_register(*vma) ? Status::kSuccess
+                                 : Status::kErrorMemoryAllocation;
+}
+
+void System::service_faults() {
+  if (!fi_.enabled()) return;
+  while (const fault::EccEvent* e = fi_.take_due_ecc(m_.clock().now())) {
+    handle_ecc(*e);
+  }
+}
+
+void System::handle_ecc(const fault::EccEvent& e) {
+  auto& gpu_fa = m_.frames(mem::Node::kGpu);
+  const std::uint64_t want = e.bytes;
+  std::uint64_t retired = gpu_fa.retire(want);
+  if (retired < want) {
+    // The bad frames are (conservatively) in use: vacate by evicting
+    // managed blocks, then retire the freed frames. The vacating writeback
+    // is the resilience response, so injection is suppressed for it.
+    fault::FaultInjector::ScopedSuppress guard{&fi_};
+    if (managed_.make_room(want - retired)) {
+      retired += gpu_fa.retire(want - retired);
+    }
+  }
+  m_.clock().advance(m_.config().costs.ecc_retire);
+  m_.stats().add("fault.ecc_events");
+  m_.stats().add("fault.ecc_retired_bytes", retired);
+  if (retired < want) {
+    // Everything left is pinned GPU-only data; the remainder of the page
+    // retirement is deferred (real driver: pending retirement).
+    m_.stats().add("fault.ecc_unretired_bytes", want - retired);
+  }
+  if (m_.events().enabled()) {
+    m_.events().record(sim::Event{.time = m_.clock().now(),
+                                  .type = sim::EventType::kEccRetirement,
+                                  .va = 0,
+                                  .bytes = retired,
+                                  .aux = retired < want ? 1u : 0u});
+  }
 }
 
 void System::mem_advise(const Buffer& buf, MemAdvice advice) {
@@ -246,6 +332,7 @@ void System::ensure_gpu_context() {
 }
 
 void System::kernel_begin(std::string name) {
+  service_faults();
   begin_phase(std::move(name), /*gpu=*/true);
   // Context initialization triggered by a kernel launch lands *inside* the
   // kernel's measured duration — the paper's Section 4 observation about
@@ -388,6 +475,7 @@ void System::maybe_numa_hint_fault(std::uint64_t page_va, mem::Node origin) {
 }
 
 PageView System::resolve(std::uint64_t va, mem::Node origin) {
+  service_faults();
   os::Vma* vma = m_.address_space().find(va);
   if (vma == nullptr) {
     throw std::out_of_range{"resolve: access outside any allocation (SIGSEGV)"};

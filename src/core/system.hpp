@@ -3,12 +3,15 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_set>
 
 #include "cache/kernel_traffic.hpp"
 #include "core/machine.hpp"
 #include "driver/access_counter.hpp"
 #include "driver/managed_engine.hpp"
 #include "driver/migration_engine.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/status.hpp"
 #include "os/page_fault.hpp"
 #include "os/system_allocator.hpp"
 #include "profile/memory_profiler.hpp"
@@ -81,13 +84,36 @@ class System {
   /// cudaMalloc(): eagerly mapped in GPU memory; throws std::bad_alloc
   /// when HBM is exhausted (as cudaMalloc fails on the real machine).
   Buffer gpu_malloc(std::uint64_t bytes, std::string label = "gpu");
+  /// Non-throwing cudaMalloc core: fills \p out on success, returns
+  /// kErrorMemoryAllocation (leaving \p out untouched) when HBM is
+  /// exhausted. Transient injected frame denials are retried a few times
+  /// before being reported as OOM.
+  Status gpu_malloc_status(std::uint64_t bytes, Buffer& out,
+                           std::string label = "gpu");
   /// cudaMallocHost(): pinned, eagerly populated CPU memory.
   Buffer pinned_malloc(std::uint64_t bytes, std::string label = "pinned");
   /// free()/cudaFree()/cudaFreeHost() according to the buffer kind.
-  void free_buffer(Buffer& buf);
+  /// Mirrors cudaFree's error surface instead of throwing: an invalid
+  /// handle is a no-op success (cudaFree(nullptr)), freeing an already
+  /// freed buffer returns kErrorDoubleFree, and a VA that was never an
+  /// allocation base returns kErrorInvalidValue. The address space
+  /// bump-allocates VAs (never reuses them), so double frees are
+  /// distinguishable from garbage for the whole run.
+  Status free_buffer(Buffer& buf);
 
   /// cudaHostRegister-style pre-population (Section 5.1.2 optimization).
-  void host_register(const Buffer& buf);
+  /// Returns kErrorInvalidValue for an unknown buffer and
+  /// kErrorMemoryAllocation when CPU frames ran out part-way (the populated
+  /// prefix stays mapped; the rest faults on demand).
+  Status host_register(const Buffer& buf);
+
+  /// Processes due time-scheduled faults (ECC retirements). Called at API
+  /// entry points — not from the clock observer, because retirement can
+  /// evict managed blocks and advance the clock. Cheap no-op when nothing
+  /// is pending.
+  void service_faults();
+
+  [[nodiscard]] fault::FaultInjector& fault_injector() noexcept { return fi_; }
 
   /// cudaMemAdvise hints (whole-allocation granularity).
   enum class MemAdvice {
@@ -183,6 +209,11 @@ class System {
   [[nodiscard]] std::string summary() const;
 
  private:
+  /// Retires GPU frames for one uncorrectable-ECC event: free frames are
+  /// retired directly; in-use frames are vacated by evicting managed
+  /// blocks first (remap instead of abort).
+  void handle_ecc(const fault::EccEvent& e);
+
   void begin_phase(std::string name, bool gpu);
   const cache::KernelRecord& end_phase(double flop_work);
 
@@ -201,6 +232,7 @@ class System {
   void maybe_numa_hint_fault(std::uint64_t page_va, mem::Node origin);
 
   Machine m_;
+  fault::FaultInjector fi_;
   os::PageFaultHandler pf_;
   os::SystemAllocator sysalloc_;
   driver::MigrationEngine mig_;
@@ -220,6 +252,9 @@ class System {
   std::uint64_t c2c_h2d_at_start_ = 0;
   std::uint64_t c2c_d2h_at_start_ = 0;
   cache::KernelRecord last_record_;
+  /// Base VAs of successfully freed buffers; VAs are never reused, so
+  /// membership identifies a double free (vs. a never-valid pointer).
+  std::unordered_set<std::uint64_t> freed_bases_;
 };
 
 }  // namespace ghum::core

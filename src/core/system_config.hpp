@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/cost_model.hpp"
+#include "fault/fault_config.hpp"
 #include "pagetable/page_table.hpp"
 
 /// \file system_config.hpp
@@ -75,6 +76,10 @@ struct SystemConfig {
   bool profiler_enabled = false;
 
   CostModel costs{};
+
+  /// Deterministic fault injection (DESIGN.md "Fault model & resilience").
+  /// Disabled by default; the chaos bench and the fault tests enable it.
+  fault::FaultConfig faults{};
 
   /// Human-readable tag used in reports.
   std::string name = "grace-hopper-sim";

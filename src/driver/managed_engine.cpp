@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fault/fault_injector.hpp"
+#include "fault/status.hpp"
+
 namespace ghum::driver {
 
 namespace {
@@ -54,10 +57,22 @@ ManagedResolution ManagedEngine::gpu_fault(os::Vma& vma, std::uint64_t va,
 
   auto remote_resolve = [&]() -> ManagedResolution {
     // Thrash guard: map the data remotely instead of migrating. Pages that
-    // were never touched still need CPU frames the first time.
+    // were never touched still need CPU frames the first time. This is the
+    // last-resort placement, so injection is suppressed here — only a
+    // genuinely full CPU makes it fail.
     if (m_->system_pt().lookup(va) == nullptr) {
+      fault::FaultInjector::ScopedSuppress guard{m_->fault_injector()};
       if (!m_->map_system_page(vma, va, mem::Node::kCpu)) {
-        throw std::runtime_error{"managed remote map: CPU memory exhausted"};
+        m_->stats().add("os.fault.oom");
+        if (m_->events().enabled()) {
+          m_->events().record(sim::Event{.time = m_->clock().now(),
+                                         .type = sim::EventType::kOutOfMemory,
+                                         .va = va,
+                                         .bytes = m_->system_page_bytes(),
+                                         .aux = 0});
+        }
+        throw StatusError{Status::kErrorOutOfMemory,
+                          "managed remote map: CPU memory exhausted"};
       }
       m_->clock().advance(m_->config().costs.cpu_minor_fault);
     }
@@ -95,7 +110,11 @@ ManagedResolution ManagedEngine::gpu_fault(os::Vma& vma, std::uint64_t va,
     }
   }
 
-  block_to_gpu(vma, block_base, /*via_fault=*/true);
+  if (!block_to_gpu(vma, block_base, /*via_fault=*/true)) {
+    // Migration denied (injected frame denial or batch abort): serve the
+    // access remotely this time instead of failing the kernel.
+    return remote_resolve();
+  }
   touch_gpu_block(block_base, kernel_id);
   return ManagedResolution{.node = mem::Node::kGpu, .remote_mapped = false};
 }
@@ -110,16 +129,21 @@ mem::Node ManagedEngine::cpu_fault(os::Vma& vma, std::uint64_t va) {
       m_->clock().advance(m_->config().costs.cpu_minor_fault);
       return mem::Node::kGpu;
     }
-    block_to_cpu(vma, block_base, /*is_eviction=*/false);
+    if (!block_to_cpu(vma, block_base, /*is_eviction=*/false)) {
+      // CPU cannot absorb the block (or the batch aborted): the data stays
+      // GPU-resident and this access is served coherently over C2C.
+      m_->clock().advance(m_->config().costs.cpu_minor_fault);
+      return mem::Node::kGpu;
+    }
     return mem::Node::kCpu;
   }
   if (vma.preferred_location == mem::Node::kGpu) {
     // First touch of a GPU-preferred range from the CPU: populate at the
     // preferred location and access it remotely.
     const std::uint64_t need = m_->gpu_block_bytes(vma, block_base);
-    if (m_->frames(mem::Node::kGpu).free_bytes() >= need ||
-        ensure_gpu_room(need, block_base)) {
-      block_to_gpu(vma, block_base, /*via_fault=*/true);
+    if ((m_->frames(mem::Node::kGpu).free_bytes() >= need ||
+         ensure_gpu_room(need, block_base)) &&
+        block_to_gpu(vma, block_base, /*via_fault=*/true)) {
       touch_gpu_block(block_base, 0);
       return mem::Node::kGpu;
     }
@@ -148,7 +172,9 @@ bool ManagedEngine::make_replica(os::Vma& vma, std::uint64_t block_base) {
     }
   }
   if (!m_->map_gpu_block(vma, block_base)) {
-    throw std::logic_error{"make_replica: GPU frames exhausted after ensure"};
+    // Frames denied (injection) or raced away: no replica this time — the
+    // caller serves the access from the authoritative CPU copy.
+    return false;
   }
   const std::uint64_t bytes = m_->gpu_block_bytes(vma, block_base);
   m_->clock().advance(costs.managed_fault_batch +
@@ -225,13 +251,16 @@ void ManagedEngine::prefetch(os::Vma& vma, std::uint64_t base, std::uint64_t len
         fully_resident = false;
         break;
       }
-      block_to_gpu(vma, block, /*via_fault=*/false);
+      if (!block_to_gpu(vma, block, /*via_fault=*/false)) {
+        fully_resident = false;
+        break;
+      }
       touch_gpu_block(block, 0);
       prefetch_protected_.insert(block);
       moved += need;
     } else {
       if (!on_gpu) continue;
-      block_to_cpu(vma, block, /*is_eviction=*/false);
+      if (!block_to_cpu(vma, block, /*is_eviction=*/false)) continue;
       moved += m_->gpu_block_bytes(vma, block);
     }
   }
@@ -280,7 +309,15 @@ bool ManagedEngine::ensure_gpu_room(std::uint64_t bytes, std::uint64_t keep_bloc
       continue;
     }
     const std::uint64_t block_bytes = m_->gpu_block_bytes(*vma, victim);
-    block_to_cpu(*vma, victim, /*is_eviction=*/true);
+    if (!block_to_cpu(*vma, victim, /*is_eviction=*/true)) {
+      // The victim cannot be written back right now (CPU exhausted or the
+      // injected batch aborted): rotate it out of eviction's way and try
+      // the next-least-recently-used block.
+      ++skipped;
+      lru_.splice(lru_.begin(), lru_, std::prev(lru_.end()));
+      m_->stats().add("driver.managed.eviction_blocked");
+      continue;
+    }
     vma_state_[vma->base].evicted_bytes += block_bytes;
   }
   return true;
@@ -299,27 +336,42 @@ void ManagedEngine::enter_remote_mode(os::Vma& vma) {
     if (m_->gpu_pt().lookup(block) == nullptr) continue;
     if (replicas_.contains(block)) {
       collapse_replica(vma, block);
-    } else {
-      block_to_cpu(vma, block, /*is_eviction=*/true);
+    } else if (!block_to_cpu(vma, block, /*is_eviction=*/true)) {
+      // Writeback blocked: the block stays GPU-resident (still correct —
+      // GPU accesses hit it locally, CPU accesses retry the writeback).
+      continue;
     }
   }
 }
 
-void ManagedEngine::block_to_cpu(os::Vma& vma, std::uint64_t block_base,
+bool ManagedEngine::block_to_cpu(os::Vma& vma, std::uint64_t block_base,
                                  bool is_eviction) {
   const auto& costs = m_->config().costs;
+  const std::uint64_t page = m_->system_pt().page_size();
+  const std::uint64_t stop = std::min(block_base + kBlock, vma.end());
+  const std::uint64_t n_pages = (stop - block_base + page - 1) / page;
+
+  // Check both failure sources *before* touching any state, so a refused
+  // writeback leaves the block intact on the GPU.
+  if (m_->frames(mem::Node::kCpu).free_bytes() < n_pages * page) return false;
+  if (!mig_->batch_with_retry(block_base)) return false;
+
   const std::uint64_t bytes = m_->gpu_block_bytes(vma, block_base);
   m_->unmap_gpu_block(vma, block_base);
   forget_block(block_base);
 
-  const std::uint64_t page = m_->system_pt().page_size();
-  const std::uint64_t stop = std::min(block_base + kBlock, vma.end());
   std::uint64_t pages = 0;
-  for (std::uint64_t va = block_base; va < stop; va += page) {
-    if (!m_->map_system_page(vma, va, mem::Node::kCpu)) {
-      throw std::runtime_error{"managed eviction: CPU memory exhausted"};
+  {
+    // The room was verified above; injection must not re-fail the cure
+    // mid-way (that would strand a half-written-back block).
+    fault::FaultInjector::ScopedSuppress guard{m_->fault_injector()};
+    for (std::uint64_t va = block_base; va < stop; va += page) {
+      if (!m_->map_system_page(vma, va, mem::Node::kCpu)) {
+        throw StatusError{Status::kErrorOutOfMemory,
+                          "managed writeback: CPU frames vanished mid-transfer"};
+      }
+      ++pages;
     }
-    ++pages;
   }
 
   m_->clock().advance(mig_->copy_time(interconnect::Direction::kGpuToCpu, bytes) +
@@ -337,13 +389,26 @@ void ManagedEngine::block_to_cpu(os::Vma& vma, std::uint64_t block_base,
                                    .bytes = bytes,
                                    .aux = 0});
   }
+  return true;
 }
 
-void ManagedEngine::block_to_gpu(os::Vma& vma, std::uint64_t block_base,
+bool ManagedEngine::block_to_gpu(os::Vma& vma, std::uint64_t block_base,
                                  bool via_fault) {
   const auto& costs = m_->config().costs;
   const std::uint64_t page = m_->system_pt().page_size();
   const std::uint64_t stop = std::min(block_base + kBlock, vma.end());
+
+  // Scan what would move so the migration-batch gate only fires on actual
+  // copies (a pure GPU first touch moves nothing).
+  std::uint64_t present = 0;
+  for (std::uint64_t va = block_base; va < stop; va += page) {
+    if (m_->system_pt().lookup(va) != nullptr) ++present;
+  }
+  if (present > 0 && !mig_->batch_with_retry(block_base)) return false;
+
+  // Claim the GPU block *before* unmapping the CPU side: if frames are
+  // denied or exhausted, residency is completely unchanged.
+  if (!m_->map_gpu_block(vma, block_base)) return false;
 
   std::uint64_t moved_bytes = 0;
   std::uint64_t pages = 0;
@@ -352,10 +417,6 @@ void ManagedEngine::block_to_gpu(os::Vma& vma, std::uint64_t block_base,
     m_->unmap_system_page(vma, va);
     moved_bytes += page;
     ++pages;
-  }
-
-  if (!m_->map_gpu_block(vma, block_base)) {
-    throw std::logic_error{"block_to_gpu: GPU frames exhausted after ensure_gpu_room"};
   }
   const std::uint64_t block_bytes = m_->gpu_block_bytes(vma, block_base);
 
@@ -406,6 +467,7 @@ void ManagedEngine::block_to_gpu(os::Vma& vma, std::uint64_t block_base,
     }
   }
   m_->stats().add("driver.managed.h2d_bytes", moved_bytes);
+  return true;
 }
 
 void ManagedEngine::register_block(os::Vma& vma, std::uint64_t block_base) {

@@ -93,6 +93,13 @@ class ManagedEngine {
   /// True when \p vma is operating in remote-map mode (thrash guard hit).
   [[nodiscard]] bool remote_mode(const os::Vma& vma) const;
 
+  /// Evicts managed blocks until \p bytes of GPU frames are free (used by
+  /// core::System to vacate frames for ECC retirement and by cudaMalloc's
+  /// allocation path). Returns false when pressure cannot be relieved.
+  bool make_room(std::uint64_t bytes) {
+    return ensure_gpu_room(bytes, /*keep_block=*/~0ull);
+  }
+
  private:
   struct BlockInfo {
     std::list<std::uint64_t>::iterator lru_it;
@@ -118,12 +125,18 @@ class ManagedEngine {
   void enter_remote_mode(os::Vma& vma);
 
   /// Moves one GPU-resident block back to CPU system pages (eviction or
-  /// CPU-fault path). Charges copy + overhead.
-  void block_to_cpu(os::Vma& vma, std::uint64_t block_base, bool is_eviction);
+  /// CPU-fault path). Charges copy + overhead. Returns false — leaving the
+  /// block untouched on the GPU — when the CPU cannot absorb it (frames
+  /// exhausted) or the injected migration batch aborts after retries.
+  [[nodiscard]] bool block_to_cpu(os::Vma& vma, std::uint64_t block_base,
+                                  bool is_eviction);
 
-  /// Migrates/maps one block onto the GPU: unmaps its CPU-resident system
-  /// pages, maps the GPU block, charges fault batches and copy time.
-  void block_to_gpu(os::Vma& vma, std::uint64_t block_base, bool via_fault);
+  /// Migrates/maps one block onto the GPU: maps the GPU block first, then
+  /// unmaps its CPU-resident system pages, charging fault batches and copy
+  /// time. Returns false — leaving residency unchanged — when GPU frames
+  /// are denied/exhausted or the injected migration batch aborts.
+  [[nodiscard]] bool block_to_gpu(os::Vma& vma, std::uint64_t block_base,
+                                  bool via_fault);
 
   void register_block(os::Vma& vma, std::uint64_t block_base);
   void forget_block(std::uint64_t block_base);

@@ -2,7 +2,41 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.hpp"
+
 namespace ghum::driver {
+
+bool MigrationEngine::batch_with_retry(std::uint64_t va) {
+  fault::FaultInjector* fi = m_->fault_injector();
+  if (fi == nullptr) return true;
+  const auto& fcfg = m_->config().faults;
+  sim::Picos backoff = fcfg.migration_retry_backoff;
+  for (std::uint32_t attempt = 0; attempt <= fcfg.migration_max_retries; ++attempt) {
+    if (!fi->fail_migration_batch()) return true;
+    if (attempt == fcfg.migration_max_retries) break;
+    m_->clock().advance(backoff);
+    backoff *= 2;
+    m_->stats().add("fault.migration_retries", 1);
+    auto& events = m_->events();
+    if (events.enabled()) {
+      events.record(sim::Event{.time = m_->clock().now(),
+                               .type = sim::EventType::kFaultMigrationRetry,
+                               .va = va,
+                               .bytes = 0,
+                               .aux = attempt + 1});
+    }
+  }
+  m_->stats().add("fault.migration_aborts", 1);
+  auto& events = m_->events();
+  if (events.enabled()) {
+    events.record(sim::Event{.time = m_->clock().now(),
+                             .type = sim::EventType::kFaultMigrationAbort,
+                             .va = va,
+                             .bytes = 0,
+                             .aux = fcfg.migration_max_retries});
+  }
+  return false;
+}
 
 sim::Picos MigrationEngine::copy_time(interconnect::Direction dir,
                                       std::uint64_t bytes) {
@@ -34,6 +68,7 @@ std::uint64_t MigrationEngine::migrate_system_range(os::Vma& vma, std::uint64_t 
                                                     std::uint64_t len,
                                                     std::uint64_t max_bytes,
                                                     mem::Node to) {
+  if (!batch_with_retry(base)) return 0;
   const auto& costs = m_->config().costs;
   const std::uint64_t page = m_->system_pt().page_size();
   const std::uint64_t start = m_->system_pt().page_base(std::max(base, vma.base));

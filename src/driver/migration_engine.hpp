@@ -38,6 +38,14 @@ class MigrationEngine {
   [[nodiscard]] std::uint64_t bytes_migrated_h2d() const noexcept { return h2d_bytes_; }
   [[nodiscard]] std::uint64_t bytes_migrated_d2h() const noexcept { return d2h_bytes_; }
 
+  /// Fault-injection gate for one migration batch. Without an injector this
+  /// is free and always succeeds. With one, each attempt may be failed by
+  /// the injector (copy-engine/channel error); failed attempts charge an
+  /// exponentially growing simulated backoff and retry, up to
+  /// faults.migration_max_retries. Returns false when the batch is aborted
+  /// (caller degrades: page stays put, access served remotely).
+  [[nodiscard]] bool batch_with_retry(std::uint64_t va = 0);
+
  private:
   std::uint64_t migrate_system_range(os::Vma& vma, std::uint64_t base,
                                      std::uint64_t len, std::uint64_t max_bytes,

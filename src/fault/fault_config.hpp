@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file fault_config.hpp
+/// Configuration of the deterministic fault-injection layer. Lives apart
+/// from fault_injector.hpp so core::SystemConfig can embed it without
+/// pulling in the machine model. Two injection mechanisms:
+///  - call-site probabilities, drawn from a dedicated sim::Rng in the
+///    (deterministic) order the call sites execute, and
+///  - schedules keyed to simulated time (link-degradation windows, ECC
+///    events), applied when the simulated clock passes them.
+/// Same seed + same config + same workload => bit-identical injected
+/// schedule, simulated end time and event log (asserted by test_fault.cpp).
+
+namespace ghum::fault {
+
+/// An interval of degraded NVLink-C2C service (link CRC replays / lane
+/// degradation): bandwidth is divided and latency multiplied while the
+/// simulated clock is inside [start, start+duration). Windows must not
+/// overlap; they are applied in start order.
+struct LinkDegradeWindow {
+  sim::Picos start = 0;
+  sim::Picos duration = 0;
+  double bandwidth_factor = 2.0;  ///< divide link bandwidth by this (>= 1)
+  double latency_factor = 2.0;    ///< multiply link latency by this (>= 1)
+};
+
+/// An uncorrectable ECC error at a simulated-time point: \p bytes of HBM
+/// frames are permanently retired. Resident managed blocks are remapped
+/// (evicted to CPU) to vacate frames rather than aborting the run.
+struct EccEvent {
+  sim::Picos time = 0;
+  std::uint64_t bytes = 2ull << 20;
+};
+
+struct FaultConfig {
+  bool enabled = false;
+
+  /// Seed of the injector's private Rng (independent of workload seeds).
+  std::uint64_t seed = 0x6007'F417ull;
+
+  /// Probability that any one physical-frame allocation transiently fails
+  /// (the momentary exhaustion callers already know how to survive:
+  /// first-touch falls back to the other node, managed faults fall back to
+  /// remote mapping). Resilience responses themselves (eviction writeback,
+  /// the fallback placement) are exempt from injection.
+  double frame_alloc_denial_prob = 0.0;
+
+  /// Probability that a migration batch (managed block move, eviction
+  /// writeback, system-page range migration) fails and must be retried.
+  double migration_batch_fail_prob = 0.0;
+  /// Bounded retry policy: up to this many retries per batch, each charged
+  /// \p migration_retry_backoff of simulated time, doubling per attempt.
+  /// A batch that exhausts its retries is abandoned and the caller
+  /// degrades (remote mapping / skipped victim / unmigrated range).
+  std::uint32_t migration_max_retries = 3;
+  sim::Picos migration_retry_backoff = sim::microseconds(20);
+
+  std::vector<LinkDegradeWindow> link_degrade;
+  std::vector<EccEvent> ecc_events;
+};
+
+}  // namespace ghum::fault

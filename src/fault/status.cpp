@@ -1,0 +1,17 @@
+#include "fault/status.hpp"
+
+namespace ghum {
+
+std::string_view to_string(Status s) noexcept {
+  switch (s) {
+    case Status::kSuccess: return "success";
+    case Status::kErrorMemoryAllocation: return "out of memory";
+    case Status::kErrorOutOfMemory: return "system out of memory";
+    case Status::kErrorInvalidValue: return "invalid value";
+    case Status::kErrorDoubleFree: return "double free";
+    case Status::kErrorEccUncorrectable: return "uncorrectable ECC error";
+  }
+  return "unknown";
+}
+
+}  // namespace ghum

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+/// \file status.hpp
+/// ghum::Status — the CUDA-style error-code surface of the simulator. The
+/// paper's oversubscription experiments (Sections 6-7) are a robustness
+/// story: explicit allocation hard-fails past 100% footprint while the
+/// unified flavours degrade, so applications must be able to *observe*
+/// failures the way cudaGetLastError() reports them instead of dying on an
+/// uncaught exception. Layers that cannot degrade locally throw StatusError
+/// (carrying a Status) so the runtime/bench layer can turn the outcome into
+/// a reported row rather than a crashed run.
+
+namespace ghum {
+
+enum class Status : std::uint8_t {
+  kSuccess = 0,
+  /// cudaErrorMemoryAllocation: device (or pinned) memory exhausted at an
+  /// eager allocation — the failure mode of cudaMalloc past 100% footprint.
+  kErrorMemoryAllocation,
+  /// Both physical memory nodes exhausted while servicing a fault — the
+  /// simulated analogue of the OOM killer ending the process.
+  kErrorOutOfMemory,
+  /// Argument does not name a live allocation / malformed request.
+  kErrorInvalidValue,
+  /// free() of an allocation that was already freed (distinct from
+  /// kErrorInvalidValue so double-free bugs are diagnosable).
+  kErrorDoubleFree,
+  /// Uncorrectable ECC error retired frames out from under the run.
+  kErrorEccUncorrectable,
+};
+
+[[nodiscard]] std::string_view to_string(Status s) noexcept;
+
+/// Exception carrying a Status across layers that have no error-return
+/// channel (the page-granular access path). The runtime and the benches
+/// catch it and report the Status; nothing above main() should see it.
+class StatusError : public std::runtime_error {
+ public:
+  StatusError(Status s, const std::string& what)
+      : std::runtime_error(what + " (" + std::string{to_string(s)} + ")"),
+        status_(s) {}
+
+  [[nodiscard]] Status status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace ghum

@@ -4,8 +4,9 @@ namespace ghum::interconnect {
 
 sim::Picos NvlinkC2C::transfer(Direction dir, std::uint64_t bytes) {
   bytes_[static_cast<int>(dir)] += bytes;
-  const double bw = dir == Direction::kCpuToGpu ? spec_.bandwidth_h2d_Bps
-                                                : spec_.bandwidth_d2h_Bps;
+  const double bw = (dir == Direction::kCpuToGpu ? spec_.bandwidth_h2d_Bps
+                                                 : spec_.bandwidth_d2h_Bps) /
+                    bw_factor_;
   return sim::transfer_time(bytes, bw);
 }
 

@@ -49,7 +49,23 @@ class NvlinkC2C {
   /// Cost of one remote atomic (paper: atomics are native on the link).
   [[nodiscard]] sim::Picos atomic_op();
 
-  [[nodiscard]] sim::Picos latency() const noexcept { return spec_.latency; }
+  [[nodiscard]] sim::Picos latency() const noexcept {
+    return degraded() ? static_cast<sim::Picos>(
+                            static_cast<double>(spec_.latency) * lat_factor_)
+                      : spec_.latency;
+  }
+
+  /// Degraded service (fault injection: link CRC replays / lane loss):
+  /// bandwidth divided by \p bw_factor, latency multiplied by
+  /// \p lat_factor until clear_degrade(). Factors must be >= 1.
+  void set_degrade(double bw_factor, double lat_factor) noexcept {
+    bw_factor_ = bw_factor;
+    lat_factor_ = lat_factor;
+  }
+  void clear_degrade() noexcept { bw_factor_ = lat_factor_ = 1.0; }
+  [[nodiscard]] bool degraded() const noexcept {
+    return bw_factor_ != 1.0 || lat_factor_ != 1.0;
+  }
 
   /// Cumulative data volume moved, by direction.
   [[nodiscard]] std::uint64_t bytes_moved(Direction dir) const noexcept {
@@ -59,6 +75,8 @@ class NvlinkC2C {
 
  private:
   C2CSpec spec_;
+  double bw_factor_ = 1.0;
+  double lat_factor_ = 1.0;
   std::uint64_t bytes_[2]{};
   std::uint64_t atomics_ = 0;
 };

@@ -19,6 +19,13 @@ bool FrameAllocator::allocate(std::uint64_t bytes) {
   return true;
 }
 
+std::uint64_t FrameAllocator::retire(std::uint64_t bytes) {
+  const std::uint64_t take = std::min(bytes, free_bytes());
+  capacity_ -= take;
+  retired_ += take;
+  return take;
+}
+
 void FrameAllocator::release(std::uint64_t bytes) {
   if (bytes > used_) throw std::logic_error{"FrameAllocator: release underflow"};
   used_ -= bytes;

@@ -33,6 +33,13 @@ class FrameAllocator {
   [[nodiscard]] bool allocate(std::uint64_t bytes);
   void release(std::uint64_t bytes);
 
+  /// Permanently retires free frames (uncorrectable ECC): capacity shrinks
+  /// by the returned amount, bounded by what is currently free. Callers
+  /// that must retire in-use frames first vacate them (remap/evict the
+  /// resident pages) and then retire.
+  std::uint64_t retire(std::uint64_t bytes);
+  [[nodiscard]] std::uint64_t retired_bytes() const noexcept { return retired_; }
+
   /// Lifetime counters for reporting.
   [[nodiscard]] std::uint64_t total_allocated() const noexcept { return total_allocated_; }
   [[nodiscard]] std::uint64_t peak_used() const noexcept { return peak_used_; }
@@ -42,6 +49,7 @@ class FrameAllocator {
   std::uint64_t capacity_ = 0;
   std::uint64_t used_ = 0;
   std::uint64_t baseline_ = 0;
+  std::uint64_t retired_ = 0;
   std::uint64_t total_allocated_ = 0;
   std::uint64_t peak_used_ = 0;
 };

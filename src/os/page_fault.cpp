@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "fault/fault_injector.hpp"
+#include "fault/status.hpp"
+
 namespace ghum::os {
 
 mem::Node PageFaultHandler::first_touch(Vma& vma, std::uint64_t va,
@@ -14,13 +17,33 @@ mem::Node PageFaultHandler::first_touch(Vma& vma, std::uint64_t va,
                          ? vma.preferred_location.value_or(origin)
                          : origin;
   if (!m_->map_system_page(vma, va, placed)) {
-    // Preferred node exhausted: the OS falls back to the other node rather
-    // than failing the fault. For GPU first-touch under oversubscription
-    // this leaves the page CPU-resident, accessed remotely over C2C —
-    // system memory never evicts (paper Section 7).
+    // Preferred node exhausted (or the allocation was transiently denied by
+    // fault injection): the OS falls back to the other node rather than
+    // failing the fault. For GPU first-touch under oversubscription this
+    // leaves the page CPU-resident, accessed remotely over C2C — system
+    // memory never evicts (paper Section 7). The fallback attempt is the
+    // resilience response, so injection is suppressed for it.
     placed = mem::other(placed);
+    fault::FaultInjector::ScopedSuppress guard{m_->fault_injector()};
     if (!m_->map_system_page(vma, va, placed)) {
-      throw std::runtime_error{"PageFaultHandler: out of physical memory on both nodes"};
+      m_->stats().add("os.fault.oom");
+      if (m_->events().enabled()) {
+        m_->events().record(sim::Event{.time = m_->clock().now(),
+                                       .type = sim::EventType::kOutOfMemory,
+                                       .va = m_->system_pt().page_base(va),
+                                       .bytes = m_->system_page_bytes(),
+                                       .aux = 0});
+      }
+      throw StatusError{Status::kErrorOutOfMemory,
+                        "PageFaultHandler: out of physical memory on both nodes"};
+    }
+    m_->stats().add("os.fault.fallback");
+    if (m_->events().enabled()) {
+      m_->events().record(sim::Event{.time = m_->clock().now(),
+                                     .type = sim::EventType::kFallbackPlacement,
+                                     .va = m_->system_pt().page_base(va),
+                                     .bytes = m_->system_page_bytes(),
+                                     .aux = static_cast<std::uint32_t>(placed)});
     }
   }
 
@@ -47,22 +70,29 @@ mem::Node PageFaultHandler::first_touch(Vma& vma, std::uint64_t va,
   return placed;
 }
 
-void PageFaultHandler::host_register(Vma& vma) {
+bool PageFaultHandler::host_register(Vma& vma) {
   const auto& costs = m_->config().costs;
   const std::uint64_t page = m_->system_pt().page_size();
   m_->clock().advance(costs.host_register_base);
 
   std::uint64_t populated = 0;
+  bool complete = true;
   for (std::uint64_t va = vma.base; va < vma.end(); va += page) {
     if (m_->system_pt().lookup(va) != nullptr) continue;
     if (!m_->map_system_page(vma, va, mem::Node::kCpu)) {
-      throw std::runtime_error{"host_register: CPU memory exhausted"};
+      // CPU frames exhausted (or an injected transient denial): stop the
+      // population loop. Pages mapped so far stay mapped — the remainder
+      // of the range keeps faulting on demand, which is slower but
+      // correct. Registration is only recorded on full success.
+      complete = false;
+      m_->stats().add("os.host_register.partial");
+      break;
     }
     ++populated;
     const sim::Picos zero = sim::transfer_time(page, costs.fault_zero_bandwidth_Bps);
     m_->clock().advance(costs.host_register_per_page + zero);
   }
-  vma.host_registered = true;
+  if (complete) vma.host_registered = true;
 
   auto& events = m_->events();
   if (events.enabled()) {
@@ -70,9 +100,10 @@ void PageFaultHandler::host_register(Vma& vma) {
                              .type = sim::EventType::kHostRegister,
                              .va = vma.base,
                              .bytes = populated * page,
-                             .aux = 0});
+                             .aux = complete ? 0u : 1u});
   }
   m_->stats().add("os.host_register.pages", populated);
+  return complete;
 }
 
 }  // namespace ghum::os

@@ -26,7 +26,10 @@ class PageFaultHandler {
   /// cudaHostRegister-style PTE pre-population of a whole VMA on the CPU
   /// (the Section 5.1.2 optimization for GPU-initialized applications).
   /// Pages already present are skipped. Charges registration costs.
-  void host_register(Vma& vma);
+  /// Returns false when CPU frames ran out part-way: already-populated
+  /// pages stay mapped, the rest keep faulting on demand, and the VMA is
+  /// not marked host_registered.
+  bool host_register(Vma& vma);
 
   /// Number of first-touch faults handled, by origin.
   [[nodiscard]] std::uint64_t faults(mem::Node origin) const noexcept {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fault/status.hpp"
+
 namespace ghum::os {
 
 Vma& SystemAllocator::allocate(std::uint64_t bytes, std::string label) {
@@ -32,10 +34,17 @@ Vma& SystemAllocator::allocate_pinned(std::uint64_t bytes, std::string label) {
                                         std::max<std::uint64_t>(page, 64 << 10),
                                         std::move(label));
   m_->clock().advance(costs.malloc_base);
-  // Pinned memory is populated and locked at allocation time.
+  // Pinned memory is populated and locked at allocation time. mlock is
+  // all-or-nothing: on exhaustion the partially populated VMA is unwound
+  // and the allocation fails cleanly (no leaked frames or VA range).
   for (std::uint64_t va = vma.base; va < vma.end(); va += page) {
     if (!m_->map_system_page(vma, va, mem::Node::kCpu)) {
-      throw std::runtime_error{"allocate_pinned: CPU memory exhausted"};
+      for (std::uint64_t undo = vma.base; undo < va; undo += page) {
+        m_->unmap_system_page(vma, undo);
+      }
+      m_->address_space().destroy(vma.base);
+      throw StatusError{Status::kErrorMemoryAllocation,
+                        "allocate_pinned: CPU memory exhausted"};
     }
     const sim::Picos zero = sim::transfer_time(page, costs.fault_zero_bandwidth_Bps);
     m_->clock().advance(costs.host_register_per_page + zero);

@@ -31,6 +31,16 @@ TraceSummary Tracer::summarize(sim::Picos t0, sim::Picos t1) const {
         break;
       case sim::EventType::kCounterNotification: ++s.counter_notifications; break;
       case sim::EventType::kExplicitPrefetch: ++s.explicit_prefetches; break;
+      case sim::EventType::kFaultAllocDenial: ++s.alloc_denials; break;
+      case sim::EventType::kFaultMigrationRetry: ++s.migration_retries; break;
+      case sim::EventType::kFaultMigrationAbort: ++s.migration_aborts; break;
+      case sim::EventType::kLinkDegradeBegin: ++s.link_degrade_windows; break;
+      case sim::EventType::kEccRetirement:
+        ++s.ecc_retirements;
+        s.ecc_retired_bytes += e.bytes;
+        break;
+      case sim::EventType::kFallbackPlacement: ++s.fallback_placements; break;
+      case sim::EventType::kOutOfMemory: ++s.oom_events; break;
       default: break;
     }
   }

@@ -26,6 +26,16 @@ struct TraceSummary {
   std::uint64_t migrated_h2d_bytes = 0;
   std::uint64_t migrated_d2h_bytes = 0;
   std::uint64_t evicted_bytes = 0;
+
+  // Fault-injection & resilience events (DESIGN.md "Fault model & resilience").
+  std::size_t alloc_denials = 0;
+  std::size_t migration_retries = 0;
+  std::size_t migration_aborts = 0;
+  std::size_t link_degrade_windows = 0;
+  std::size_t ecc_retirements = 0;
+  std::uint64_t ecc_retired_bytes = 0;
+  std::size_t fallback_placements = 0;
+  std::size_t oom_events = 0;
 };
 
 class Tracer {

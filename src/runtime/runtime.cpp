@@ -21,6 +21,16 @@ void validate_direction(const core::Buffer& dst, const core::Buffer& src,
 }
 }  // namespace
 
+Status Runtime::malloc_host(std::uint64_t bytes, core::Buffer& out,
+                            std::string label) {
+  try {
+    out = sys_->pinned_malloc(bytes, std::move(label));
+    return Status::kSuccess;
+  } catch (const StatusError& e) {
+    return record(e.status());
+  }
+}
+
 void Runtime::memcpy(const core::Buffer& dst, const core::Buffer& src,
                      std::uint64_t bytes, CopyKind kind, std::uint64_t dst_off,
                      std::uint64_t src_off) {

@@ -23,6 +23,15 @@ class Runtime {
 
   [[nodiscard]] core::System& system() noexcept { return *sys_; }
 
+  // --- error surface (cudaGetLastError semantics) ---------------------------
+  /// Returns the last error recorded by an API call and clears it
+  /// (cudaGetLastError). kSuccess when nothing failed since the last call.
+  [[nodiscard]] Status get_last_error() noexcept {
+    return std::exchange(last_error_, Status::kSuccess);
+  }
+  /// Returns the sticky last error without clearing it (cudaPeekAtLastError).
+  [[nodiscard]] Status peek_last_error() const noexcept { return last_error_; }
+
   // --- allocation (Table 1) -------------------------------------------------
   /// malloc(): system-allocated memory.
   [[nodiscard]] core::Buffer malloc_system(std::uint64_t bytes,
@@ -34,17 +43,36 @@ class Runtime {
                                             std::string label = "managed") {
     return sys_->managed_malloc(bytes, std::move(label));
   }
-  /// cudaMalloc().
+  /// cudaMalloc(). Non-throwing form: fills \p out on success; on
+  /// exhaustion returns (and records) kErrorMemoryAllocation like
+  /// cudaMalloc, leaving \p out untouched.
+  Status malloc_device(std::uint64_t bytes, core::Buffer& out,
+                       std::string label = "gpu") {
+    return record(sys_->gpu_malloc_status(bytes, out, std::move(label)));
+  }
+  /// cudaMalloc(), throwing form: throws ghum::StatusError carrying
+  /// kErrorMemoryAllocation when HBM is exhausted.
   [[nodiscard]] core::Buffer malloc_device(std::uint64_t bytes,
                                            std::string label = "gpu") {
-    return sys_->gpu_malloc(bytes, std::move(label));
+    core::Buffer out;
+    const Status s = malloc_device(bytes, out, std::move(label));
+    if (s != Status::kSuccess) throw StatusError{s, "malloc_device"};
+    return out;
   }
-  /// cudaMallocHost()/cudaHostAlloc().
+  /// cudaMallocHost()/cudaHostAlloc(), non-throwing form.
+  Status malloc_host(std::uint64_t bytes, core::Buffer& out,
+                     std::string label = "pinned");
+  /// cudaMallocHost(), throwing form (StatusError on CPU exhaustion).
   [[nodiscard]] core::Buffer malloc_host(std::uint64_t bytes,
                                          std::string label = "pinned") {
-    return sys_->pinned_malloc(bytes, std::move(label));
+    core::Buffer out;
+    const Status s = malloc_host(bytes, out, std::move(label));
+    if (s != Status::kSuccess) throw StatusError{s, "malloc_host"};
+    return out;
   }
-  void free(core::Buffer& buf) { sys_->free_buffer(buf); }
+  /// cudaFree: never throws; double frees and garbage pointers come back
+  /// as distinct Status codes (also retrievable via get_last_error()).
+  Status free(core::Buffer& buf) { return record(sys_->free_buffer(buf)); }
 
   // --- copies & hints ---------------------------------------------------------
   /// cudaMemcpy (direction validated against the buffer kinds).
@@ -66,8 +94,11 @@ class Runtime {
     sys_->prefetch(buf, offset, bytes, dst);
   }
 
-  /// cudaHostRegister.
-  void host_register(const core::Buffer& buf) { sys_->host_register(buf); }
+  /// cudaHostRegister. kErrorMemoryAllocation when CPU frames ran out
+  /// part-way (the populated prefix stays; the rest faults on demand).
+  Status host_register(const core::Buffer& buf) {
+    return record(sys_->host_register(buf));
+  }
 
   /// cudaMemAdvise.
   void mem_advise(const core::Buffer& buf, core::System::MemAdvice advice) {
@@ -113,7 +144,15 @@ class Runtime {
   }
 
  private:
+  /// Records a non-success status (cudaGetLastError semantics) and passes
+  /// it through.
+  Status record(Status s) noexcept {
+    if (s != Status::kSuccess) last_error_ = s;
+    return s;
+  }
+
   core::System* sys_;
+  Status last_error_ = Status::kSuccess;
 };
 
 /// Device properties, as cudaGetDeviceProperties would report them.

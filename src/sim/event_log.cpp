@@ -19,6 +19,14 @@ std::string_view to_string(EventType t) noexcept {
     case EventType::kKernelEnd: return "kernel_end";
     case EventType::kContextInit: return "context_init";
     case EventType::kNumaHintFault: return "numa_hint_fault";
+    case EventType::kFaultAllocDenial: return "fault_alloc_denial";
+    case EventType::kFaultMigrationRetry: return "fault_migration_retry";
+    case EventType::kFaultMigrationAbort: return "fault_migration_abort";
+    case EventType::kLinkDegradeBegin: return "link_degrade_begin";
+    case EventType::kLinkDegradeEnd: return "link_degrade_end";
+    case EventType::kEccRetirement: return "ecc_retirement";
+    case EventType::kFallbackPlacement: return "fallback_placement";
+    case EventType::kOutOfMemory: return "out_of_memory";
   }
   return "unknown";
 }

@@ -32,6 +32,15 @@ enum class EventType : std::uint8_t {
   kKernelEnd,
   kContextInit,           ///< GPU context initialization
   kNumaHintFault,         ///< AutoNUMA scanner hint fault (when enabled)
+  // --- fault-injection & resilience events (src/fault) ---------------------
+  kFaultAllocDenial,      ///< injected transient frame-allocation denial
+  kFaultMigrationRetry,   ///< migration batch failed; retry after backoff
+  kFaultMigrationAbort,   ///< migration batch abandoned after max retries
+  kLinkDegradeBegin,      ///< NVLink-C2C degradation window entered
+  kLinkDegradeEnd,        ///< NVLink-C2C degradation window left
+  kEccRetirement,         ///< uncorrectable ECC retired physical frames
+  kFallbackPlacement,     ///< fault placed the page on the non-preferred node
+  kOutOfMemory,           ///< both nodes exhausted (OOM-killer analogue)
 };
 
 [[nodiscard]] std::string_view to_string(EventType t) noexcept;

@@ -338,5 +338,29 @@ TEST_F(ManagedTest, ReleaseGpuBlocksClearsResidency) {
   EXPECT_EQ(m.frames(mem::Node::kGpu).used(), 0u);
 }
 
+TEST_F(ManagedTest, EvictionBlockedByCpuExhaustionDegradesToRemote) {
+  // Leave only 1 MiB of CPU frames: less than one 2 MiB block, so eviction
+  // writeback has nowhere to land.
+  os::Vma& cfill = system_vma(63ull << 20);
+  populate_cpu(cfill);
+  // Fill all 8 MiB of HBM with managed blocks (driver baseline is 0 here).
+  os::Vma& a = managed_vma(8ull << 20);
+  for (std::uint64_t off = 0; off < a.size; off += 2ull << 20) {
+    (void)managed.gpu_fault(a, a.base + off, 1);
+  }
+  ASSERT_EQ(m.frames(mem::Node::kGpu).free_bytes(), 0u);
+  // A new managed fault needs GPU room, but every eviction candidate is
+  // blocked by the exhausted CPU; the engine degrades to a coherent remote
+  // CPU mapping instead of terminating.
+  os::Vma& b = managed_vma(2ull << 20);
+  const auto r = managed.gpu_fault(b, b.base, 2);
+  EXPECT_EQ(r.node, mem::Node::kCpu);
+  EXPECT_TRUE(r.remote_mapped);
+  EXPECT_GE(m.stats().get("driver.managed.eviction_blocked"), 1u);
+  EXPECT_EQ(managed.evictions(), 0u);
+  // The original working set is untouched.
+  EXPECT_EQ(a.resident_gpu_bytes, 8ull << 20);
+}
+
 }  // namespace
 }  // namespace ghum

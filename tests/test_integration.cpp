@@ -124,13 +124,23 @@ TEST(Integration, TracerWindowsIsolatePhases) {
   EXPECT_EQ(outside.gpu_first_touch_faults, 0u);
 }
 
-TEST(Integration, FreeingUnknownBufferThrows) {
+TEST(Integration, FreeingUnknownBufferReportsInvalidValue) {
   core::System sys{bs::rodinia_config(pagetable::kSystemPage64K, false)};
   core::Buffer bogus;
   bogus.va = 0x1234;
   bogus.bytes = 64;
   bogus.host = reinterpret_cast<std::byte*>(&bogus);
-  EXPECT_THROW(sys.free_buffer(bogus), std::invalid_argument);
+  EXPECT_EQ(sys.free_buffer(bogus), ghum::Status::kErrorInvalidValue);
+}
+
+TEST(Integration, DoubleFreeReportsDistinctStatus) {
+  core::System sys{bs::rodinia_config(pagetable::kSystemPage64K, false)};
+  core::Buffer b = sys.sys_malloc(1 << 20);
+  core::Buffer stale = b;  // keeps the handle after the real free clears b
+  EXPECT_EQ(sys.free_buffer(b), ghum::Status::kSuccess);
+  EXPECT_EQ(sys.free_buffer(stale), ghum::Status::kErrorDoubleFree);
+  // Freeing the cleared handle is a silent no-op (cudaFree(nullptr)).
+  EXPECT_EQ(sys.free_buffer(b), ghum::Status::kSuccess);
 }
 
 TEST(Integration, HostRegisterThenCounterMigrationStillWorks) {

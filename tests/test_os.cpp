@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/machine.hpp"
+#include "fault/status.hpp"
 #include "os/address_space.hpp"
 #include "os/page_fault.hpp"
 #include "os/system_allocator.hpp"
@@ -115,10 +116,53 @@ TEST_F(FaultTest, GpuFirstTouchFallsBackToCpuWhenHbmFull) {
 TEST_F(FaultTest, HostRegisterPopulatesAllPages) {
   os::Vma& v = m.address_space().create(512 << 10, os::AllocKind::kSystem, 65536, "a");
   (void)pf.first_touch(v, v.base, mem::Node::kCpu);  // one page pre-existing
-  pf.host_register(v);
+  EXPECT_TRUE(pf.host_register(v));
   EXPECT_TRUE(v.host_registered);
   EXPECT_EQ(v.resident_cpu_bytes, 512u << 10);
   EXPECT_EQ(m.stats().get("os.host_register.pages"), 7u);  // 8 pages - 1
+}
+
+TEST_F(FaultTest, FirstTouchThrowsStatusWhenBothNodesFull) {
+  // Fill the GPU (8 MiB capacity minus the 1 MiB driver baseline).
+  os::Vma& gfill =
+      m.address_space().create(7ull << 20, os::AllocKind::kGpuOnly, 1 << 21, "g");
+  for (std::uint64_t b = gfill.base; b < gfill.end(); b += 2 << 20) {
+    ASSERT_TRUE(m.map_gpu_block(gfill, b));
+  }
+  // Fill all 64 MiB of DDR.
+  os::Vma& cfill =
+      m.address_space().create(64ull << 20, os::AllocKind::kSystem, 65536, "c");
+  for (std::uint64_t va = cfill.base; va < cfill.end(); va += 65536) {
+    ASSERT_TRUE(m.map_system_page(cfill, va, mem::Node::kCpu));
+  }
+  // System memory has nowhere left to place the page: the fault surfaces
+  // as a Status-carrying error (the process-kill of a real OOM), not an
+  // uncontrolled crash or a silent wrong placement.
+  os::Vma& v = m.address_space().create(1 << 20, os::AllocKind::kSystem, 65536, "a");
+  try {
+    (void)pf.first_touch(v, v.base, mem::Node::kCpu);
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status(), Status::kErrorOutOfMemory);
+  }
+  EXPECT_GE(m.stats().get("os.fault.oom"), 1u);
+  EXPECT_GE(m.events().count(sim::EventType::kOutOfMemory), 1u);
+}
+
+TEST_F(FaultTest, HostRegisterPartialWhenCpuExhausted) {
+  // Leave exactly two free 64 KiB CPU pages.
+  os::Vma& cfill = m.address_space().create((64ull << 20) - (128 << 10),
+                                            os::AllocKind::kSystem, 65536, "c");
+  for (std::uint64_t va = cfill.base; va < cfill.end(); va += 65536) {
+    ASSERT_TRUE(m.map_system_page(cfill, va, mem::Node::kCpu));
+  }
+  os::Vma& v = m.address_space().create(256 << 10, os::AllocKind::kSystem, 65536, "a");
+  // Registration maps what fits and reports the shortfall instead of
+  // terminating; the VMA is not marked registered.
+  EXPECT_FALSE(pf.host_register(v));
+  EXPECT_FALSE(v.host_registered);
+  EXPECT_EQ(v.resident_cpu_bytes, 128u << 10);  // the two pages that fit
+  EXPECT_GE(m.stats().get("os.host_register.partial"), 1u);
 }
 
 class AllocatorTest : public ::testing::Test {
@@ -165,6 +209,26 @@ TEST_F(AllocatorTest, DeallocCostScalesWithPresentPages) {
   alloc.deallocate(b);
   const sim::Picos empty = m.clock().now() - t1;
   EXPECT_GT(full, empty);
+}
+
+TEST_F(AllocatorTest, PinnedAllocationUnwindsOnCpuExhaustion) {
+  // Leave one free 64 KiB CPU page — not enough for a 256 KiB pinned range.
+  os::Vma& cfill = m.address_space().create((64ull << 20) - (64 << 10),
+                                            os::AllocKind::kSystem, 65536, "c");
+  for (std::uint64_t va = cfill.base; va < cfill.end(); va += 65536) {
+    ASSERT_TRUE(m.map_system_page(cfill, va, mem::Node::kCpu));
+  }
+  const std::uint64_t free_before = m.frames(mem::Node::kCpu).free_bytes();
+  const std::size_t vmas_before = m.address_space().vma_count();
+  try {
+    (void)alloc.allocate_pinned(256 << 10, "p");
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status(), Status::kErrorMemoryAllocation);
+  }
+  // Fully unwound: no leaked frames, no half-populated VMA left behind.
+  EXPECT_EQ(m.frames(mem::Node::kCpu).free_bytes(), free_before);
+  EXPECT_EQ(m.address_space().vma_count(), vmas_before);
 }
 
 TEST(Machine, MoveSystemPageKeepsLedgersConsistent) {
