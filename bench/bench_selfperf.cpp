@@ -1,0 +1,255 @@
+// Simulator self-performance: wall-clock cost of the simulator's hot
+// access path, not of the simulated machine. Every tier-1 application x
+// memory mode runs twice on identical configs — once on the legacy
+// per-access accounting path and once on the batched run path
+// (SystemConfig::batched_access) — under a wall-clock timer.
+//
+// The batched path is an optimization of the simulator only: both runs
+// must be bit-for-bit identical in simulated end time and event-log
+// digest (the differential check; the process exits nonzero on any
+// mismatch). Results land in BENCH_selfperf.json.
+//
+// Flags:
+//   --smoke          small problem sizes (the ctest "perf" smoke target)
+//   --out <file>     output JSON path (default BENCH_selfperf.json)
+//   --check <file>   compare the aggregate legacy/batched speedup against
+//                    a recorded baseline JSON and fail if the batched
+//                    path has regressed more than 2x relative to it
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "benchsupport/report.hpp"
+#include "benchsupport/scenarios.hpp"
+#include "runtime/runtime.hpp"
+
+using namespace ghum;
+namespace bs = benchsupport;
+
+namespace {
+
+struct SelfperfApp {
+  std::string name;
+  std::function<core::SystemConfig()> config;
+  std::function<apps::AppReport(runtime::Runtime&, apps::MemMode, bs::Scale)> run;
+};
+
+std::vector<SelfperfApp> selfperf_apps() {
+  std::vector<SelfperfApp> v;
+  for (const auto& a : bs::rodinia_apps()) {
+    v.push_back(SelfperfApp{
+        .name = a.name,
+        .config = [] { return bs::rodinia_config(pagetable::kSystemPage64K, false); },
+        .run = a.run});
+  }
+  v.push_back(SelfperfApp{
+      .name = "qiskit",
+      .config = [] { return bs::qv_config(pagetable::kSystemPage64K, false); },
+      .run = [](runtime::Runtime& rt, apps::MemMode m, bs::Scale s) {
+        return apps::run_qvsim(rt, m, bs::qv_sim_config(s, 17));
+      }});
+  return v;
+}
+
+/// FNV-1a over the full event stream plus the final simulated time (same
+/// digest as bench_robustness_chaos): two runs match iff the simulator
+/// took the same decisions at the same simulated times.
+std::uint64_t digest_events(const sim::EventLog& log, sim::Picos end_time) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const auto& e : log.events()) {
+    mix(static_cast<std::uint64_t>(e.time));
+    mix(static_cast<std::uint64_t>(e.type));
+    mix(e.va);
+    mix(e.bytes);
+    mix(e.aux);
+  }
+  mix(static_cast<std::uint64_t>(end_time));
+  return h;
+}
+
+struct TimedRun {
+  double wall_ms = 0;
+  sim::Picos end_time = 0;
+  std::uint64_t digest = 0;
+  Status status = Status::kSuccess;
+};
+
+TimedRun one_run(const SelfperfApp& app, apps::MemMode mode, bs::Scale scale,
+                 bool batched) {
+  core::SystemConfig cfg = app.config();
+  cfg.event_log = true;
+  cfg.batched_access = batched;
+  core::System sys{cfg};
+  runtime::Runtime rt{sys};
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = bs::guarded_run([&] { return app.run(rt, mode, scale); });
+  const auto t1 = std::chrono::steady_clock::now();
+  TimedRun out;
+  out.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0)
+          .count();
+  out.end_time = sys.now();
+  out.digest = digest_events(sys.events(), sys.now());
+  out.status = res.status;
+  return out;
+}
+
+struct Cell {
+  std::string app;
+  std::string mode;
+  double legacy_ms = 0;
+  double batched_ms = 0;
+  double sim_ms = 0;
+  bool differential_ok = false;
+};
+
+/// Minimal extraction of a numeric field from a baseline JSON written by a
+/// previous run of this bench ("key": value).
+bool find_json_number(const std::string& text, const char* key, double* out) {
+  const std::string needle = std::string{"\""} + key + "\":";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bs::Scale scale = bs::Scale::kDefault;
+  std::string out_path = "BENCH_selfperf.json";
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      scale = bs::Scale::kSmall;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out <file>] [--check <baseline>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  bs::print_figure_header(
+      "Selfperf", "simulator wall-clock: batched vs legacy access accounting",
+      "batched path is faster in wall-clock time and bit-for-bit identical "
+      "in simulated time and event stream");
+
+  std::vector<Cell> cells;
+  std::size_t differential_failures = 0;
+  double total_legacy = 0, total_batched = 0;
+
+  std::printf("%-12s %-9s %12s %12s %8s %10s %6s\n", "app", "mode", "legacy_ms",
+              "batched_ms", "speedup", "sim_ms", "diff");
+  for (const auto& app : selfperf_apps()) {
+    for (apps::MemMode mode : {apps::MemMode::kExplicit, apps::MemMode::kManaged,
+                               apps::MemMode::kSystem}) {
+      const TimedRun legacy = one_run(app, mode, scale, /*batched=*/false);
+      const TimedRun batched = one_run(app, mode, scale, /*batched=*/true);
+      Cell c;
+      c.app = app.name;
+      c.mode = std::string{to_string(mode)};
+      c.legacy_ms = legacy.wall_ms;
+      c.batched_ms = batched.wall_ms;
+      c.sim_ms = sim::to_milliseconds(batched.end_time);
+      c.differential_ok = legacy.status == batched.status &&
+                          legacy.end_time == batched.end_time &&
+                          legacy.digest == batched.digest;
+      if (!c.differential_ok) ++differential_failures;
+      total_legacy += c.legacy_ms;
+      total_batched += c.batched_ms;
+      std::printf("%-12s %-9s %12.2f %12.2f %7.2fx %10.3f %6s\n", c.app.c_str(),
+                  c.mode.c_str(), c.legacy_ms, c.batched_ms,
+                  c.batched_ms > 0 ? c.legacy_ms / c.batched_ms : 0.0, c.sim_ms,
+                  c.differential_ok ? "ok" : "FAIL");
+      cells.push_back(std::move(c));
+    }
+  }
+
+  const double total_speedup = total_batched > 0 ? total_legacy / total_batched : 0;
+  std::printf("\ntotal: legacy %.1f ms, batched %.1f ms, speedup %.2fx, "
+              "%zu differential failures\n",
+              total_legacy, total_batched, total_speedup, differential_failures);
+
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"selfperf\",\n  \"scale\": \"%s\",\n",
+                 scale == bs::Scale::kSmall ? "small" : "default");
+    std::fprintf(f, "  \"cells\": [\n");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      std::fprintf(f,
+                   "    {\"app\": \"%s\", \"mode\": \"%s\", \"legacy_ms\": %.3f, "
+                   "\"batched_ms\": %.3f, \"speedup\": %.4f, \"sim_ms\": %.4f, "
+                   "\"differential_ok\": %s}%s\n",
+                   c.app.c_str(), c.mode.c_str(), c.legacy_ms, c.batched_ms,
+                   c.batched_ms > 0 ? c.legacy_ms / c.batched_ms : 0.0, c.sim_ms,
+                   c.differential_ok ? "true" : "false",
+                   i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"total_legacy_ms\": %.3f,\n", total_legacy);
+    std::fprintf(f, "  \"total_batched_ms\": %.3f,\n", total_batched);
+    std::fprintf(f, "  \"total_speedup\": %.4f,\n", total_speedup);
+    std::fprintf(f, "  \"differential_ok\": %s\n",
+                 differential_failures == 0 ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+
+  if (differential_failures != 0) {
+    std::fprintf(stderr, "FAIL: %zu cells differ between batched and legacy\n",
+                 differential_failures);
+    return 1;
+  }
+
+  if (!check_path.empty()) {
+    std::string text;
+    if (std::FILE* f = std::fopen(check_path.c_str(), "r")) {
+      char buf[4096];
+      std::size_t n;
+      while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot read baseline %s\n", check_path.c_str());
+      return 1;
+    }
+    double baseline_speedup = 0;
+    if (!find_json_number(text, "total_speedup", &baseline_speedup) ||
+        baseline_speedup <= 0) {
+      std::fprintf(stderr, "baseline %s has no total_speedup\n", check_path.c_str());
+      return 1;
+    }
+    // The ratio legacy/batched normalizes out absolute machine speed; the
+    // smoke gate trips only when the batched path loses more than half its
+    // recorded advantage (a >2x relative regression).
+    if (total_speedup < baseline_speedup / 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: batched-path speedup %.2fx regressed >2x vs recorded "
+                   "baseline %.2fx\n",
+                   total_speedup, baseline_speedup);
+      return 1;
+    }
+    std::printf("check: speedup %.2fx vs baseline %.2fx — ok\n", total_speedup,
+                baseline_speedup);
+  }
+  return 0;
+}

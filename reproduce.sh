@@ -25,6 +25,10 @@ ctest --test-dir build-asan --output-on-failure 2>&1 | tee test_output_asan.txt
   done
 } 2>&1 | tee bench_output.txt
 
+# bench_selfperf (run in the loop above) exits nonzero if the batched and
+# legacy access paths ever diverge; its JSON artifact must exist.
+test -f BENCH_selfperf.json
+
 for e in quickstart all_apps quantum_volume oversubscription_survival \
          migration_explorer; do
   echo "===== examples/$e ====="

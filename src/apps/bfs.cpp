@@ -1,5 +1,6 @@
 #include "apps/bfs.hpp"
 
+#include <algorithm>
 #include <vector>
 
 namespace ghum::apps {
@@ -104,13 +105,17 @@ AppReport run_bfs(runtime::Runtime& rt, MemMode mode, const BfsConfig& cfg) {
     auto fr = rt.host_span<unsigned char>(frontier.host());
     auto up = rt.host_span<unsigned char>(updating.host());
     auto vi = rt.host_span<unsigned char>(visited.host());
-    for (std::uint64_t i = 0; i <= n; ++i) ro.store(i, graph.row_offsets[i]);
-    for (std::uint64_t i = 0; i < m; ++i) ci.store(i, graph.col_idx[i]);
+    std::copy_n(graph.row_offsets.data(), n + 1, ro.store_run(0, n + 1));
+    std::copy_n(graph.col_idx.data(), m, ci.store_run(0, m));
+    int* cov = co.store_run(0, n);
+    unsigned char* frv = fr.store_run(0, n);
+    unsigned char* upv = up.store_run(0, n);
+    unsigned char* viv = vi.store_run(0, n);
     for (std::uint64_t i = 0; i < n; ++i) {
-      co.store(i, i == 0 ? 0 : -1);
-      fr.store(i, i == 0 ? 1 : 0);
-      up.store(i, 0);
-      vi.store(i, i == 0 ? 1 : 0);
+      cov[i] = i == 0 ? 0 : -1;
+      frv[i] = i == 0 ? 1 : 0;
+      upv[i] = 0;
+      viv[i] = i == 0 ? 1 : 0;
     }
   });
   report.times.cpu_init_s = timer.lap();

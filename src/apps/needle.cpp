@@ -49,9 +49,11 @@ AppReport run_needle(runtime::Runtime& rt, MemMode mode, const NeedleConfig& cfg
     // of both buffers is CPU-first-touched.
     for (std::uint32_t i = 0; i < dim; ++i) {
       const std::uint64_t row = std::uint64_t{i} * dim;
+      int* srow = s.store_run(row, dim);
+      int* rrow = r.store_run(row, dim);
+      std::fill_n(srow, dim, 0);
       for (std::uint32_t j = 0; j < dim; ++j) {
-        s.store(row + j, 0);
-        r.store(row + j, i == 0 || j == 0 ? 0 : similarity(i, j, cfg.seed));
+        rrow[j] = i == 0 || j == 0 ? 0 : similarity(i, j, cfg.seed);
       }
       s.store(row, -static_cast<int>(i) * cfg.penalty);
     }

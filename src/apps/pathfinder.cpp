@@ -30,7 +30,8 @@ AppReport run_pathfinder(runtime::Runtime& rt, MemMode mode,
   rt.host_phase("pf.cpu_init", static_cast<double>(n), [&] {
     sim::Rng rng{cfg.seed};
     auto w = rt.host_span<int>(wall.host());
-    for (std::uint64_t i = 0; i < n; ++i) w.store(i, cell_cost(rng));
+    int* wv = w.store_run(0, n);
+    for (std::uint64_t i = 0; i < n; ++i) wv[i] = cell_cost(rng);
   });
   report.times.cpu_init_s = timer.lap();
 
@@ -76,7 +77,9 @@ AppReport run_pathfinder(runtime::Runtime& rt, MemMode mode,
     auto rec = rt.launch("pf.gather", static_cast<double>(cfg.cols), [&] {
       auto s = rt.device_span<int>(scratch);
       auto d = rt.device_span<int>(result.device());
-      for (std::uint32_t c = 0; c < cfg.cols; ++c) d.store(c, s.load(c));
+      const int* sv = s.load_run(0, cfg.cols);
+      int* dv = d.store_run(0, cfg.cols);
+      std::copy_n(sv, cfg.cols, dv);
     });
     report.compute_traffic += rec.traffic;
   }

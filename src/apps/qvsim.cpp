@@ -59,7 +59,8 @@ double measure_hop(runtime::Runtime& rt, const core::Buffer& host_buf,
   std::vector<double> probs(n);
   (void)rt.host_phase("qv.measure", static_cast<double>(n) * 3, [&] {
     runtime::Span<amp_t> s{rt.system(), host_buf, mem::Node::kCpu};
-    for (std::uint64_t i = 0; i < n; ++i) probs[i] = std::norm(s.load(i));
+    const amp_t* sv = s.load_run(0, n);
+    for (std::uint64_t i = 0; i < n; ++i) probs[i] = std::norm(sv[i]);
   });
   std::vector<double> sorted = probs;
   const auto mid = sorted.begin() + static_cast<std::ptrdiff_t>(n / 2);
@@ -153,7 +154,8 @@ AppReport run_qvsim_explicit_chunked(runtime::Runtime& rt, const QvConfig& cfg,
   rt.host_phase("qv.init.host", static_cast<double>(n), [&] {
     auto a = rt.host_span<amp_t>(host_sv);
     a.store(0, amp_t{1.0, 0.0});
-    for (std::uint64_t i = 1; i < n; ++i) a.store(i, amp_t{});
+    amp_t* av = a.store_run(1, n - 1);
+    std::fill_n(av, n - 1, amp_t{});
   });
   report.times.gpu_init_s = timer.lap();
 
@@ -315,7 +317,8 @@ AppReport run_qvsim(runtime::Runtime& rt, MemMode mode, const QvConfig& cfg) {
   auto rec_init = rt.launch("qv.init", static_cast<double>(n), [&] {
     auto a = rt.device_span<amp_t>(sv.device());
     a.store(0, amp_t{1.0, 0.0});
-    for (std::uint64_t i = 1; i < n; ++i) a.store(i, amp_t{});
+    amp_t* av = a.store_run(1, n - 1);
+    std::fill_n(av, n - 1, amp_t{});
   });
   report.times.gpu_init_s = timer.lap();
   (void)rec_init;

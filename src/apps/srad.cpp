@@ -102,7 +102,8 @@ AppReport run_srad(runtime::Runtime& rt, MemMode mode, const SradConfig& cfg) {
   rt.host_phase("srad.cpu_init", static_cast<double>(n) * 4, [&] {
     sim::Rng rng{cfg.seed};
     auto j = rt.host_span<float>(img.host());
-    for (std::uint64_t i = 0; i < n; ++i) j.store(i, init_pixel(rng));
+    float* jv = j.store_run(0, n);
+    for (std::uint64_t i = 0; i < n; ++i) jv[i] = init_pixel(rng);
   });
   report.times.cpu_init_s = timer.lap();
 
@@ -125,8 +126,9 @@ AppReport run_srad(runtime::Runtime& rt, MemMode mode, const SradConfig& cfg) {
       auto j = rt.device_span<float>(img.device());
       auto out = rt.device_span<double>(sums);
       double sum = 0, sum2 = 0;
+      const float* jv = j.load_run(0, n);
       for (std::uint64_t i = 0; i < n; ++i) {
-        const float v = j.load(i);
+        const float v = jv[i];
         sum += v;
         sum2 += static_cast<double>(v) * v;
       }

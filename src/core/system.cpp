@@ -486,6 +486,79 @@ PageView System::resolve(std::uint64_t va, mem::Node origin) {
   view.vma = vma;
   view.line_size = origin == mem::Node::kGpu ? m_.c2c().spec().cacheline_gpu
                                              : m_.c2c().spec().cacheline_cpu;
+  resolve_page(view, va);
+  view.epoch = m_.epoch();
+  fill_run_end(view);
+  return view;
+}
+
+bool System::advance_view(PageView& view, std::uint64_t va) {
+  // Only a transition into a later page of the same residency run
+  // qualifies; anything else (first access, epoch bump, run exhausted)
+  // goes through the full resolve(). All checks precede any charge, so a
+  // false return leaves the simulated timeline untouched.
+  if (va < view.page_end || va >= view.run_end) return false;
+  if (view.epoch != m_.epoch()) return false;
+  service_faults();
+  if (view.epoch != m_.epoch()) return false;  // ECC retirement moved pages
+  // Epoch unchanged since resolve() => no PTE was created, destroyed or
+  // moved, so the pages scanned into run_end are still resident where they
+  // were and view.vma is still alive. The translation below is charged via
+  // the same MMU entry points as resolve(), so TLB state and cost evolve
+  // identically.
+  PageView next;
+  next.origin = view.origin;
+  next.kind = view.kind;
+  next.vma = view.vma;
+  next.line_size = view.line_size;
+  resolve_page(next, va);
+  next.epoch = m_.epoch();
+  next.run_end = view.run_end;
+  if (next.run_end < next.page_end) next.run_end = next.page_end;
+  view = next;
+  return true;
+}
+
+void System::fill_run_end(PageView& view) {
+  view.run_end = view.page_end;
+  if (!m_.config().batched_access) return;
+  // Cap the forward scan: long runs re-scan from the far end on the next
+  // transition, so the cap bounds per-resolve cost without losing batching.
+  constexpr std::size_t kMaxRunPages = 256;
+  const std::uint64_t limit = view.vma->end();
+  switch (view.kind) {
+    case os::AllocKind::kGpuOnly:
+      view.run_end = m_.gpu_pt().resident_run_end(view.page_base, mem::Node::kGpu,
+                                                  limit, kMaxRunPages);
+      break;
+    case os::AllocKind::kPinnedHost:
+      view.run_end = m_.system_pt().resident_run_end(view.page_base, mem::Node::kCpu,
+                                                     limit, kMaxRunPages);
+      break;
+    case os::AllocKind::kSystem:
+      view.run_end = m_.system_pt().resident_run_end(view.page_base, view.node,
+                                                     limit, kMaxRunPages);
+      break;
+    case os::AllocKind::kManaged:
+      // Only table-backed residency states have a cheap run scan; the
+      // fault/remote paths must re-resolve every page (driver decisions
+      // such as thrash-guard remote mapping are per-fault).
+      if (view.origin == mem::Node::kGpu && view.node == mem::Node::kGpu &&
+          !view.remote_managed) {
+        view.run_end = m_.gpu_pt().resident_run_end(view.page_base, mem::Node::kGpu,
+                                                    limit, kMaxRunPages);
+      } else if (view.origin == mem::Node::kCpu && view.node == mem::Node::kCpu) {
+        view.run_end = m_.system_pt().resident_run_end(view.page_base, mem::Node::kCpu,
+                                                       limit, kMaxRunPages);
+      }
+      break;
+  }
+  if (view.run_end < view.page_end) view.run_end = view.page_end;
+}
+
+void System::resolve_page(PageView& view, std::uint64_t va) {
+  os::Vma* vma = view.vma;
+  const mem::Node origin = view.origin;
 
   auto system_page_bounds = [&](std::uint64_t a) {
     view.page_base = m_.system_pt().page_base(a);
@@ -573,8 +646,6 @@ PageView System::resolve(std::uint64_t va, mem::Node origin) {
       break;
     }
   }
-  view.epoch = m_.epoch();
-  return view;
 }
 
 void System::commit(const PageView& view, std::uint64_t read_bytes,

@@ -44,6 +44,12 @@ struct Buffer {
 struct PageView {
   std::uint64_t page_base = 1;  ///< empty interval => always re-resolve
   std::uint64_t page_end = 0;
+  /// End (exclusive) of the contiguous residency run this page belongs to:
+  /// every page in [page_base, run_end) is mapped on the same node with
+  /// the same access semantics, so crossing into the next page inside the
+  /// run can skip the VMA lookup (System::advance_view). Equal to
+  /// page_end when no run information is available (legacy path).
+  std::uint64_t run_end = 0;
   mem::Node node = mem::Node::kCpu;     ///< where the data lives
   mem::Node origin = mem::Node::kCpu;   ///< who is accessing
   os::AllocKind kind = os::AllocKind::kSystem;
@@ -193,6 +199,15 @@ class System {
   /// handling faults/migrations as side effects.
   PageView resolve(std::uint64_t va, mem::Node origin);
 
+  /// Fast page transition inside a known residency run: advances \p view
+  /// to the page containing \p va without repeating the VMA lookup, iff
+  /// \p va lies in [view.page_end, view.run_end) and the machine epoch is
+  /// unchanged (no PTE changed since resolve, so presence and node still
+  /// hold). Charges exactly the translation costs resolve() would have
+  /// charged — TLB state evolves identically. Returns false when the
+  /// caller must fall back to a full resolve().
+  [[nodiscard]] bool advance_view(PageView& view, std::uint64_t va);
+
   /// Charges an aggregated batch of accesses within one resolved page.
   /// \p lines = unique cachelines touched; read/write bytes are raw.
   void commit(const PageView& view, std::uint64_t read_bytes,
@@ -230,6 +245,16 @@ class System {
   /// the replayable-fault path — the reason the paper's testbed disables
   /// AutoNUMA (Section 3).
   void maybe_numa_hint_fault(std::uint64_t page_va, mem::Node origin);
+
+  /// Shared core of resolve()/advance_view(): translates \p va for the
+  /// allocation described by view.kind/vma/origin, charges the translation
+  /// and fault costs, and fills node/bounds/remote_managed.
+  void resolve_page(PageView& view, std::uint64_t va);
+
+  /// Publishes how far the residency run containing view.page_base extends
+  /// (PageView::run_end). Only scans when SystemConfig::batched_access is
+  /// on; otherwise run_end = page_end (legacy behaviour).
+  void fill_run_end(PageView& view);
 
   Machine m_;
   fault::FaultInjector fi_;

@@ -34,6 +34,18 @@ void PageTable::set_node(std::uint64_t va, mem::Node node) {
   it->second.node = node;
 }
 
+std::uint64_t PageTable::resident_run_end(std::uint64_t va, mem::Node node,
+                                          std::uint64_t limit,
+                                          std::size_t max_pages) const {
+  std::uint64_t end = page_base(va) + page_size_;
+  for (std::size_t n = 1; n < max_pages && end < limit; ++n) {
+    auto it = entries_.find(vpn(end));
+    if (it == entries_.end() || it->second.node != node) break;
+    end += page_size_;
+  }
+  return end < limit ? end : limit;
+}
+
 std::size_t PageTable::resident_pages(mem::Node node) const {
   std::size_t n = 0;
   for (const auto& [vpn, pte] : entries_) {

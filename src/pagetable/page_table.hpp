@@ -55,6 +55,15 @@ class PageTable {
 
   [[nodiscard]] std::size_t mapped_pages() const noexcept { return entries_.size(); }
 
+  /// End (exclusive) of the residency run starting at \p va: scans forward
+  /// while consecutive pages are present on \p node, so Span can learn
+  /// "the next N pages are on the same node" in one call. The scan is
+  /// clamped to \p limit (typically the VMA end) and to \p max_pages to
+  /// bound the per-call cost. Returns at least the end of \p va's page.
+  [[nodiscard]] std::uint64_t resident_run_end(std::uint64_t va, mem::Node node,
+                                               std::uint64_t limit,
+                                               std::size_t max_pages) const;
+
   /// Count of mapped pages resident on \p node (O(n); for tests/reports).
   [[nodiscard]] std::size_t resident_pages(mem::Node node) const;
 

@@ -14,6 +14,10 @@ std::optional<mem::Node> Tlb::lookup(std::uint64_t vpn) {
 }
 
 void Tlb::insert(std::uint64_t vpn, mem::Node node) {
+  // A zero-capacity TLB caches nothing (no-TLB ablation): without this
+  // guard the evict-then-insert below would still insert, making
+  // capacity 0 behave as a size-1 cache and under-charging page walks.
+  if (capacity_ == 0) return;
   auto it = map_.find(vpn);
   if (it != map_.end()) {
     it->second->node = node;

@@ -34,7 +34,6 @@ TraceSummary Tracer::summarize(sim::Picos t0, sim::Picos t1) const {
       case sim::EventType::kFaultAllocDenial: ++s.alloc_denials; break;
       case sim::EventType::kFaultMigrationRetry: ++s.migration_retries; break;
       case sim::EventType::kFaultMigrationAbort: ++s.migration_aborts; break;
-      case sim::EventType::kLinkDegradeBegin: ++s.link_degrade_windows; break;
       case sim::EventType::kEccRetirement:
         ++s.ecc_retirements;
         s.ecc_retired_bytes += e.bytes;
@@ -44,6 +43,24 @@ TraceSummary Tracer::summarize(sim::Picos t0, sim::Picos t1) const {
       default: break;
     }
   }
+  // Link-degradation windows are intervals, not instants: a window counts
+  // when [begin, end) overlaps [t0, t1), so one whose Begin fell before t0
+  // but that was still degrading inside the summary window is visible.
+  // Begin/End events are paired over the full (chronological) stream; a
+  // window still open at the end of the log counts when it started before
+  // t1.
+  sim::Picos open_begin = 0;
+  bool open = false;
+  for (const auto& e : log_->events()) {
+    if (e.type == sim::EventType::kLinkDegradeBegin) {
+      open = true;
+      open_begin = e.time;
+    } else if (e.type == sim::EventType::kLinkDegradeEnd && open) {
+      open = false;
+      if (open_begin < t1 && e.time > t0) ++s.link_degrade_windows;
+    }
+  }
+  if (open && open_begin < t1) ++s.link_degrade_windows;
   return s;
 }
 

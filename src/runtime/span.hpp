@@ -34,7 +34,8 @@ class Span {
       : sys_(&sys),
         origin_(origin),
         va_(buf.va + elem_offset * sizeof(T)),
-        ptr_(reinterpret_cast<T*>(buf.host) + elem_offset) {
+        ptr_(reinterpret_cast<T*>(buf.host) + elem_offset),
+        batched_(sys.config().batched_access) {
     const std::uint64_t avail = (buf.bytes / sizeof(T)) - elem_offset;
     n_ = count == ~0ull ? avail : count;
   }
@@ -70,6 +71,25 @@ class Span {
     ptr_[i] = v;
   }
 
+  /// Accounted contiguous read of \p count elements starting at \p i:
+  /// charged exactly like count individual load() calls (same bytes, lines
+  /// and commit boundaries), but accounted page-at-a-time with bulk
+  /// bitmap arithmetic. Returns the raw elements for the caller to read.
+  /// Only monotone single-pass loops should use this — the per-element
+  /// accessors remain the general path.
+  [[nodiscard]] const T* load_run(std::size_t i, std::size_t count) {
+    account_run(i, count, /*write=*/false);
+    return ptr_ + i;
+  }
+
+  /// Accounted contiguous write of \p count elements starting at \p i
+  /// (bulk analogue of store(); see load_run()). Returns the destination
+  /// elements for the caller to fill.
+  [[nodiscard]] T* store_run(std::size_t i, std::size_t count) {
+    account_run(i, count, /*write=*/true);
+    return ptr_ + i;
+  }
+
   /// Accounted read-modify-write access.
   [[nodiscard]] T& mutate(std::size_t i) {
     touch(i, false);
@@ -102,6 +122,7 @@ class Span {
     // Invalidate so the next access re-resolves.
     view_.page_base = 1;
     view_.page_end = 0;
+    view_.run_end = 0;
   }
 
  private:
@@ -127,7 +148,9 @@ class Span {
       sys_->commit(view_, pend_r_, pend_w_, pend_lines_, pend_acc_);
       pend_r_ = pend_w_ = pend_lines_ = pend_acc_ = 0;
     }
-    view_ = sys_->resolve(addr, origin_);
+    if (!batched_ || !sys_->advance_view(view_, addr)) {
+      view_ = sys_->resolve(addr, origin_);
+    }
     line_shift_ = static_cast<unsigned>(std::countr_zero(
         static_cast<std::uint64_t>(view_.line_size)));
     const std::uint64_t lines =
@@ -135,10 +158,64 @@ class Span {
     bitmap_.assign((lines + 63) / 64, 0);
   }
 
+  /// Accounts \p count accesses starting at element \p i exactly like a
+  /// per-element touch() loop: same page visits (=> same commit
+  /// boundaries, faults and translation charges at the same simulated
+  /// times), same unique-line counts, same raw bytes. With batching off —
+  /// or elements wider than a cacheline, where bulk start-address line
+  /// marking would diverge — it *is* that loop.
+  void account_run(std::size_t i, std::size_t count, bool write) {
+    if (!batched_) {
+      for (std::size_t k = 0; k < count; ++k) touch(i + k, write);
+      return;
+    }
+    const std::size_t end = i + count;
+    std::size_t k = i;
+    while (k < end) {
+      const std::uint64_t addr = va_ + k * sizeof(T);
+      if (addr < view_.page_base || addr >= view_.page_end ||
+          sys_->epoch() != view_.epoch) {
+        reenter(addr);
+      }
+      // Elements are attributed to the page containing their *start*
+      // address (touch() semantics), so one straddling the page boundary
+      // still belongs to this chunk.
+      const std::uint64_t room = view_.page_end - addr;
+      std::size_t fit = static_cast<std::size_t>((room + sizeof(T) - 1) / sizeof(T));
+      if (fit > end - k) fit = end - k;
+      if (sizeof(T) > view_.line_size) {
+        // Wide elements can skip lines between consecutive starts; the
+        // scalar path marks exactly the start lines.
+        for (std::size_t e = 0; e < fit; ++e) touch(k + e, write);
+        k += fit;
+        continue;
+      }
+      // Element stride <= line size: the start addresses hit every line in
+      // [first, last], so marking that range word-wise counts exactly the
+      // lines a touch() loop would.
+      const std::uint64_t first = (addr - view_.page_base) >> line_shift_;
+      const std::uint64_t last =
+          (addr + (fit - 1) * sizeof(T) - view_.page_base) >> line_shift_;
+      for (std::uint64_t w = first >> 6; w <= (last >> 6); ++w) {
+        const std::uint64_t lo = w << 6;
+        std::uint64_t mask = ~0ull;
+        if (first > lo) mask &= ~0ull << (first - lo);
+        if (last < lo + 63) mask &= ~0ull >> (63 - (last - lo));
+        std::uint64_t& word = bitmap_[w];
+        pend_lines_ += static_cast<std::uint64_t>(std::popcount(mask & ~word));
+        word |= mask;
+      }
+      (write ? pend_w_ : pend_r_) += fit * sizeof(T);
+      pend_acc_ += fit;
+      k += fit;
+    }
+  }
+
   core::System* sys_;
   mem::Node origin_;
   std::uint64_t va_;
   T* ptr_;
+  bool batched_;
   std::size_t n_ = 0;
 
   core::PageView view_{};  // starts invalid (page_base=1 > page_end=0)

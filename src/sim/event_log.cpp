@@ -31,20 +31,4 @@ std::string_view to_string(EventType t) noexcept {
   return "unknown";
 }
 
-std::size_t EventLog::count(EventType t) const {
-  std::size_t n = 0;
-  for (const auto& e : events_) {
-    if (e.type == t) ++n;
-  }
-  return n;
-}
-
-std::uint64_t EventLog::total_bytes(EventType t) const {
-  std::uint64_t n = 0;
-  for (const auto& e : events_) {
-    if (e.type == t) n += e.bytes;
-  }
-  return n;
-}
-
 }  // namespace ghum::sim

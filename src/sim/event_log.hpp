@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -43,6 +44,10 @@ enum class EventType : std::uint8_t {
   kOutOfMemory,           ///< both nodes exhausted (OOM-killer analogue)
 };
 
+/// Number of EventType values (for per-type aggregation arrays).
+inline constexpr std::size_t kEventTypeCount =
+    static_cast<std::size_t>(EventType::kOutOfMemory) + 1;
+
 [[nodiscard]] std::string_view to_string(EventType t) noexcept;
 
 struct Event {
@@ -61,18 +66,35 @@ class EventLog {
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
   void record(Event e) {
-    if (enabled_) events_.push_back(e);
+    if (!enabled_) return;
+    events_.push_back(e);
+    const auto t = static_cast<std::size_t>(e.type);
+    ++counts_[t];
+    bytes_[t] += e.bytes;
   }
 
   [[nodiscard]] const std::vector<Event>& events() const noexcept { return events_; }
-  [[nodiscard]] std::size_t count(EventType t) const;
-  [[nodiscard]] std::uint64_t total_bytes(EventType t) const;
 
-  void clear() { events_.clear(); }
+  /// Per-type totals, maintained as running counters at record() time so
+  /// hot-path callers never rescan the event vector.
+  [[nodiscard]] std::size_t count(EventType t) const noexcept {
+    return counts_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] std::uint64_t total_bytes(EventType t) const noexcept {
+    return bytes_[static_cast<std::size_t>(t)];
+  }
+
+  void clear() {
+    events_.clear();
+    counts_.fill(0);
+    bytes_.fill(0);
+  }
 
  private:
   bool enabled_ = false;
   std::vector<Event> events_;
+  std::array<std::size_t, kEventTypeCount> counts_{};
+  std::array<std::uint64_t, kEventTypeCount> bytes_{};
 };
 
 }  // namespace ghum::sim

@@ -46,6 +46,29 @@ TEST(PageTable, ResidentPageCountsByNode) {
   EXPECT_EQ(pt.resident_pages(mem::Node::kGpu), 2u);
 }
 
+TEST(PageTable, ResidentRunEndScansContiguousResidency) {
+  PageTable pt{kSystemPage4K};
+  // Pages 0-2 on CPU, page 3 on GPU, page 4 unmapped, page 5 on CPU.
+  pt.map(0x0000, Pte{.node = mem::Node::kCpu});
+  pt.map(0x1000, Pte{.node = mem::Node::kCpu});
+  pt.map(0x2000, Pte{.node = mem::Node::kCpu});
+  pt.map(0x3000, Pte{.node = mem::Node::kGpu});
+  pt.map(0x5000, Pte{.node = mem::Node::kCpu});
+  const std::uint64_t limit = 0x10000;
+  // Run stops at the first page on a different node...
+  EXPECT_EQ(pt.resident_run_end(0x0000, mem::Node::kCpu, limit, 256), 0x3000u);
+  // ...starting mid-run still scans forward from the containing page...
+  EXPECT_EQ(pt.resident_run_end(0x1800, mem::Node::kCpu, limit, 256), 0x3000u);
+  // ...a hole ends the run...
+  EXPECT_EQ(pt.resident_run_end(0x3000, mem::Node::kGpu, limit, 256), 0x4000u);
+  // ...and the scan is clamped by max_pages and by the limit.
+  EXPECT_EQ(pt.resident_run_end(0x0000, mem::Node::kCpu, limit, 2), 0x2000u);
+  EXPECT_EQ(pt.resident_run_end(0x0000, mem::Node::kCpu, 0x1800, 256), 0x1800u);
+  // The first page is never checked (the caller already resolved it), so a
+  // scan from the unmapped page 4 still extends across the mapped page 5.
+  EXPECT_EQ(pt.resident_run_end(0x4000, mem::Node::kCpu, limit, 256), 0x6000u);
+}
+
 TEST(PageTable, GraceSupportedPageSizes) {
   // Section 2.1.3: system pages are 4 KiB or 64 KiB; GPU pages are 2 MiB.
   EXPECT_EQ(kSystemPage4K, 4096u);
@@ -81,6 +104,24 @@ TEST(Tlb, InvalidateAndFlush) {
   EXPECT_FALSE(tlb.lookup(1).has_value());
   EXPECT_TRUE(tlb.lookup(2).has_value());
   tlb.flush();
+  EXPECT_EQ(tlb.size(), 0u);
+}
+
+TEST(Tlb, CapacityZeroAlwaysMisses) {
+  // Regression: a zero-capacity TLB (no-TLB ablation) used to behave as a
+  // size-1 cache because insert() evicted then inserted anyway, so repeat
+  // accesses to one page were under-charged their walks.
+  Tlb tlb{0};
+  EXPECT_FALSE(tlb.lookup(7).has_value());
+  tlb.insert(7, mem::Node::kCpu);
+  EXPECT_EQ(tlb.size(), 0u);
+  EXPECT_FALSE(tlb.lookup(7).has_value());  // the insert must not stick
+  tlb.insert(7, mem::Node::kGpu);
+  tlb.insert(8, mem::Node::kGpu);
+  EXPECT_FALSE(tlb.lookup(7).has_value());
+  EXPECT_FALSE(tlb.lookup(8).has_value());
+  EXPECT_EQ(tlb.hits(), 0u);
+  EXPECT_EQ(tlb.misses(), 4u);
   EXPECT_EQ(tlb.size(), 0u);
 }
 

@@ -91,6 +91,42 @@ TEST(Tracer, SummarizesByTypeAndWindow) {
   EXPECT_FALSE(tracer.to_text().empty());
 }
 
+TEST(Tracer, LinkDegradeWindowsCountByOverlapNotByBeginEvent) {
+  sim::EventLog log;
+  log.set_enabled(true);
+  auto window = [&](sim::Picos b, sim::Picos e) {
+    log.record({.time = b, .type = sim::EventType::kLinkDegradeBegin});
+    log.record({.time = e, .type = sim::EventType::kLinkDegradeEnd});
+  };
+  window(sim::microseconds(1), sim::microseconds(5));     // entirely before
+  window(sim::microseconds(10), sim::microseconds(30));   // straddles t0
+  window(sim::microseconds(40), sim::microseconds(60));   // fully inside
+  window(sim::microseconds(90), sim::microseconds(200));  // straddles t1
+  window(sim::microseconds(300), sim::microseconds(310)); // entirely after
+  profile::Tracer tracer{log};
+  // Regression: a window whose Begin fell before t0 but whose End lands
+  // inside [t0, t1) used to be invisible (only Begin events were counted).
+  const auto s = tracer.summarize(sim::microseconds(20), sim::microseconds(100));
+  EXPECT_EQ(s.link_degrade_windows, 3u);
+  // The full-range summary still sees every window once.
+  EXPECT_EQ(tracer.summarize().link_degrade_windows, 5u);
+}
+
+TEST(Tracer, OpenLinkDegradeWindowCountsUntilEndOfLog) {
+  sim::EventLog log;
+  log.set_enabled(true);
+  log.record({.time = sim::microseconds(10),
+              .type = sim::EventType::kLinkDegradeBegin});
+  profile::Tracer tracer{log};
+  // Still degrading when the log ends: visible to any window it overlaps...
+  EXPECT_EQ(tracer.summarize(sim::microseconds(20), sim::microseconds(100))
+                .link_degrade_windows,
+            1u);
+  EXPECT_EQ(tracer.summarize().link_degrade_windows, 1u);
+  // ...but not to one that closed before the degradation began.
+  EXPECT_EQ(tracer.summarize(0, sim::microseconds(5)).link_degrade_windows, 0u);
+}
+
 TEST(WorkloadAnalysis, MatchingAndTotals) {
   profile::WorkloadAnalysis wa;
   cache::KernelRecord r1{.name = "srad.coeff", .kernel_id = 1, .start = 0,

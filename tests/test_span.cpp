@@ -196,6 +196,95 @@ TEST_F(SpanTest, RandomPatternChargesMatchAnalyticLineCount) {
   EXPECT_EQ(rec.traffic.ddr_read_bytes, distinct_lines.size() * 64);
 }
 
+TEST_F(SpanTest, BulkRunChargesExactlyLikeScalarLoop) {
+  // Same multi-page workload (unaligned start, partial tail, store sweep
+  // then re-read) on two identical buffers: the bulk accessors must charge
+  // the same bytes, lines and simulated time as the per-element loop.
+  const std::uint64_t bytes = 96 << 10;  // 24 pages of 4 KiB
+  core::Buffer a = rt.malloc_system(bytes);
+  core::Buffer b = rt.malloc_system(bytes);
+  const std::size_t n = bytes / sizeof(float) - 12;
+  sys.host_phase_begin("scalar");
+  {
+    auto s = rt.host_span<float>(a);
+    for (std::size_t i = 0; i < n; ++i) s.store(7 + i, 1.0f);
+    for (std::size_t i = 0; i < n; ++i) (void)s.load(7 + i);
+  }
+  const cache::KernelRecord scalar = sys.host_phase_end();
+  sys.host_phase_begin("bulk");
+  {
+    auto s = rt.host_span<float>(b);
+    std::fill_n(s.store_run(7, n), n, 1.0f);
+    (void)s.load_run(7, n);
+  }
+  const cache::KernelRecord bulk = sys.host_phase_end();
+  EXPECT_EQ(bulk.traffic.ddr_write_bytes, scalar.traffic.ddr_write_bytes);
+  EXPECT_EQ(bulk.traffic.ddr_read_bytes, scalar.traffic.ddr_read_bytes);
+  EXPECT_EQ(bulk.duration, scalar.duration);
+}
+
+TEST_F(SpanTest, BulkRunGpuRemoteAccessMatchesScalar) {
+  // GPU-origin access to CPU-resident system memory (the paper's hot
+  // remote path, 128-byte lines over C2C): bulk == scalar, including the
+  // GPU first-touch faults and link traffic.
+  const std::uint64_t bytes = 64 << 10;
+  core::Buffer a = rt.malloc_system(bytes);
+  core::Buffer b = rt.malloc_system(bytes);
+  const std::size_t n = bytes / sizeof(float);
+  (void)rt.launch("warmup", 0, [] {});  // pay the one-time context init
+  const auto scalar = rt.launch("scalar", 0, [&] {
+    auto s = rt.device_span<float>(a);
+    for (std::size_t i = 0; i < n; ++i) s.store(i, 2.0f);
+  });
+  const auto bulk = rt.launch("bulk", 0, [&] {
+    auto s = rt.device_span<float>(b);
+    std::fill_n(s.store_run(0, n), n, 2.0f);
+  });
+  EXPECT_EQ(bulk.traffic.c2c_write_bytes, scalar.traffic.c2c_write_bytes);
+  EXPECT_EQ(bulk.traffic.l1l2_bytes, scalar.traffic.l1l2_bytes);
+  EXPECT_EQ(bulk.traffic.gpu_first_touch_faults,
+            scalar.traffic.gpu_first_touch_faults);
+  EXPECT_EQ(bulk.duration, scalar.duration);
+}
+
+TEST_F(SpanTest, BulkRunRoundTripsRealData) {
+  core::Buffer buf = rt.malloc_system(8 << 10);
+  sys.host_phase_begin("rw");
+  {
+    auto s = rt.host_span<int>(buf);
+    int* w = s.store_run(3, 1000);
+    for (int i = 0; i < 1000; ++i) w[i] = i * 7;
+    const int* r = s.load_run(3, 1000);
+    for (int i = 0; i < 1000; ++i) ASSERT_EQ(r[i], i * 7);
+  }
+  (void)sys.host_phase_end();
+}
+
+TEST_F(SpanTest, BulkRunWideElementsFallBackToScalarMarking) {
+  // Elements wider than a cacheline mark only their start lines; the bulk
+  // path must not over-mark the lines in between.
+  struct Wide {
+    unsigned char d[96];  // > 64-byte CPU line
+  };
+  core::Buffer a = rt.malloc_system(32 << 10);
+  core::Buffer b = rt.malloc_system(32 << 10);
+  const std::size_t n = (32 << 10) / sizeof(Wide);
+  sys.host_phase_begin("scalar");
+  {
+    auto s = rt.host_span<Wide>(a);
+    for (std::size_t i = 0; i < n; ++i) s.store(i, Wide{});
+  }
+  const cache::KernelRecord scalar = sys.host_phase_end();
+  sys.host_phase_begin("bulk");
+  {
+    auto s = rt.host_span<Wide>(b);
+    std::fill_n(s.store_run(0, n), n, Wide{});
+  }
+  const cache::KernelRecord bulk = sys.host_phase_end();
+  EXPECT_EQ(bulk.traffic.ddr_write_bytes, scalar.traffic.ddr_write_bytes);
+  EXPECT_EQ(bulk.duration, scalar.duration);
+}
+
 TEST_F(SpanTest, FlushIsIdempotent) {
   core::Buffer b = rt.malloc_system(1 << 12);
   sys.host_phase_begin("flush");
