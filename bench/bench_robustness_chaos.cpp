@@ -106,27 +106,6 @@ std::vector<ChaosApp> chaos_apps() {
   return v;
 }
 
-/// FNV-1a over the full event stream plus the final simulated time: two
-/// runs match iff they took the same decisions at the same times.
-std::uint64_t digest_events(const sim::EventLog& log, sim::Picos end_time) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  auto mix = [&h](std::uint64_t x) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (x >> (8 * i)) & 0xff;
-      h *= 0x100000001b3ull;
-    }
-  };
-  for (const auto& e : log.events()) {
-    mix(static_cast<std::uint64_t>(e.time));
-    mix(static_cast<std::uint64_t>(e.type));
-    mix(e.va);
-    mix(e.bytes);
-    mix(e.aux);
-  }
-  mix(static_cast<std::uint64_t>(end_time));
-  return h;
-}
-
 struct RunOutcome {
   Status status = Status::kSuccess;
   sim::Picos end_time = 0;
@@ -153,7 +132,7 @@ RunOutcome one_run(const ChaosApp& app, apps::MemMode mode, const Scenario& sc,
   RunOutcome out;
   out.status = res.status;
   out.end_time = sys.now();
-  out.digest = digest_events(sys.events(), sys.now());
+  out.digest = sys.events().digest(sys.now());
   out.denials = sys.fault_injector().denials();
   const auto trace = profile::Tracer{sys.events()}.summarize();
   out.retries = trace.migration_retries;

@@ -56,28 +56,6 @@ std::vector<SelfperfApp> selfperf_apps() {
   return v;
 }
 
-/// FNV-1a over the full event stream plus the final simulated time (same
-/// digest as bench_robustness_chaos): two runs match iff the simulator
-/// took the same decisions at the same simulated times.
-std::uint64_t digest_events(const sim::EventLog& log, sim::Picos end_time) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  auto mix = [&h](std::uint64_t x) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (x >> (8 * i)) & 0xff;
-      h *= 0x100000001b3ull;
-    }
-  };
-  for (const auto& e : log.events()) {
-    mix(static_cast<std::uint64_t>(e.time));
-    mix(static_cast<std::uint64_t>(e.type));
-    mix(e.va);
-    mix(e.bytes);
-    mix(e.aux);
-  }
-  mix(static_cast<std::uint64_t>(end_time));
-  return h;
-}
-
 struct TimedRun {
   double wall_ms = 0;
   sim::Picos end_time = 0;
@@ -100,7 +78,7 @@ TimedRun one_run(const SelfperfApp& app, apps::MemMode mode, bs::Scale scale,
       std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0)
           .count();
   out.end_time = sys.now();
-  out.digest = digest_events(sys.events(), sys.now());
+  out.digest = sys.events().digest(sys.now());
   out.status = res.status;
   return out;
 }

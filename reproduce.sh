@@ -25,9 +25,14 @@ ctest --test-dir build-asan --output-on-failure 2>&1 | tee test_output_asan.txt
   done
 } 2>&1 | tee bench_output.txt
 
-# bench_selfperf (run in the loop above) exits nonzero if the batched and
-# legacy access paths ever diverge; its JSON artifact must exist.
-test -f BENCH_selfperf.json
+# Self-checking benches (run in the loop above) exit nonzero on failure:
+# bench_selfperf if the batched and legacy access paths diverge,
+# bench_tenancy if a co-run row is non-reproducible or the designated
+# interference row shows no cross-tenant eviction. Every bench that
+# declares a JSON artifact must have produced it.
+for artifact in BENCH_selfperf.json BENCH_tenancy.json; do
+  test -f "$artifact" || { echo "missing artifact: $artifact" >&2; exit 1; }
+done
 
 for e in quickstart all_apps quantum_volume oversubscription_survival \
          migration_explorer; do

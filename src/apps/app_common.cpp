@@ -11,6 +11,12 @@ std::string_view to_string(MemMode m) noexcept {
   return "unknown";
 }
 
+AppReport drive(AppCoro coro) {
+  while (coro.step()) {
+  }
+  return std::move(coro.report());
+}
+
 UnifiedBuffer UnifiedBuffer::create(runtime::Runtime& rt, MemMode mode,
                                     std::uint64_t bytes, std::string label) {
   UnifiedBuffer ub;

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
+#include <exception>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "cache/kernel_traffic.hpp"
@@ -62,6 +65,76 @@ struct AppReport {
   /// QvConfig::measure_hop is set). -1 when unused.
   double aux_metric = -1.0;
 };
+
+/// A resumable application run: each app's `*_steps` coroutine yields at
+/// its natural work-unit boundaries (phase transitions, kernel-loop
+/// iterations) and co_returns the finished AppReport. This is the quantum
+/// substrate of multi-tenant co-scheduling (tenant::Scheduler resumes one
+/// suspended app at a time); driven to completion in one loop it behaves
+/// bit-for-bit like the original monolithic run functions, which the
+/// `run_*` wrappers still expose.
+class AppCoro {
+ public:
+  struct promise_type {
+    AppReport report;
+    std::exception_ptr error;
+
+    AppCoro get_return_object() {
+      return AppCoro{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    std::suspend_always yield_value(int) noexcept { return {}; }
+    void return_value(AppReport r) noexcept { report = std::move(r); }
+    void unhandled_exception() noexcept { error = std::current_exception(); }
+  };
+
+  AppCoro() = default;
+  AppCoro(AppCoro&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  AppCoro& operator=(AppCoro&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  ~AppCoro() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept { return static_cast<bool>(h_); }
+  [[nodiscard]] bool done() const noexcept { return !h_ || h_.done(); }
+
+  /// Runs one work unit (up to the next co_yield). Returns true while more
+  /// remain. On completion, rethrows whatever the app body threw (OOM
+  /// StatusError and friends surface to the resumer, exactly as they
+  /// escaped the monolithic run functions).
+  bool step() {
+    if (done()) return false;
+    h_.resume();
+    if (h_.done()) {
+      if (h_.promise().error) std::rethrow_exception(h_.promise().error);
+      return false;
+    }
+    return true;
+  }
+
+  /// The finished report (valid once step() has returned false).
+  [[nodiscard]] AppReport& report() { return h_.promise().report; }
+
+ private:
+  explicit AppCoro(std::coroutine_handle<promise_type> h) noexcept : h_(h) {}
+  void destroy() noexcept {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> h_;
+};
+
+/// Drives a step-yielding app to completion inline — the single-app path
+/// every `run_*` wrapper uses.
+[[nodiscard]] AppReport drive(AppCoro coro);
 
 /// Phase stopwatch over the simulated clock. GPU-context-initialization
 /// time charged during a lap is subtracted from that lap and accumulated

@@ -73,6 +73,10 @@ Csr generate_graph(const BfsConfig& cfg) {
 }  // namespace
 
 AppReport run_bfs(runtime::Runtime& rt, MemMode mode, const BfsConfig& cfg) {
+  return drive(bfs_steps(rt, mode, cfg));
+}
+
+AppCoro bfs_steps(runtime::Runtime& rt, MemMode mode, BfsConfig cfg) {
   core::System& sys = rt.system();
   const Csr graph = generate_graph(cfg);
   const std::uint64_t n = cfg.nodes;
@@ -97,6 +101,7 @@ AppReport run_bfs(runtime::Runtime& rt, MemMode mode, const BfsConfig& cfg) {
   // Rodinia port ends up doing with cudaMallocHost).
   core::Buffer stop_flag = rt.malloc_host(sizeof(int), "bfs.stop");
   report.times.alloc_s = timer.lap();
+  co_yield 0;
 
   rt.host_phase("bfs.cpu_init", static_cast<double>(n + m), [&] {
     auto ro = rt.host_span<int>(row_off.host());
@@ -119,6 +124,7 @@ AppReport run_bfs(runtime::Runtime& rt, MemMode mode, const BfsConfig& cfg) {
     }
   });
   report.times.cpu_init_s = timer.lap();
+  co_yield 0;
 
   row_off.h2d(rt);
   col_idx.h2d(rt);
@@ -173,10 +179,12 @@ AppReport run_bfs(runtime::Runtime& rt, MemMode mode, const BfsConfig& cfg) {
       auto st = rt.host_span<int>(stop_flag);
       stop = st.load(0);
     }
+    co_yield 0;
     if (stop != 0) break;
   }
   cost.d2h(rt);
   report.times.compute_s = timer.lap();
+  co_yield 0;
 
   {
     Digest d;
@@ -198,7 +206,7 @@ AppReport run_bfs(runtime::Runtime& rt, MemMode mode, const BfsConfig& cfg) {
   rt.free(stop_flag);
   report.times.dealloc_s = timer.lap();
   report.times.context_s = timer.context_s();
-  return report;
+  co_return report;
 }
 
 std::uint64_t bfs_reference_checksum(const BfsConfig& cfg) {

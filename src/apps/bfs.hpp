@@ -27,6 +27,9 @@ struct BfsConfig {
 
 AppReport run_bfs(runtime::Runtime& rt, MemMode mode, const BfsConfig& cfg);
 
+/// Step-yielding form of run_bfs (suspends per phase and frontier level).
+[[nodiscard]] AppCoro bfs_steps(runtime::Runtime& rt, MemMode mode, BfsConfig cfg);
+
 [[nodiscard]] std::uint64_t bfs_reference_checksum(const BfsConfig& cfg);
 
 }  // namespace ghum::apps

@@ -31,6 +31,10 @@ inline float step_cell(float c, float n, float s, float w, float e, float p) {
 }  // namespace
 
 AppReport run_hotspot(runtime::Runtime& rt, MemMode mode, const HotspotConfig& cfg) {
+  return drive(hotspot_steps(rt, mode, cfg));
+}
+
+AppCoro hotspot_steps(runtime::Runtime& rt, MemMode mode, HotspotConfig cfg) {
   core::System& sys = rt.system();
   const std::uint64_t n = std::uint64_t{cfg.rows} * cfg.cols;
   const std::uint64_t bytes = n * sizeof(float);
@@ -48,6 +52,7 @@ AppReport run_hotspot(runtime::Runtime& rt, MemMode mode, const HotspotConfig& c
   core::Buffer temp_b = rt.malloc_device(bytes, "hotspot.temp_b");
   UnifiedBuffer power = UnifiedBuffer::create(rt, mode, bytes, "hotspot.power");
   report.times.alloc_s = timer.lap();
+  co_yield 0;
 
   // --- CPU-side initialization ------------------------------------------------
   rt.host_phase("hotspot.cpu_init", static_cast<double>(n) * 4, [&] {
@@ -64,6 +69,7 @@ AppReport run_hotspot(runtime::Runtime& rt, MemMode mode, const HotspotConfig& c
     }
   });
   report.times.cpu_init_s = timer.lap();
+  co_yield 0;
 
   // --- compute -----------------------------------------------------------------
   const core::Buffer* in = &temp_a.device();
@@ -100,6 +106,7 @@ AppReport run_hotspot(runtime::Runtime& rt, MemMode mode, const HotspotConfig& c
     report.iteration_traffic.push_back(record.traffic);
     report.compute_traffic += record.traffic;
     std::swap(in, out);
+    co_yield 0;
   }
   rt.device_synchronize();
   // Result lives in *in after the final swap. If it sits in the GPU-only
@@ -117,6 +124,7 @@ AppReport run_hotspot(runtime::Runtime& rt, MemMode mode, const HotspotConfig& c
   }
   temp_a.d2h(rt);
   report.times.compute_s = timer.lap();
+  co_yield 0;
 
   // --- checksum (meta-level, not simulated work) --------------------------------
   {
@@ -134,7 +142,7 @@ AppReport run_hotspot(runtime::Runtime& rt, MemMode mode, const HotspotConfig& c
   power.free(rt);
   report.times.dealloc_s = timer.lap();
   report.times.context_s = timer.context_s();
-  return report;
+  co_return report;
 }
 
 std::uint64_t hotspot_reference_checksum(const HotspotConfig& cfg) {

@@ -19,6 +19,13 @@ struct HotspotConfig {
 
 AppReport run_hotspot(runtime::Runtime& rt, MemMode mode, const HotspotConfig& cfg);
 
+/// Step-yielding form of run_hotspot: suspends after the allocation and
+/// init phases and after every stencil iteration, so a tenant::Scheduler
+/// can interleave instances. Driving it straight to completion is exactly
+/// run_hotspot.
+[[nodiscard]] AppCoro hotspot_steps(runtime::Runtime& rt, MemMode mode,
+                                    HotspotConfig cfg);
+
 /// Pure-host reference digest (no simulation) for correctness tests.
 [[nodiscard]] std::uint64_t hotspot_reference_checksum(const HotspotConfig& cfg);
 

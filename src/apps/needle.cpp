@@ -23,6 +23,10 @@ int similarity(std::uint32_t i, std::uint32_t j, std::uint64_t seed) {
 }  // namespace
 
 AppReport run_needle(runtime::Runtime& rt, MemMode mode, const NeedleConfig& cfg) {
+  return drive(needle_steps(rt, mode, cfg));
+}
+
+AppCoro needle_steps(runtime::Runtime& rt, MemMode mode, NeedleConfig cfg) {
   core::System& sys = rt.system();
   if (cfg.n == 0 || cfg.n % kTile != 0) {
     throw std::invalid_argument{"needle: n must be a positive multiple of 16"};
@@ -40,6 +44,7 @@ AppReport run_needle(runtime::Runtime& rt, MemMode mode, const NeedleConfig& cfg
   UnifiedBuffer ref =
       UnifiedBuffer::create(rt, mode, cells * sizeof(int), "needle.ref");
   report.times.alloc_s = timer.lap();
+  co_yield 0;
 
   rt.host_phase("needle.cpu_init", static_cast<double>(cells) * 3, [&] {
     auto s = rt.host_span<int>(score.host());
@@ -62,6 +67,7 @@ AppReport run_needle(runtime::Runtime& rt, MemMode mode, const NeedleConfig& cfg
     }
   });
   report.times.cpu_init_s = timer.lap();
+  co_yield 0;
 
   score.h2d(rt);
   ref.h2d(rt);
@@ -99,10 +105,12 @@ AppReport run_needle(runtime::Runtime& rt, MemMode mode, const NeedleConfig& cfg
       }
     });
     report.compute_traffic += record.traffic;
+    co_yield 0;
   }
   rt.device_synchronize();
   score.d2h(rt);
   report.times.compute_s = timer.lap();
+  co_yield 0;
 
   {
     Digest dg;
@@ -120,7 +128,7 @@ AppReport run_needle(runtime::Runtime& rt, MemMode mode, const NeedleConfig& cfg
   ref.free(rt);
   report.times.dealloc_s = timer.lap();
   report.times.context_s = timer.context_s();
-  return report;
+  co_return report;
 }
 
 std::uint64_t needle_reference_checksum(const NeedleConfig& cfg) {

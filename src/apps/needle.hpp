@@ -19,6 +19,10 @@ struct NeedleConfig {
 
 AppReport run_needle(runtime::Runtime& rt, MemMode mode, const NeedleConfig& cfg);
 
+/// Step-yielding form of run_needle (suspends per phase and tile anti-diagonal).
+[[nodiscard]] AppCoro needle_steps(runtime::Runtime& rt, MemMode mode,
+                                   NeedleConfig cfg);
+
 [[nodiscard]] std::uint64_t needle_reference_checksum(const NeedleConfig& cfg);
 
 }  // namespace ghum::apps

@@ -11,6 +11,10 @@ int cell_cost(sim::Rng& rng) { return static_cast<int>(rng.next_below(10)); }
 
 AppReport run_pathfinder(runtime::Runtime& rt, MemMode mode,
                          const PathfinderConfig& cfg) {
+  return drive(pathfinder_steps(rt, mode, cfg));
+}
+
+AppCoro pathfinder_steps(runtime::Runtime& rt, MemMode mode, PathfinderConfig cfg) {
   core::System& sys = rt.system();
   const std::uint64_t n = std::uint64_t{cfg.rows} * cfg.cols;
 
@@ -26,6 +30,7 @@ AppReport run_pathfinder(runtime::Runtime& rt, MemMode mode,
   // in every mode (paper Section 3.1: GPU-only buffers keep cudaMalloc).
   core::Buffer scratch = rt.malloc_device(cfg.cols * sizeof(int), "pf.scratch");
   report.times.alloc_s = timer.lap();
+  co_yield 0;
 
   rt.host_phase("pf.cpu_init", static_cast<double>(n), [&] {
     sim::Rng rng{cfg.seed};
@@ -34,6 +39,7 @@ AppReport run_pathfinder(runtime::Runtime& rt, MemMode mode,
     for (std::uint64_t i = 0; i < n; ++i) wv[i] = cell_cost(rng);
   });
   report.times.cpu_init_s = timer.lap();
+  co_yield 0;
 
   wall.h2d(rt);
   // DP state starts as row 0 of the wall; alternates result <-> scratch.
@@ -67,6 +73,7 @@ AppReport run_pathfinder(runtime::Runtime& rt, MemMode mode,
     } else {
       std::swap(src, dst);
     }
+    co_yield 0;
   }
   rt.device_synchronize();
   // Copy the final DP row into `result` if it currently sits in scratch.
@@ -85,6 +92,7 @@ AppReport run_pathfinder(runtime::Runtime& rt, MemMode mode,
   }
   result.d2h(rt);
   report.times.compute_s = timer.lap();
+  co_yield 0;
 
   {
     Digest d;
@@ -99,7 +107,7 @@ AppReport run_pathfinder(runtime::Runtime& rt, MemMode mode,
   rt.free(scratch);
   report.times.dealloc_s = timer.lap();
   report.times.context_s = timer.context_s();
-  return report;
+  co_return report;
 }
 
 std::uint64_t pathfinder_reference_checksum(const PathfinderConfig& cfg) {

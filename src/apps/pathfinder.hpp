@@ -19,6 +19,10 @@ struct PathfinderConfig {
 AppReport run_pathfinder(runtime::Runtime& rt, MemMode mode,
                          const PathfinderConfig& cfg);
 
+/// Step-yielding form of run_pathfinder (suspends per phase and DP row).
+[[nodiscard]] AppCoro pathfinder_steps(runtime::Runtime& rt, MemMode mode,
+                                       PathfinderConfig cfg);
+
 [[nodiscard]] std::uint64_t pathfinder_reference_checksum(const PathfinderConfig& cfg);
 
 }  // namespace ghum::apps

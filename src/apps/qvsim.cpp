@@ -119,7 +119,7 @@ namespace {
 /// pipeline stages the chunk groups the gate couples (1, 2 or 4 chunks,
 /// depending on how many gate qubits exceed the chunk width) through
 /// device buffers.
-AppReport run_qvsim_explicit_chunked(runtime::Runtime& rt, const QvConfig& cfg,
+AppCoro qvsim_explicit_chunked_steps(runtime::Runtime& rt, QvConfig cfg,
                                      AppReport report, PhaseTimer& timer,
                                      core::Buffer host_sv) {
   core::System& sys = rt.system();
@@ -148,6 +148,7 @@ AppReport run_qvsim_explicit_chunked(runtime::Runtime& rt, const QvConfig& cfg,
   runtime::Stream h2d_stream[2];
   runtime::Stream d2h_stream[2];
   report.times.alloc_s += timer.lap();
+  co_yield 0;
 
   // |0...0> initialized on the host (the chunked backend's statevector is
   // host-resident between stages).
@@ -158,6 +159,7 @@ AppReport run_qvsim_explicit_chunked(runtime::Runtime& rt, const QvConfig& cfg,
     std::fill_n(av, n - 1, amp_t{});
   });
   report.times.gpu_init_s = timer.lap();
+  co_yield 0;
 
   const std::vector<GateSpec> gates = qv_circuit(cfg);
   for (const GateSpec& g : gates) {
@@ -264,9 +266,11 @@ AppReport run_qvsim_explicit_chunked(runtime::Runtime& rt, const QvConfig& cfg,
     report.iteration_s.push_back(sim::to_seconds(sys.now() - gate_start));
     report.iteration_traffic.push_back(gate_traffic);
     report.compute_traffic += gate_traffic;
+    co_yield 0;
   }
   rt.device_synchronize();
   report.times.compute_s = timer.lap();
+  co_yield 0;
 
   report.checksum =
       digest_statevector(reinterpret_cast<const amp_t*>(host_sv.host), n);
@@ -279,12 +283,16 @@ AppReport run_qvsim_explicit_chunked(runtime::Runtime& rt, const QvConfig& cfg,
   rt.free(host_sv);
   report.times.dealloc_s = timer.lap();
   report.times.context_s = timer.context_s();
-  return report;
+  co_return report;
 }
 
 }  // namespace
 
 AppReport run_qvsim(runtime::Runtime& rt, MemMode mode, const QvConfig& cfg) {
+  return drive(qvsim_steps(rt, mode, cfg));
+}
+
+AppCoro qvsim_steps(runtime::Runtime& rt, MemMode mode, QvConfig cfg) {
   core::System& sys = rt.system();
   const std::uint64_t n = 1ull << cfg.qubits;
   const std::uint64_t bytes = n * sizeof(amp_t);
@@ -301,8 +309,12 @@ AppReport run_qvsim(runtime::Runtime& rt, MemMode mode, const QvConfig& cfg) {
     // pipeline" whose performance the paper calls ideal (Section 4).
     core::Buffer host_sv = rt.malloc_host(bytes, "qv.statevector.host");
     report.times.alloc_s = timer.lap();
-    return run_qvsim_explicit_chunked(rt, cfg, std::move(report), timer,
-                                      host_sv);
+    // Pump the chunk-exchange pipeline as a nested coroutine so its
+    // per-gate suspension points surface through this one.
+    AppCoro inner = qvsim_explicit_chunked_steps(rt, cfg, std::move(report),
+                                                 timer, host_sv);
+    while (inner.step()) co_yield 0;
+    co_return std::move(inner.report());
   }
 
   const std::vector<GateSpec> gates = qv_circuit(cfg);
@@ -312,6 +324,7 @@ AppReport run_qvsim(runtime::Runtime& rt, MemMode mode, const QvConfig& cfg) {
   // use UnifiedBuffer so the readout path is uniform across modes.
   UnifiedBuffer sv = UnifiedBuffer::create(rt, mode, bytes, "qv.statevector");
   report.times.alloc_s = timer.lap();
+  co_yield 0;
 
   // --- GPU-side initialization: |0...0> ---------------------------------------
   auto rec_init = rt.launch("qv.init", static_cast<double>(n), [&] {
@@ -322,6 +335,7 @@ AppReport run_qvsim(runtime::Runtime& rt, MemMode mode, const QvConfig& cfg) {
   });
   report.times.gpu_init_s = timer.lap();
   (void)rec_init;
+  co_yield 0;
 
   // --- compute: the QV circuit --------------------------------------------------
   const std::uint64_t groups = n / 4;
@@ -354,10 +368,12 @@ AppReport run_qvsim(runtime::Runtime& rt, MemMode mode, const QvConfig& cfg) {
     report.iteration_s.push_back(sim::to_seconds(record.duration));
     report.iteration_traffic.push_back(record.traffic);
     report.compute_traffic += record.traffic;
+    co_yield 0;
   }
   rt.device_synchronize();
   sv.d2h(rt);
   report.times.compute_s = timer.lap();
+  co_yield 0;
 
   report.checksum =
       digest_statevector(reinterpret_cast<const amp_t*>(sv.host().host), n);
@@ -367,7 +383,7 @@ AppReport run_qvsim(runtime::Runtime& rt, MemMode mode, const QvConfig& cfg) {
   sv.free(rt);
   report.times.dealloc_s = timer.lap();
   report.times.context_s = timer.context_s();
-  return report;
+  co_return report;
 }
 
 double qv_heavy_output_probability(runtime::Runtime& rt, MemMode mode,

@@ -55,6 +55,10 @@ struct QvConfig {
 
 AppReport run_qvsim(runtime::Runtime& rt, MemMode mode, const QvConfig& cfg);
 
+/// Step-yielding form of run_qvsim (suspends per phase and gate; the
+/// chunk-exchange path additionally suspends per chunk-group sweep).
+[[nodiscard]] AppCoro qvsim_steps(runtime::Runtime& rt, MemMode mode, QvConfig cfg);
+
 /// The Quantum Volume protocol's success metric: the probability mass of
 /// the *heavy outputs* — bitstrings whose ideal probability exceeds the
 /// median (Cross et al.). Runs the circuit under \p mode, computes the

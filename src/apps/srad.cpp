@@ -75,6 +75,10 @@ void srad_iteration_ref(std::vector<float>& J, std::vector<float>& c,
 }  // namespace
 
 AppReport run_srad(runtime::Runtime& rt, MemMode mode, const SradConfig& cfg) {
+  return drive(srad_steps(rt, mode, cfg));
+}
+
+AppCoro srad_steps(runtime::Runtime& rt, MemMode mode, SradConfig cfg) {
   core::System& sys = rt.system();
   const std::uint64_t n = std::uint64_t{cfg.rows} * cfg.cols;
   const std::uint64_t bytes = n * sizeof(float);
@@ -98,6 +102,7 @@ AppReport run_srad(runtime::Runtime& rt, MemMode mode, const SradConfig& cfg) {
   // Reduction result read by the host every iteration: pinned zero-copy.
   core::Buffer sums = rt.malloc_host(2 * sizeof(double), "srad.sums");
   report.times.alloc_s = timer.lap();
+  co_yield 0;
 
   rt.host_phase("srad.cpu_init", static_cast<double>(n) * 4, [&] {
     sim::Rng rng{cfg.seed};
@@ -106,6 +111,7 @@ AppReport run_srad(runtime::Runtime& rt, MemMode mode, const SradConfig& cfg) {
     for (std::uint64_t i = 0; i < n; ++i) jv[i] = init_pixel(rng);
   });
   report.times.cpu_init_s = timer.lap();
+  co_yield 0;
 
   if (cfg.host_register_opt && mode == MemMode::kSystem) {
     // Section 5.1.2: pre-populate the GPU-first-touched buffers' PTEs on
@@ -223,9 +229,11 @@ AppReport run_srad(runtime::Runtime& rt, MemMode mode, const SradConfig& cfg) {
     report.iteration_s.push_back(sim::to_seconds(sys.now() - iter_start - ctx_delta));
     report.iteration_traffic.push_back(iter_traffic);
     report.compute_traffic += iter_traffic;
+    co_yield 0;
   }
   img.d2h(rt);
   report.times.compute_s = timer.lap();
+  co_yield 0;
 
   {
     Digest d;
@@ -246,7 +254,7 @@ AppReport run_srad(runtime::Runtime& rt, MemMode mode, const SradConfig& cfg) {
   rt.free(sums);
   report.times.dealloc_s = timer.lap();
   report.times.context_s = timer.context_s();
-  return report;
+  co_return report;
 }
 
 std::uint64_t srad_reference_checksum(const SradConfig& cfg) {

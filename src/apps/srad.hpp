@@ -32,6 +32,9 @@ struct SradConfig {
 
 AppReport run_srad(runtime::Runtime& rt, MemMode mode, const SradConfig& cfg);
 
+/// Step-yielding form of run_srad (suspends per phase and diffusion iteration).
+[[nodiscard]] AppCoro srad_steps(runtime::Runtime& rt, MemMode mode, SradConfig cfg);
+
 [[nodiscard]] std::uint64_t srad_reference_checksum(const SradConfig& cfg);
 
 }  // namespace ghum::apps

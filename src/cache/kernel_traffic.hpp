@@ -52,6 +52,7 @@ struct KernelTraffic {
 struct KernelRecord {
   std::string name;
   std::uint64_t kernel_id = 0;
+  std::uint32_t tenant = 0;  ///< tenant active during this launch (0 = none)
   sim::Picos start = 0;
   sim::Picos duration = 0;
   KernelTraffic traffic;

@@ -19,6 +19,8 @@ bool Machine::map_system_page(os::Vma& vma, std::uint64_t va, mem::Node node) {
   const auto delta = static_cast<std::int64_t>(bytes);
   as_.note_resident_delta(vma, node == mem::Node::kCpu ? delta : 0,
                           node == mem::Node::kGpu ? delta : 0);
+  attribution_.note_resident_delta(vma.tenant, node == mem::Node::kCpu ? delta : 0,
+                                   node == mem::Node::kGpu ? delta : 0);
   ++epoch_;
   return true;
 }
@@ -34,6 +36,8 @@ void Machine::unmap_system_page(os::Vma& vma, std::uint64_t va) {
   const auto delta = -static_cast<std::int64_t>(bytes);
   as_.note_resident_delta(vma, node == mem::Node::kCpu ? delta : 0,
                           node == mem::Node::kGpu ? delta : 0);
+  attribution_.note_resident_delta(vma.tenant, node == mem::Node::kCpu ? delta : 0,
+                                   node == mem::Node::kGpu ? delta : 0);
   smmu_.invalidate(page_va);
   gmmu_.invalidate_system(page_va);
   ++epoch_;
@@ -53,6 +57,9 @@ bool Machine::move_system_page(os::Vma& vma, std::uint64_t va, mem::Node to) {
   const auto delta = static_cast<std::int64_t>(bytes);
   as_.note_resident_delta(vma, to == mem::Node::kCpu ? delta : -delta,
                           to == mem::Node::kGpu ? delta : -delta);
+  attribution_.note_resident_delta(vma.tenant,
+                                   to == mem::Node::kCpu ? delta : -delta,
+                                   to == mem::Node::kGpu ? delta : -delta);
   smmu_.invalidate(page_va);
   gmmu_.invalidate_system(page_va);
   ++epoch_;
@@ -75,6 +82,7 @@ bool Machine::map_gpu_block(os::Vma& vma, std::uint64_t block_va) {
   if (!gpu_fa_.allocate(bytes)) return false;
   gpu_pt_.map(block_base, pagetable::Pte{.node = mem::Node::kGpu, .writable = true});
   as_.note_resident_delta(vma, 0, static_cast<std::int64_t>(bytes));
+  attribution_.note_resident_delta(vma.tenant, 0, static_cast<std::int64_t>(bytes));
   ++epoch_;
   return true;
 }
@@ -88,6 +96,7 @@ void Machine::unmap_gpu_block(os::Vma& vma, std::uint64_t block_va) {
   gpu_pt_.unmap(block_base);
   gpu_fa_.release(bytes);
   as_.note_resident_delta(vma, 0, -static_cast<std::int64_t>(bytes));
+  attribution_.note_resident_delta(vma.tenant, 0, -static_cast<std::int64_t>(bytes));
   gmmu_.invalidate_gpu_table(block_base);
   ++epoch_;
 }

@@ -13,6 +13,7 @@
 #include "sim/clock.hpp"
 #include "sim/event_log.hpp"
 #include "sim/stats.hpp"
+#include "tenant/attribution.hpp"
 
 /// \file machine.hpp
 /// Aggregation of all hardware models of one simulated Grace Hopper node,
@@ -86,6 +87,27 @@ class Machine {
   /// cached page resolutions when a migration lands mid-kernel.
   [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
 
+  // --- multi-tenant attribution (DESIGN.md Section 8) ----------------------
+  /// Tenant whose quantum is executing. Set by tenant::Scheduler (through
+  /// core::System) around each resume; kNoTenant for single-app runs. New
+  /// VMAs and logged events are stamped with it, and eviction attribution
+  /// treats it as the perpetrator.
+  void set_current_tenant(tenant::TenantId t) noexcept {
+    tenant_ = t;
+    events_.set_current_tenant(t);
+    as_.set_current_tenant(t);
+  }
+  [[nodiscard]] tenant::TenantId current_tenant() const noexcept { return tenant_; }
+
+  /// Per-tenant resource ledger (frames, faults, migrations, evictions),
+  /// fed by the transition helpers below and the policy layers.
+  [[nodiscard]] tenant::AttributionTable& attribution() noexcept {
+    return attribution_;
+  }
+  [[nodiscard]] const tenant::AttributionTable& attribution() const noexcept {
+    return attribution_;
+  }
+
   /// GPU used memory as nvidia-smi reports it: all GPU frames in use,
   /// including the driver baseline (paper Section 3.2).
   [[nodiscard]] std::uint64_t gpu_used_bytes() const noexcept { return gpu_fa_.used(); }
@@ -139,6 +161,8 @@ class Machine {
   os::AddressSpace as_;
   fault::FaultInjector* fi_ = nullptr;
   std::uint64_t epoch_ = 0;
+  tenant::TenantId tenant_ = tenant::kNoTenant;
+  tenant::AttributionTable attribution_;
 };
 
 }  // namespace ghum::core

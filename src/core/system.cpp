@@ -408,6 +408,7 @@ const cache::KernelRecord& System::end_phase(double /*flop_work*/) {
 
   last_record_ = cache::KernelRecord{.name = phase_name_,
                                      .kernel_id = kernel_seq_,
+                                     .tenant = m_.current_tenant(),
                                      .start = phase_start_,
                                      .duration = m_.clock().now() - phase_start_,
                                      .traffic = traffic_};

@@ -82,6 +82,18 @@ class System {
   [[nodiscard]] sim::Picos now() const noexcept { return m_.clock().now(); }
   [[nodiscard]] std::uint64_t epoch() const noexcept { return m_.epoch(); }
 
+  // --- multi-tenant attribution (DESIGN.md Section 8) ------------------------
+  /// Tenant whose quantum is executing; tenant::Scheduler brackets every
+  /// resume with this. Allocations, logged events, kernel records and
+  /// eviction blame are stamped with it.
+  void set_current_tenant(tenant::TenantId t) noexcept { m_.set_current_tenant(t); }
+  [[nodiscard]] tenant::TenantId current_tenant() const noexcept {
+    return m_.current_tenant();
+  }
+  [[nodiscard]] tenant::AttributionTable& attribution() noexcept {
+    return m_.attribution();
+  }
+
   // --- allocation ------------------------------------------------------------
   /// malloc(): system-allocated memory (lazy, first-touch).
   Buffer sys_malloc(std::uint64_t bytes, std::string label = "sys");

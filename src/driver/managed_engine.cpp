@@ -52,6 +52,7 @@ ManagedResolution ManagedEngine::gpu_fault(os::Vma& vma, std::uint64_t va,
                                            std::uint64_t kernel_id) {
   ++gpu_faults_;
   m_->stats().add("driver.managed.gpu_faults");
+  m_->attribution().note_fault(vma.tenant, /*gpu_origin=*/true);
   const std::uint64_t block_base = m_->gpu_pt().page_base(va);
   VmaState& vs = vma_state_[vma.base];
 
@@ -121,6 +122,7 @@ ManagedResolution ManagedEngine::gpu_fault(os::Vma& vma, std::uint64_t va,
 
 mem::Node ManagedEngine::cpu_fault(os::Vma& vma, std::uint64_t va) {
   ++cpu_faults_;
+  m_->attribution().note_fault(vma.tenant, /*gpu_origin=*/false);
   const std::uint64_t block_base = m_->gpu_pt().page_base(va);
   if (m_->gpu_pt().lookup(block_base) != nullptr) {
     if (vma.preferred_location == mem::Node::kGpu) {
@@ -380,6 +382,11 @@ bool ManagedEngine::block_to_cpu(os::Vma& vma, std::uint64_t block_base,
   if (is_eviction) {
     ++evictions_;
     m_->stats().add("driver.managed.evictions");
+    // Who-evicted-whom: the tenant whose demand needed the room is the one
+    // whose quantum is executing; the victim is the block's owner.
+    m_->attribution().note_eviction(m_->current_tenant(), vma.tenant, bytes);
+  } else {
+    m_->attribution().note_migration(vma.tenant, /*h2d=*/false, bytes);
   }
   if (m_->events().enabled()) {
     m_->events().record(sim::Event{.time = m_->clock().now(),
@@ -387,7 +394,7 @@ bool ManagedEngine::block_to_cpu(os::Vma& vma, std::uint64_t block_base,
                                                        : sim::EventType::kMigrationD2H,
                                    .va = block_base,
                                    .bytes = bytes,
-                                   .aux = 0});
+                                   .aux = is_eviction ? vma.tenant : 0});
   }
   return true;
 }
@@ -467,6 +474,9 @@ bool ManagedEngine::block_to_gpu(os::Vma& vma, std::uint64_t block_base,
     }
   }
   m_->stats().add("driver.managed.h2d_bytes", moved_bytes);
+  if (moved_bytes > 0) {
+    m_->attribution().note_migration(vma.tenant, /*h2d=*/true, moved_bytes);
+  }
   return true;
 }
 

@@ -90,6 +90,7 @@ std::uint64_t MigrationEngine::migrate_system_range(os::Vma& vma, std::uint64_t 
   m_->clock().advance(copy_time(dir, moved) +
                       costs.migrate_per_page * static_cast<sim::Picos>(pages));
   (to == mem::Node::kGpu ? h2d_bytes_ : d2h_bytes_) += moved;
+  m_->attribution().note_migration(vma.tenant, to == mem::Node::kGpu, moved);
 
   auto& events = m_->events();
   if (events.enabled()) {

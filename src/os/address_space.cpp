@@ -29,6 +29,7 @@ Vma& AddressSpace::create(std::uint64_t size, AllocKind kind,
   vma.size = size;
   vma.kind = kind;
   vma.label = std::move(label);
+  vma.tenant = current_tenant_;
   vma.data = std::make_unique<std::byte[]>(size);
 
   auto [it, inserted] = vmas_.emplace(base, std::move(vma));

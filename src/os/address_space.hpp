@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "mem/node.hpp"
+#include "tenant/tenant_id.hpp"
 
 /// \file address_space.hpp
 /// The process virtual address space: VMA bookkeeping plus the *real* host
@@ -36,6 +37,10 @@ struct Vma {
 
   /// cudaHostRegister()-style pre-population was applied.
   bool host_registered = false;
+
+  /// Tenant that created this allocation (kNoTenant outside co-scheduling).
+  /// Eviction attribution reads this to identify the victim's owner.
+  tenant::TenantId tenant = tenant::kNoTenant;
 
   /// cudaMemAdvise state. kSetPreferredLocation overrides first-touch
   /// placement and resists migration (both counter-based and on-demand);
@@ -89,6 +94,13 @@ class AddressSpace {
   /// whenever pages are mapped/unmapped/migrated).
   void note_resident_delta(Vma& vma, std::int64_t cpu_delta, std::int64_t gpu_delta);
 
+  /// Tenant stamped on subsequently created VMAs (set by core::Machine when
+  /// a scheduler quantum begins; kNoTenant otherwise).
+  void set_current_tenant(tenant::TenantId t) noexcept { current_tenant_ = t; }
+  [[nodiscard]] tenant::TenantId current_tenant() const noexcept {
+    return current_tenant_;
+  }
+
   /// Iteration support (ordered by base address).
   [[nodiscard]] auto begin() const { return vmas_.begin(); }
   [[nodiscard]] auto end() const { return vmas_.end(); }
@@ -100,6 +112,7 @@ class AddressSpace {
   std::map<std::uint64_t, Vma> vmas_;  // keyed by base
   std::uint64_t next_va_ = kVaStart;
   std::uint64_t rss_ = 0;
+  tenant::TenantId current_tenant_ = tenant::kNoTenant;
 };
 
 }  // namespace ghum::os

@@ -48,6 +48,7 @@ mem::Node PageFaultHandler::first_touch(Vma& vma, std::uint64_t va,
   }
 
   ++fault_count_[static_cast<int>(origin)];
+  m_->attribution().note_fault(vma.tenant, origin == mem::Node::kGpu);
   const sim::Picos handle = origin == mem::Node::kCpu ? costs.cpu_minor_fault
                                                       : costs.gpu_replayable_fault;
   const sim::Picos zero =

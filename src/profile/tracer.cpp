@@ -5,43 +5,65 @@
 
 namespace ghum::profile {
 
+namespace {
+
+void accumulate(TraceSummary& s, const sim::Event& e) {
+  switch (e.type) {
+    case sim::EventType::kCpuFirstTouchFault: ++s.cpu_first_touch_faults; break;
+    case sim::EventType::kGpuFirstTouchFault: ++s.gpu_first_touch_faults; break;
+    case sim::EventType::kGpuManagedFault: ++s.managed_gpu_faults; break;
+    case sim::EventType::kMigrationH2D:
+      ++s.migrations_h2d;
+      s.migrated_h2d_bytes += e.bytes;
+      break;
+    case sim::EventType::kMigrationD2H:
+      ++s.migrations_d2h;
+      s.migrated_d2h_bytes += e.bytes;
+      break;
+    case sim::EventType::kEviction:
+      ++s.evictions;
+      s.evicted_bytes += e.bytes;
+      // On kEviction, aux carries the victim block's tenant and the stamp
+      // carries the perpetrator; a mismatch is cross-tenant pressure.
+      if (e.aux != e.tenant) {
+        ++s.cross_tenant_evictions;
+        s.cross_tenant_evicted_bytes += e.bytes;
+      }
+      break;
+    case sim::EventType::kCounterNotification: ++s.counter_notifications; break;
+    case sim::EventType::kExplicitPrefetch: ++s.explicit_prefetches; break;
+    case sim::EventType::kFaultAllocDenial: ++s.alloc_denials; break;
+    case sim::EventType::kFaultMigrationRetry: ++s.migration_retries; break;
+    case sim::EventType::kFaultMigrationAbort: ++s.migration_aborts; break;
+    case sim::EventType::kEccRetirement:
+      ++s.ecc_retirements;
+      s.ecc_retired_bytes += e.bytes;
+      break;
+    case sim::EventType::kFallbackPlacement: ++s.fallback_placements; break;
+    case sim::EventType::kOutOfMemory: ++s.oom_events; break;
+    default: break;
+  }
+}
+
+}  // namespace
+
 TraceSummary Tracer::summarize() const {
   return summarize(0, std::numeric_limits<sim::Picos>::max());
+}
+
+TraceSummary Tracer::summarize_tenant(std::uint32_t tenant) const {
+  TraceSummary s;
+  for (const auto& e : log_->events()) {
+    if (e.tenant == tenant) accumulate(s, e);
+  }
+  return s;
 }
 
 TraceSummary Tracer::summarize(sim::Picos t0, sim::Picos t1) const {
   TraceSummary s;
   for (const auto& e : log_->events()) {
     if (e.time < t0 || e.time >= t1) continue;
-    switch (e.type) {
-      case sim::EventType::kCpuFirstTouchFault: ++s.cpu_first_touch_faults; break;
-      case sim::EventType::kGpuFirstTouchFault: ++s.gpu_first_touch_faults; break;
-      case sim::EventType::kGpuManagedFault: ++s.managed_gpu_faults; break;
-      case sim::EventType::kMigrationH2D:
-        ++s.migrations_h2d;
-        s.migrated_h2d_bytes += e.bytes;
-        break;
-      case sim::EventType::kMigrationD2H:
-        ++s.migrations_d2h;
-        s.migrated_d2h_bytes += e.bytes;
-        break;
-      case sim::EventType::kEviction:
-        ++s.evictions;
-        s.evicted_bytes += e.bytes;
-        break;
-      case sim::EventType::kCounterNotification: ++s.counter_notifications; break;
-      case sim::EventType::kExplicitPrefetch: ++s.explicit_prefetches; break;
-      case sim::EventType::kFaultAllocDenial: ++s.alloc_denials; break;
-      case sim::EventType::kFaultMigrationRetry: ++s.migration_retries; break;
-      case sim::EventType::kFaultMigrationAbort: ++s.migration_aborts; break;
-      case sim::EventType::kEccRetirement:
-        ++s.ecc_retirements;
-        s.ecc_retired_bytes += e.bytes;
-        break;
-      case sim::EventType::kFallbackPlacement: ++s.fallback_placements; break;
-      case sim::EventType::kOutOfMemory: ++s.oom_events; break;
-      default: break;
-    }
+    accumulate(s, e);
   }
   // Link-degradation windows are intervals, not instants: a window counts
   // when [begin, end) overlaps [t0, t1), so one whose Begin fell before t0

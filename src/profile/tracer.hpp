@@ -36,6 +36,12 @@ struct TraceSummary {
   std::uint64_t ecc_retired_bytes = 0;
   std::size_t fallback_placements = 0;
   std::size_t oom_events = 0;
+
+  /// Evictions whose perpetrator (Event::tenant) differs from the victim
+  /// block's owner (Event::aux on kEviction) — the multi-tenant
+  /// interference signal (DESIGN.md Section 8).
+  std::size_t cross_tenant_evictions = 0;
+  std::uint64_t cross_tenant_evicted_bytes = 0;
 };
 
 class Tracer {
@@ -46,6 +52,11 @@ class Tracer {
 
   /// Summary over events in the half-open simulated-time window [t0, t1).
   [[nodiscard]] TraceSummary summarize(sim::Picos t0, sim::Picos t1) const;
+
+  /// Summary restricted to events stamped with \p tenant: what the memory
+  /// system did *during this tenant's quanta* (evictions listed here are the
+  /// ones this tenant perpetrated; whom they hit is in Event::aux).
+  [[nodiscard]] TraceSummary summarize_tenant(std::uint32_t tenant) const;
 
   /// Human-readable event listing (one line per event).
   [[nodiscard]] std::string to_text(std::size_t max_events = 200) const;

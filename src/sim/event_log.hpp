@@ -55,7 +55,10 @@ struct Event {
   EventType type{};
   std::uint64_t va = 0;     ///< virtual address (or 0 when not applicable)
   std::uint64_t bytes = 0;  ///< size touched/moved by the event
-  std::uint32_t aux = 0;    ///< event-specific payload (e.g. kernel id)
+  std::uint32_t aux = 0;    ///< event-specific payload (e.g. kernel id; for
+                            ///< kEviction: the victim block's tenant)
+  std::uint32_t tenant = 0; ///< tenant active when the event fired (0 = none);
+                            ///< stamped by EventLog::record, never by callers
 };
 
 class EventLog {
@@ -65,8 +68,14 @@ class EventLog {
   void set_enabled(bool on) noexcept { enabled_ = on; }
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
+  /// Tenant stamped on every subsequent event (multi-tenant co-scheduling;
+  /// 0 outside any tenant quantum). Set by core::Machine, not by callers.
+  void set_current_tenant(std::uint32_t t) noexcept { tenant_ = t; }
+  [[nodiscard]] std::uint32_t current_tenant() const noexcept { return tenant_; }
+
   void record(Event e) {
     if (!enabled_) return;
+    e.tenant = tenant_;
     events_.push_back(e);
     const auto t = static_cast<std::size_t>(e.type);
     ++counts_[t];
@@ -74,6 +83,31 @@ class EventLog {
   }
 
   [[nodiscard]] const std::vector<Event>& events() const noexcept { return events_; }
+
+  /// FNV-1a over the full event stream plus \p end_time (normally the final
+  /// simulated time): two runs digest equal iff the simulator took the same
+  /// decisions at the same simulated times. This is the canonical
+  /// bit-for-bit reproducibility check used by the differential and chaos
+  /// benches and by the tenancy repro column.
+  [[nodiscard]] std::uint64_t digest(Picos end_time) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](std::uint64_t x) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (x >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ull;
+      }
+    };
+    for (const Event& e : events_) {
+      mix(static_cast<std::uint64_t>(e.time));
+      mix(static_cast<std::uint64_t>(e.type));
+      mix(e.va);
+      mix(e.bytes);
+      mix(e.aux);
+      mix(e.tenant);
+    }
+    mix(static_cast<std::uint64_t>(end_time));
+    return h;
+  }
 
   /// Per-type totals, maintained as running counters at record() time so
   /// hot-path callers never rescan the event vector.
@@ -92,6 +126,7 @@ class EventLog {
 
  private:
   bool enabled_ = false;
+  std::uint32_t tenant_ = 0;
   std::vector<Event> events_;
   std::array<std::size_t, kEventTypeCount> counts_{};
   std::array<std::uint64_t, kEventTypeCount> bytes_{};

@@ -1,0 +1,172 @@
+#include "tenant/scheduler.hpp"
+
+#include <limits>
+#include <new>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+namespace ghum::tenant {
+
+Scheduler::Scheduler(core::System& sys, SchedulerConfig cfg)
+    : sys_(&sys), cfg_(cfg) {
+  const core::SystemConfig& mc = sys.machine().config();
+  budget_ = cfg_.footprint_budget != 0 ? cfg_.footprint_budget
+                                       : mc.hbm_capacity + mc.ddr_capacity;
+  if (cfg_.quantum_steps == 0) cfg_.quantum_steps = 1;
+}
+
+Status Scheduler::submit(JobSpec spec, TenantId* out_id) {
+  Job j;
+  j.id = next_id_++;
+  j.spec = std::move(spec);
+  j.submitted_at = sys_->now();
+  if (out_id != nullptr) *out_id = j.id;
+
+  if (j.spec.footprint_bytes > budget_ ||
+      (!cfg_.queue_over_budget &&
+       admitted_bytes_ + j.spec.footprint_bytes > budget_)) {
+    j.state = JobState::kRejected;
+    j.status = Status::kErrorOutOfMemory;
+    j.finished_at = j.submitted_at;
+    jobs_.push_back(std::move(j));
+    return Status::kErrorOutOfMemory;
+  }
+  if (admitted_bytes_ + j.spec.footprint_bytes > budget_) {
+    // Over budget right now, but fits the machine: wait for capacity.
+    j.state = JobState::kQueued;
+    waiting_.push_back(j.id);
+    jobs_.push_back(std::move(j));
+    return Status::kSuccess;
+  }
+  jobs_.push_back(std::move(j));
+  admit(jobs_.back());
+  return Status::kSuccess;
+}
+
+void Scheduler::admit(Job& j) {
+  admitted_bytes_ += j.spec.footprint_bytes;
+  j.rt = std::make_unique<runtime::Runtime>(*sys_);
+  // Stamp the tenant before invoking the factory: a coroutine's frame is
+  // allocated here, but its body (and thus any VMA creation) only runs
+  // inside granted quanta, which re-stamp anyway. Belt and braces.
+  sys_->set_current_tenant(j.id);
+  j.coro = j.spec.make(*j.rt);
+  sys_->set_current_tenant(kNoTenant);
+  j.state = JobState::kRunning;
+}
+
+void Scheduler::admit_waiting() {
+  // Strict FIFO: stop at the first queued job that still does not fit, so
+  // a large job cannot be starved by smaller late arrivals.
+  while (!waiting_.empty()) {
+    Job& j = jobs_[waiting_.front() - 1];
+    if (admitted_bytes_ + j.spec.footprint_bytes > budget_) break;
+    waiting_.pop_front();
+    admit(j);
+  }
+}
+
+Job* Scheduler::pick_next() {
+  // Scan-and-min over runnable jobs: tenant counts are small and a linear
+  // scan with a total-order key is trivially deterministic.
+  Job* best = nullptr;
+  std::tuple<std::int64_t, std::uint64_t, std::uint64_t> best_key{};
+  for (Job& j : jobs_) {
+    if (!j.runnable()) continue;
+    std::tuple<std::int64_t, std::uint64_t, std::uint64_t> key{};
+    switch (cfg_.policy) {
+      case Policy::kMinLocalTime:
+        key = {0, static_cast<std::uint64_t>(j.local_now), j.id};
+        break;
+      case Policy::kFifo:
+        key = {0, j.id, 0};
+        break;
+      case Policy::kRoundRobin:
+        key = {0, j.quanta, j.id};
+        break;
+      case Policy::kPriority:
+        // Larger priority first; submission order breaks ties.
+        key = {-static_cast<std::int64_t>(j.spec.priority), j.id, 0};
+        break;
+    }
+    if (best == nullptr || key < best_key) {
+      best = &j;
+      best_key = key;
+    }
+  }
+  return best;
+}
+
+void Scheduler::retire(Job& j) {
+  j.finished_at = sys_->now();
+  j.coro = apps::AppCoro{};  // release the frame (buffers already freed)
+  admitted_bytes_ -= j.spec.footprint_bytes;
+  admit_waiting();
+}
+
+bool Scheduler::step() {
+  Job* j = pick_next();
+  if (j == nullptr) {
+    // Nothing runnable; queued jobs can only be waiting on budget that no
+    // running job will ever release — admit what fits, if anything.
+    admit_waiting();
+    j = pick_next();
+    if (j == nullptr) return false;
+  }
+
+  if (j->quanta == 0) j->started_at = sys_->now();
+
+  interconnect::NvlinkC2C& c2c = sys_->machine().c2c();
+  const std::uint64_t h2d0 = c2c.bytes_moved(interconnect::Direction::kCpuToGpu);
+  const std::uint64_t d2h0 = c2c.bytes_moved(interconnect::Direction::kGpuToCpu);
+
+  sys_->set_current_tenant(j->id);
+  bool alive = true;
+  try {
+    for (std::uint32_t s = 0; s < cfg_.quantum_steps && alive; ++s) {
+      alive = j->coro.step();
+    }
+  } catch (const StatusError& e) {
+    j->state = JobState::kFailed;
+    j->status = e.status();
+  } catch (const std::bad_alloc&) {
+    j->state = JobState::kFailed;
+    j->status = Status::kErrorOutOfMemory;
+  }
+  sys_->set_current_tenant(kNoTenant);
+
+  // Everything the quantum moved over the C2C link belongs to this tenant
+  // (the simulator is single-threaded per quantum, so the delta is exact).
+  tenant::AttributionTable& at = sys_->attribution();
+  at.note_c2c(j->id, /*h2d=*/true,
+              c2c.bytes_moved(interconnect::Direction::kCpuToGpu) - h2d0);
+  at.note_c2c(j->id, /*h2d=*/false,
+              c2c.bytes_moved(interconnect::Direction::kGpuToCpu) - d2h0);
+
+  j->local_now = sys_->now();
+  ++j->quanta;
+
+  if (j->state == JobState::kFailed) {
+    retire(*j);
+  } else if (!alive) {
+    j->report = std::move(j->coro.report());
+    j->state = JobState::kFinished;
+    retire(*j);
+  }
+  return true;
+}
+
+void Scheduler::run_all() {
+  while (step()) {
+  }
+}
+
+const Job& Scheduler::job(TenantId id) const {
+  if (id == kNoTenant || id >= next_id_) {
+    throw std::out_of_range{"tenant::Scheduler::job: unknown tenant id"};
+  }
+  return jobs_[id - 1];
+}
+
+}  // namespace ghum::tenant

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <deque>
+#include <string_view>
+
+#include "core/system.hpp"
+#include "tenant/job.hpp"
+
+/// \file scheduler.hpp
+/// Deterministic multi-tenant co-scheduler over one simulated superchip.
+///
+/// Real Grace Hopper nodes are shared: MIG slices, MPS, or plain batch
+/// co-location put several applications on one GPU + CPU memory system,
+/// and the paper's single-app measurements leave open how its memory-mode
+/// tradeoffs behave under co-located pressure. The Scheduler closes that
+/// gap in simulation: each tenant is an app instance restructured as a
+/// resumable coroutine (apps::*_steps); the scheduler interleaves their
+/// quanta on the shared core::System, so tenants contend for the same
+/// HBM frames, C2C link, and eviction machinery, and every simulated
+/// event is attributed to the tenant that caused it.
+///
+/// Determinism: scheduling decisions depend only on simulated state
+/// (local clocks, submission order, priorities) — never on host time or
+/// iteration order of unordered containers — so two identical runs are
+/// bit-for-bit identical (same end times, same EventLog::digest()). A
+/// single tenant driven through the scheduler executes exactly the same
+/// simulated work as the direct app harness: the scheduler itself never
+/// advances the clock.
+namespace ghum::tenant {
+
+/// Which runnable job gets the next quantum.
+enum class Policy : std::uint8_t {
+  /// Resume the job with the earliest local simulated clock (the tenant
+  /// that is furthest behind) — the fair-share default. Generalizes the
+  /// min-timeline rule runtime::Stream uses for copy/compute overlap.
+  kMinLocalTime,
+  /// Run jobs to completion in submission order.
+  kFifo,
+  /// Cycle through runnable jobs, one quantum each (fewest quanta first).
+  kRoundRobin,
+  /// Highest JobSpec::priority runs to completion first.
+  kPriority,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Policy p) noexcept {
+  switch (p) {
+    case Policy::kMinLocalTime: return "min-local-time";
+    case Policy::kFifo: return "fifo";
+    case Policy::kRoundRobin: return "round-robin";
+    case Policy::kPriority: return "priority";
+  }
+  return "?";
+}
+
+struct SchedulerConfig {
+  Policy policy = Policy::kMinLocalTime;
+  /// Aggregate footprint budget for admitted jobs, bytes. 0 means the
+  /// machine's physical capacity (HBM + DDR): the node can technically
+  /// oversubscribe HBM but not total memory.
+  std::uint64_t footprint_budget = 0;
+  /// Coroutine steps (co_yield-delimited work units) per quantum.
+  std::uint32_t quantum_steps = 1;
+  /// Over-budget jobs wait in a FIFO queue for capacity instead of being
+  /// rejected (jobs larger than the whole budget are still rejected).
+  bool queue_over_budget = false;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(core::System& sys, SchedulerConfig cfg = {});
+
+  /// Submits a job. Returns kSuccess when admitted (or queued, with
+  /// queue_over_budget set); Status::kErrorOutOfMemory when the declared
+  /// footprint cannot be granted. The returned id is the job's TenantId
+  /// (also written to *out_id when non-null); rejected jobs keep their id
+  /// so the caller can inspect Job::status.
+  Status submit(JobSpec spec, TenantId* out_id = nullptr);
+
+  /// Runs one quantum of the next runnable job per policy. Returns false
+  /// when no job is runnable (all terminal, or only queued jobs that
+  /// still do not fit — which cannot happen once running jobs drain).
+  bool step();
+
+  /// Drives every admitted and queued job to a terminal state.
+  void run_all();
+
+  [[nodiscard]] const Job& job(TenantId id) const;
+  [[nodiscard]] const std::deque<Job>& jobs() const noexcept { return jobs_; }
+  [[nodiscard]] std::uint64_t budget() const noexcept { return budget_; }
+  [[nodiscard]] std::uint64_t admitted_bytes() const noexcept {
+    return admitted_bytes_;
+  }
+  [[nodiscard]] std::size_t waiting_count() const noexcept {
+    return waiting_.size();
+  }
+
+ private:
+  void admit(Job& j);
+  void admit_waiting();
+  Job* pick_next();
+  void retire(Job& j);
+
+  core::System* sys_;
+  SchedulerConfig cfg_;
+  std::uint64_t budget_ = 0;
+  std::uint64_t admitted_bytes_ = 0;
+  TenantId next_id_ = 1;  ///< 0 is kNoTenant
+  std::deque<Job> jobs_;        ///< all jobs, indexed by id - 1
+  std::deque<TenantId> waiting_;  ///< over-budget FIFO (queue_over_budget)
+};
+
+}  // namespace ghum::tenant

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file tenant_id.hpp
+/// The tenant identity threaded through the machine for multi-tenant
+/// co-scheduling (DESIGN.md Section 8). A TenantId tags allocations,
+/// residency changes, faults, migrations and evictions with the app
+/// instance that caused them, so profiling can attribute shared-resource
+/// pressure — in particular *who evicted whom* under HBM oversubscription.
+/// This header is a leaf: low-level layers (os, core, driver) include it
+/// without depending on the scheduler.
+
+namespace ghum::tenant {
+
+using TenantId = std::uint32_t;
+
+/// Work outside any tenant quantum (single-app runs, driver housekeeping).
+inline constexpr TenantId kNoTenant = 0;
+
+}  // namespace ghum::tenant

@@ -208,25 +208,6 @@ TEST(Injection, EccRetirementEvictsManagedToVacateFrames) {
 
 // --- determinism under injection -----------------------------------------------
 
-std::uint64_t digest_events(const sim::EventLog& log, sim::Picos end_time) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  auto mix = [&h](std::uint64_t x) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (x >> (8 * i)) & 0xff;
-      h *= 0x100000001b3ull;
-    }
-  };
-  for (const auto& e : log.events()) {
-    mix(static_cast<std::uint64_t>(e.time));
-    mix(static_cast<std::uint64_t>(e.type));
-    mix(e.va);
-    mix(e.bytes);
-    mix(e.aux);
-  }
-  mix(static_cast<std::uint64_t>(end_time));
-  return h;
-}
-
 struct TimelineFingerprint {
   sim::Picos end_time = 0;
   std::uint64_t digest = 0;
@@ -244,7 +225,7 @@ TimelineFingerprint run_hotspot_under(const fault::FaultConfig& faults) {
                              bs::hotspot_config(bs::Scale::kDefault));
   });
   EXPECT_TRUE(r.ok());
-  return {sys.now(), digest_events(sys.events(), sys.now())};
+  return {sys.now(), sys.events().digest(sys.now())};
 }
 
 TEST(Determinism, SameSeedSameTimelineUnderInjection) {

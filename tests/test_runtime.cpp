@@ -174,6 +174,55 @@ TEST_F(RuntimeTest, QvPipelinedAndSerialChunkingAgree) {
   EXPECT_LT(pipelined.second, serial.second);
 }
 
+TEST_F(RuntimeTest, StreamTimelineCrossingLinkDegradeWindow) {
+  // An async copy issued *before* a fault-injected NVLink-C2C degradation
+  // window, synchronized *inside* it: the copy is priced at issue time
+  // (undegraded link), so the stream's ready_at matches a clean run; the
+  // synchronize then advances the clock across the window boundary, the
+  // injector's clock observer flips the link state, and transfers issued
+  // from that point on pay the degraded bandwidth.
+  auto run = [&](sim::Picos window_start) {
+    core::SystemConfig cfg = rt_config();
+    if (window_start > 0) {
+      cfg.faults.enabled = true;
+      cfg.faults.link_degrade.push_back({.start = window_start,
+                                         .duration = sim::milliseconds(50),
+                                         .bandwidth_factor = 4.0,
+                                         .latency_factor = 2.0});
+    }
+    core::System sys{cfg};
+    runtime::Runtime rt{sys};
+    core::Buffer h = rt.malloc_host(8 << 20);
+    core::Buffer d = rt.malloc_device(8 << 20);
+    runtime::Stream s;
+    const sim::Picos issue_at = sys.now();
+    rt.memcpy_async(d, h, 8 << 20, runtime::CopyKind::kHostToDevice, s);
+    const sim::Picos ready = s.ready_at();
+    rt.stream_synchronize(s);
+    // A second, synchronous copy issued after the window opened.
+    const sim::Picos t0 = sys.now();
+    rt.memcpy(d, h, 8 << 20, runtime::CopyKind::kHostToDevice);
+    return std::tuple{issue_at, ready, sys.now() - t0,
+                      sys.events().count(sim::EventType::kLinkDegradeBegin)};
+  };
+  // Probe run (clean) to place the window strictly between the async
+  // copy's issue point and its stream completion time.
+  const auto clean = run(0);
+  const sim::Picos mid =
+      std::get<0>(clean) + (std::get<1>(clean) - std::get<0>(clean)) / 2;
+  ASSERT_GT(mid, std::get<0>(clean));
+  const auto faulty = run(mid);
+
+  // Identical issue-time pricing: the copy was issued before the window,
+  // so the stream's completion time is the clean run's even though the
+  // timeline crosses into the degraded interval.
+  EXPECT_EQ(std::get<1>(faulty), std::get<1>(clean));
+  EXPECT_EQ(std::get<3>(faulty), 1u);  // observer recorded the window entry
+  EXPECT_EQ(std::get<3>(clean), 0u);
+  // The copy issued inside the window pays the 4x bandwidth division.
+  EXPECT_GT(std::get<2>(faulty), 3 * std::get<2>(clean));
+}
+
 TEST_F(RuntimeTest, MemPrefetchManagedToGpuAndBack) {
   core::Buffer b = rt.malloc_managed(4 << 20);
   sys.host_phase_begin("touch");
