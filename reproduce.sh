@@ -28,11 +28,22 @@ ctest --test-dir build-asan --output-on-failure 2>&1 | tee test_output_asan.txt
 # Self-checking benches (run in the loop above) exit nonzero on failure:
 # bench_selfperf if the batched and legacy access paths diverge,
 # bench_tenancy if a co-run row is non-reproducible or the designated
-# interference row shows no cross-tenant eviction. Every bench that
-# declares a JSON artifact must have produced it.
-for artifact in BENCH_selfperf.json BENCH_tenancy.json; do
+# interference row shows no cross-tenant eviction, bench_observability if
+# any registry counter disagrees with the Tracer or a snapshot fails to
+# reproduce. Every bench that declares a JSON artifact must have produced
+# it.
+for artifact in BENCH_selfperf.json BENCH_tenancy.json \
+                BENCH_observability.json; do
   test -f "$artifact" || { echo "missing artifact: $artifact" >&2; exit 1; }
 done
+
+# Sample enriched Chrome trace (README "Observability"): Figure 4's
+# managed run with event log, causal spans and the C2C utilization track.
+./build/bench/bench_fig04_hotspot_profile --trace trace_hotspot_managed.json \
+  > /dev/null
+test -s trace_hotspot_managed.json || {
+  echo "missing artifact: trace_hotspot_managed.json" >&2; exit 1;
+}
 
 for e in quickstart all_apps quantum_volume oversubscription_survival \
          migration_explorer; do

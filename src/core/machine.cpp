@@ -7,6 +7,51 @@
 
 namespace ghum::core {
 
+void Machine::sync_obs_gauges() {
+  const auto i64 = [](std::uint64_t v) { return static_cast<std::int64_t>(v); };
+  obs_.gauge("ghum_gpu_used_bytes").set(i64(gpu_used_bytes()));
+  obs_.gauge("ghum_cpu_rss_bytes").set(i64(cpu_rss_bytes()));
+  obs_.gauge("ghum_frames_free_bytes", {{"node", "gpu"}})
+      .set(i64(gpu_fa_.free_bytes()));
+  obs_.gauge("ghum_frames_free_bytes", {{"node", "cpu"}})
+      .set(i64(cpu_fa_.free_bytes()));
+  obs_.gauge("ghum_c2c_bytes", {{"dir", "h2d"}})
+      .set(i64(c2c_.bytes_moved(interconnect::Direction::kCpuToGpu)));
+  obs_.gauge("ghum_c2c_bytes", {{"dir", "d2h"}})
+      .set(i64(c2c_.bytes_moved(interconnect::Direction::kGpuToCpu)));
+  obs_.gauge("ghum_c2c_atomics").set(i64(c2c_.atomics_issued()));
+
+  // Per-tenant families from the attribution table. Tenant 0 is the
+  // single-app / outside-any-quantum bucket.
+  for (tenant::TenantId t = 0; t <= attribution_.max_tenant(); ++t) {
+    const tenant::TenantUsage& u = attribution_.usage(t);
+    const std::vector<obs::Label> lt{{"tenant", std::to_string(t)}};
+    auto with = [&](const char* key, const char* value) {
+      return std::vector<obs::Label>{{"tenant", std::to_string(t)},
+                                     {key, value}};
+    };
+    obs_.gauge("ghum_tenant_resident_bytes", with("node", "cpu"))
+        .set(u.resident_cpu_bytes);
+    obs_.gauge("ghum_tenant_resident_bytes", with("node", "gpu"))
+        .set(u.resident_gpu_bytes);
+    obs_.gauge("ghum_tenant_peak_gpu_bytes", lt).set(i64(u.peak_gpu_bytes));
+    obs_.gauge("ghum_tenant_faults", with("origin", "cpu")).set(i64(u.cpu_faults));
+    obs_.gauge("ghum_tenant_faults", with("origin", "gpu")).set(i64(u.gpu_faults));
+    obs_.gauge("ghum_tenant_migrated_bytes", with("dir", "h2d"))
+        .set(i64(u.migrated_h2d_bytes));
+    obs_.gauge("ghum_tenant_migrated_bytes", with("dir", "d2h"))
+        .set(i64(u.migrated_d2h_bytes));
+    obs_.gauge("ghum_tenant_c2c_bytes", with("dir", "h2d"))
+        .set(i64(u.c2c_h2d_bytes));
+    obs_.gauge("ghum_tenant_c2c_bytes", with("dir", "d2h"))
+        .set(i64(u.c2c_d2h_bytes));
+    obs_.gauge("ghum_tenant_evictions", with("role", "suffered"))
+        .set(i64(u.evictions_suffered));
+    obs_.gauge("ghum_tenant_evictions", with("role", "caused"))
+        .set(i64(u.evictions_caused));
+  }
+}
+
 bool Machine::map_system_page(os::Vma& vma, std::uint64_t va, mem::Node node) {
   const std::uint64_t page_va = system_pt_.page_base(va);
   if (system_pt_.lookup(page_va) != nullptr) {

@@ -6,6 +6,7 @@
 #include "interconnect/nvlink_c2c.hpp"
 #include "mem/frame_allocator.hpp"
 #include "mem/memory_device.hpp"
+#include "obs/metrics.hpp"
 #include "os/address_space.hpp"
 #include "pagetable/gmmu.hpp"
 #include "pagetable/page_table.hpp"
@@ -49,6 +50,19 @@ class Machine {
               cfg.gpu_utlb_entries) {
     events_.set_enabled(cfg.event_log);
     gpu_fa_.reserve_baseline(cfg.gpu_driver_baseline);
+    met_ = obs::bind_memsys_metrics(obs_);
+    smmu_.cpu_tlb().bind_metrics(
+        &obs_.counter("ghum_tlb_hits_total", {{"mmu", "smmu_cpu"}}),
+        &obs_.counter("ghum_tlb_misses_total", {{"mmu", "smmu_cpu"}}));
+    smmu_.ats_tlb().bind_metrics(
+        &obs_.counter("ghum_tlb_hits_total", {{"mmu", "smmu_ats"}}),
+        &obs_.counter("ghum_tlb_misses_total", {{"mmu", "smmu_ats"}}));
+    gmmu_.utlb_gpu().bind_metrics(
+        &obs_.counter("ghum_tlb_hits_total", {{"mmu", "gmmu_gpu"}}),
+        &obs_.counter("ghum_tlb_misses_total", {{"mmu", "gmmu_gpu"}}));
+    gmmu_.utlb_sys().bind_metrics(
+        &obs_.counter("ghum_tlb_hits_total", {{"mmu", "gmmu_ats"}}),
+        &obs_.counter("ghum_tlb_misses_total", {{"mmu", "gmmu_ats"}}));
   }
 
   Machine(const Machine&) = delete;
@@ -76,6 +90,20 @@ class Machine {
   [[nodiscard]] pagetable::Smmu& smmu() noexcept { return smmu_; }
   [[nodiscard]] pagetable::Gmmu& gmmu() noexcept { return gmmu_; }
   [[nodiscard]] os::AddressSpace& address_space() noexcept { return as_; }
+
+  // --- observability (DESIGN.md Section 9) ---------------------------------
+  /// The deterministic metrics registry. Always on: instruments are plain
+  /// integer increments, cheap enough for production-style runs.
+  [[nodiscard]] obs::MetricsRegistry& obs() noexcept { return obs_; }
+  [[nodiscard]] const obs::MetricsRegistry& obs() const noexcept { return obs_; }
+  /// Cached hot-path instrument handles (bound once at construction).
+  [[nodiscard]] obs::MemSysMetrics& metrics() noexcept { return met_; }
+
+  /// Refreshes the registry's sampled gauges (frame occupancy, RSS/VRAM,
+  /// link byte totals, per-tenant attribution families) from the live
+  /// machine state. Called before exposition (System::metrics_json /
+  /// metrics_prometheus), not on hot paths.
+  void sync_obs_gauges();
 
   /// Installed by core::System when cfg.faults.enabled. The injector gets a
   /// veto on every frame allocation (transient ENOMEM / allocation-retry
@@ -159,6 +187,8 @@ class Machine {
   pagetable::Smmu smmu_;
   pagetable::Gmmu gmmu_;
   os::AddressSpace as_;
+  obs::MetricsRegistry obs_;
+  obs::MemSysMetrics met_;
   fault::FaultInjector* fi_ = nullptr;
   std::uint64_t epoch_ = 0;
   tenant::TenantId tenant_ = tenant::kNoTenant;

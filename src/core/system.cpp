@@ -23,12 +23,14 @@ System::System(SystemConfig cfg)
       mig_(m_),
       ac_(m_, mig_),
       managed_(m_, mig_, pf_),
-      profiler_(m_, cfg.profiler_period) {
+      profiler_(m_, cfg.profiler_period),
+      link_mon_(m_, cfg.link_monitor_window) {
   if (cfg.system_page_size != pagetable::kSystemPage4K &&
       cfg.system_page_size != pagetable::kSystemPage64K) {
     throw std::invalid_argument{"SystemConfig: Grace supports 4 KiB or 64 KiB pages"};
   }
   if (cfg.profiler_enabled) profiler_.start();
+  if (cfg.link_monitor) link_mon_.start();
   if (cfg.faults.enabled) {
     m_.set_fault_injector(&fi_);
     if (fi_.has_link_windows()) {
@@ -93,6 +95,7 @@ Status System::gpu_malloc_status(std::uint64_t bytes, Buffer& out,
       }
       m_.address_space().destroy(vma.base);
       m_.stats().add("runtime.oom.gpu_malloc");
+      m_.metrics().oom_events->inc();
       if (m_.events().enabled()) {
         m_.events().record(sim::Event{.time = m_.clock().now(),
                                       .type = sim::EventType::kOutOfMemory,
@@ -166,6 +169,9 @@ void System::service_faults() {
 }
 
 void System::handle_ecc(const fault::EccEvent& e) {
+  // The retirement is a root cause: any evictions it forces below belong
+  // to its causal span.
+  sim::SpanScope span{m_.events()};
   auto& gpu_fa = m_.frames(mem::Node::kGpu);
   const std::uint64_t want = e.bytes;
   std::uint64_t retired = gpu_fa.retire(want);
@@ -181,6 +187,8 @@ void System::handle_ecc(const fault::EccEvent& e) {
   m_.clock().advance(m_.config().costs.ecc_retire);
   m_.stats().add("fault.ecc_events");
   m_.stats().add("fault.ecc_retired_bytes", retired);
+  m_.metrics().ecc_retirements->inc();
+  m_.metrics().ecc_retired_bytes->inc(retired);
   if (retired < want) {
     // Everything left is pinned GPU-only data; the remainder of the page
     // retirement is deferred (real driver: pending retirement).
@@ -451,6 +459,16 @@ std::string System::summary() const {
     out << "  " << name << ": " << value << '\n';
   }
   return out.str();
+}
+
+std::string System::metrics_prometheus() {
+  m_.sync_obs_gauges();
+  return m_.obs().to_prometheus();
+}
+
+std::string System::metrics_json() {
+  m_.sync_obs_gauges();
+  return m_.obs().to_json();
 }
 
 void System::maybe_numa_hint_fault(std::uint64_t page_va, mem::Node origin) {

@@ -12,6 +12,7 @@
 #include "driver/migration_engine.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/status.hpp"
+#include "obs/link_monitor.hpp"
 #include "os/page_fault.hpp"
 #include "os/system_allocator.hpp"
 #include "profile/memory_profiler.hpp"
@@ -74,6 +75,7 @@ class System {
   [[nodiscard]] sim::EventLog& events() noexcept { return m_.events(); }
   [[nodiscard]] profile::WorkloadAnalysis& workload() noexcept { return workload_; }
   [[nodiscard]] profile::MemoryProfiler& profiler() noexcept { return profiler_; }
+  [[nodiscard]] obs::LinkMonitor& link_monitor() noexcept { return link_mon_; }
   [[nodiscard]] driver::ManagedEngine& managed_engine() noexcept { return managed_; }
   [[nodiscard]] driver::AccessCounterEngine& access_counters() noexcept { return ac_; }
   [[nodiscard]] driver::MigrationEngine& migration_engine() noexcept { return mig_; }
@@ -235,6 +237,13 @@ class System {
   /// faults, migrations, traffic) for reports and examples.
   [[nodiscard]] std::string summary() const;
 
+  // --- observability exposition (DESIGN.md Section 9) ------------------------
+  /// Prometheus text exposition of the metrics registry. Syncs the sampled
+  /// gauges (occupancy, link bytes, per-tenant families) first.
+  [[nodiscard]] std::string metrics_prometheus();
+  /// JSON snapshot of the same registry (machine-readable twin).
+  [[nodiscard]] std::string metrics_json();
+
  private:
   /// Retires GPU frames for one uncorrectable-ECC event: free frames are
   /// retired directly; in-use frames are vacated by evicting managed
@@ -277,6 +286,7 @@ class System {
   driver::ManagedEngine managed_;
   profile::WorkloadAnalysis workload_;
   profile::MemoryProfiler profiler_;
+  obs::LinkMonitor link_mon_;
 
   bool ctx_init_ = false;
   sim::Picos ctx_charged_ = 0;

@@ -84,6 +84,12 @@ struct SystemConfig {
   sim::Picos profiler_period = sim::microseconds(50);
   bool profiler_enabled = false;
 
+  /// NVLink-C2C utilization monitor (obs::LinkMonitor): windowed byte
+  /// volume and utilization-vs-sustained-peak per direction, sampled on
+  /// the same simulated-time basis as the memory profiler.
+  bool link_monitor = false;
+  sim::Picos link_monitor_window = sim::microseconds(50);
+
   CostModel costs{};
 
   /// Deterministic fault injection (DESIGN.md "Fault model & resilience").

@@ -43,8 +43,11 @@ void AccessCounterEngine::note(os::Vma& vma, std::uint64_t va,
   // Notification interrupt: handled by the driver on a CPU core. Accesses
   // to the region stall while its pages are unmapped and moved — the
   // "temporary latency increase when the computation accesses pages that
-  // are being migrated" of paper Section 5.2.
+  // are being migrated" of paper Section 5.2. The notification is a causal
+  // root: the region migration below inherits its span.
+  sim::SpanScope span{m_->events()};
   ++notifications_;
+  m_->metrics().counter_notifications->inc();
   count = 0;
   next_notification_allowed_ = m_->clock().now() + cfg.counter_min_interval;
   m_->clock().advance(cfg.costs.counter_notification +

@@ -50,7 +50,20 @@ void ManagedEngine::release_gpu_blocks(os::Vma& vma) {
 
 ManagedResolution ManagedEngine::gpu_fault(os::Vma& vma, std::uint64_t va,
                                            std::uint64_t kernel_id) {
+  // The replayable fault is a causal root: migrations, evictions and
+  // retries triggered while servicing it inherit its span.
+  sim::SpanScope span{m_->events()};
   ++gpu_faults_;
+  m_->metrics().gpu_fault_requests->inc();
+  // Observe the full service latency on every exit path.
+  struct LatencyProbe {
+    core::Machine* m;
+    obs::Histogram* h;
+    sim::Picos start;
+    ~LatencyProbe() {
+      h->observe(static_cast<std::uint64_t>(m->clock().now() - start));
+    }
+  } probe{m_, m_->metrics().fault_latency_gpu_managed, m_->clock().now()};
   m_->stats().add("driver.managed.gpu_faults");
   m_->attribution().note_fault(vma.tenant, /*gpu_origin=*/true);
   const std::uint64_t block_base = m_->gpu_pt().page_base(va);
@@ -65,6 +78,7 @@ ManagedResolution ManagedEngine::gpu_fault(os::Vma& vma, std::uint64_t va,
       fault::FaultInjector::ScopedSuppress guard{m_->fault_injector()};
       if (!m_->map_system_page(vma, va, mem::Node::kCpu)) {
         m_->stats().add("os.fault.oom");
+        m_->metrics().oom_events->inc();
         if (m_->events().enabled()) {
           m_->events().record(sim::Event{.time = m_->clock().now(),
                                          .type = sim::EventType::kOutOfMemory,
@@ -121,7 +135,9 @@ ManagedResolution ManagedEngine::gpu_fault(os::Vma& vma, std::uint64_t va,
 }
 
 mem::Node ManagedEngine::cpu_fault(os::Vma& vma, std::uint64_t va) {
+  sim::SpanScope span{m_->events()};
   ++cpu_faults_;
+  m_->metrics().cpu_fault_requests->inc();
   m_->attribution().note_fault(vma.tenant, /*gpu_origin=*/false);
   const std::uint64_t block_base = m_->gpu_pt().page_base(va);
   if (m_->gpu_pt().lookup(block_base) != nullptr) {
@@ -179,11 +195,18 @@ bool ManagedEngine::make_replica(os::Vma& vma, std::uint64_t block_base) {
     return false;
   }
   const std::uint64_t bytes = m_->gpu_block_bytes(vma, block_base);
-  m_->clock().advance(costs.managed_fault_batch +
-                      mig_->bulk_copy_time(interconnect::Direction::kCpuToGpu, bytes));
+  const sim::Picos dt =
+      costs.managed_fault_batch +
+      mig_->bulk_copy_time(interconnect::Direction::kCpuToGpu, bytes);
+  m_->clock().advance(dt);
   register_block(vma, block_base);
   replicas_.insert(block_base);
   m_->stats().add("driver.managed.replicas_created");
+  auto& met = m_->metrics();
+  met.migrations_h2d->inc();
+  met.migrated_bytes_h2d->inc(bytes);
+  met.migration_batch_bytes_h2d->observe(bytes);
+  met.migration_latency_h2d->observe(static_cast<std::uint64_t>(dt));
   if (m_->events().enabled()) {
     m_->events().record(sim::Event{.time = m_->clock().now(),
                                    .type = sim::EventType::kMigrationH2D,
@@ -219,6 +242,8 @@ void ManagedEngine::touch_gpu_block(std::uint64_t block_base, std::uint64_t kern
 
 void ManagedEngine::prefetch(os::Vma& vma, std::uint64_t base, std::uint64_t len,
                              mem::Node dst) {
+  // The explicit hint is a causal root for the migrations it issues.
+  sim::SpanScope span{m_->events()};
   const auto& costs = m_->config().costs;
   m_->clock().advance(costs.memcpy_base);
   const std::uint64_t start = m_->gpu_pt().page_base(std::max(base, vma.base));
@@ -275,6 +300,8 @@ void ManagedEngine::prefetch(os::Vma& vma, std::uint64_t base, std::uint64_t len
     vs.remote_mode = false;
     vs.evicted_bytes = 0;
   }
+  m_->metrics().prefetches->inc();
+  m_->metrics().prefetched_bytes->inc(moved);
   if (m_->events().enabled()) {
     m_->events().record(sim::Event{.time = m_->clock().now(),
                                    .type = sim::EventType::kExplicitPrefetch,
@@ -318,6 +345,7 @@ bool ManagedEngine::ensure_gpu_room(std::uint64_t bytes, std::uint64_t keep_bloc
       ++skipped;
       lru_.splice(lru_.begin(), lru_, std::prev(lru_.end()));
       m_->stats().add("driver.managed.eviction_blocked");
+      m_->metrics().evictions_blocked->inc();
       continue;
     }
     vma_state_[vma->base].evicted_bytes += block_bytes;
@@ -376,16 +404,27 @@ bool ManagedEngine::block_to_cpu(os::Vma& vma, std::uint64_t block_base,
     }
   }
 
-  m_->clock().advance(mig_->copy_time(interconnect::Direction::kGpuToCpu, bytes) +
-                      costs.migrate_per_page * static_cast<sim::Picos>(pages) +
-                      (is_eviction ? costs.evict_per_block : costs.managed_fault_batch));
+  const sim::Picos dt =
+      mig_->copy_time(interconnect::Direction::kGpuToCpu, bytes) +
+      costs.migrate_per_page * static_cast<sim::Picos>(pages) +
+      (is_eviction ? costs.evict_per_block : costs.managed_fault_batch);
+  m_->clock().advance(dt);
+  auto& met = m_->metrics();
   if (is_eviction) {
     ++evictions_;
     m_->stats().add("driver.managed.evictions");
+    met.evictions->inc();
+    met.evicted_bytes->inc(bytes);
+    met.eviction_batch_bytes->observe(bytes);
+    if (m_->current_tenant() != vma.tenant) met.cross_tenant_evictions->inc();
     // Who-evicted-whom: the tenant whose demand needed the room is the one
     // whose quantum is executing; the victim is the block's owner.
     m_->attribution().note_eviction(m_->current_tenant(), vma.tenant, bytes);
   } else {
+    met.migrations_d2h->inc();
+    met.migrated_bytes_d2h->inc(bytes);
+    met.migration_batch_bytes_d2h->observe(bytes);
+    met.migration_latency_d2h->observe(static_cast<std::uint64_t>(dt));
     m_->attribution().note_migration(vma.tenant, /*h2d=*/false, bytes);
   }
   if (m_->events().enabled()) {
@@ -457,6 +496,14 @@ bool ManagedEngine::block_to_gpu(os::Vma& vma, std::uint64_t block_base,
   m_->clock().advance(t);
 
   register_block(vma, block_base);
+  auto& met = m_->metrics();
+  if (via_fault) met.faults_gpu_managed->inc();
+  if (moved_bytes > 0) {
+    met.migrations_h2d->inc();
+    met.migrated_bytes_h2d->inc(moved_bytes);
+    met.migration_batch_bytes_h2d->observe(moved_bytes);
+    met.migration_latency_h2d->observe(static_cast<std::uint64_t>(t));
+  }
   if (m_->events().enabled()) {
     if (via_fault) {
       m_->events().record(sim::Event{.time = m_->clock().now(),

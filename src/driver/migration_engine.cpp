@@ -12,11 +12,17 @@ bool MigrationEngine::batch_with_retry(std::uint64_t va) {
   const auto& fcfg = m_->config().faults;
   sim::Picos backoff = fcfg.migration_retry_backoff;
   for (std::uint32_t attempt = 0; attempt <= fcfg.migration_max_retries; ++attempt) {
-    if (!fi->fail_migration_batch()) return true;
+    if (!fi->fail_migration_batch()) {
+      // Depth 0 (clean first try) is not observed: the histogram answers
+      // "when the batch path degraded, how deep did backoff go".
+      if (attempt > 0) m_->metrics().migration_retry_depth->observe(attempt);
+      return true;
+    }
     if (attempt == fcfg.migration_max_retries) break;
     m_->clock().advance(backoff);
     backoff *= 2;
     m_->stats().add("fault.migration_retries", 1);
+    m_->metrics().migration_retries->inc();
     auto& events = m_->events();
     if (events.enabled()) {
       events.record(sim::Event{.time = m_->clock().now(),
@@ -27,6 +33,9 @@ bool MigrationEngine::batch_with_retry(std::uint64_t va) {
     }
   }
   m_->stats().add("fault.migration_aborts", 1);
+  m_->metrics().migration_aborts->inc();
+  m_->metrics().migration_retry_depth->observe(
+      static_cast<std::uint64_t>(fcfg.migration_max_retries) + 1);
   auto& events = m_->events();
   if (events.enabled()) {
     events.record(sim::Event{.time = m_->clock().now(),
@@ -87,10 +96,23 @@ std::uint64_t MigrationEngine::migrate_system_range(os::Vma& vma, std::uint64_t 
 
   const auto dir = to == mem::Node::kGpu ? interconnect::Direction::kCpuToGpu
                                          : interconnect::Direction::kGpuToCpu;
-  m_->clock().advance(copy_time(dir, moved) +
-                      costs.migrate_per_page * static_cast<sim::Picos>(pages));
+  const sim::Picos dt =
+      copy_time(dir, moved) + costs.migrate_per_page * static_cast<sim::Picos>(pages);
+  m_->clock().advance(dt);
   (to == mem::Node::kGpu ? h2d_bytes_ : d2h_bytes_) += moved;
   m_->attribution().note_migration(vma.tenant, to == mem::Node::kGpu, moved);
+  auto& met = m_->metrics();
+  if (to == mem::Node::kGpu) {
+    met.migrations_h2d->inc();
+    met.migrated_bytes_h2d->inc(moved);
+    met.migration_batch_bytes_h2d->observe(moved);
+    met.migration_latency_h2d->observe(static_cast<std::uint64_t>(dt));
+  } else {
+    met.migrations_d2h->inc();
+    met.migrated_bytes_d2h->inc(moved);
+    met.migration_batch_bytes_d2h->observe(moved);
+    met.migration_latency_d2h->observe(static_cast<std::uint64_t>(dt));
+  }
 
   auto& events = m_->events();
   if (events.enabled()) {

@@ -23,6 +23,7 @@ bool FaultInjector::deny_frame_alloc(mem::Node node) {
   if (rng_.next_double() >= cfg_.frame_alloc_denial_prob) return false;
   ++denials_;
   m_->stats().add("fault.alloc_denials");
+  m_->metrics().alloc_denials->inc();
   if (m_->events().enabled()) {
     m_->events().record(sim::Event{.time = m_->clock().now(),
                                    .type = sim::EventType::kFaultAllocDenial,
@@ -48,6 +49,7 @@ void FaultInjector::on_time_advance(sim::Picos now) {
     if (now < w.start + w.duration) return;  // still inside
     c2c.clear_degrade();
     active_window_ = -1;
+    m_->metrics().link_degrade_ends->inc();
     if (m_->events().enabled()) {
       m_->events().record(sim::Event{.time = now,
                                      .type = sim::EventType::kLinkDegradeEnd,
@@ -68,6 +70,7 @@ void FaultInjector::on_time_advance(sim::Picos now) {
                     std::max(1.0, w.latency_factor));
     active_window_ = static_cast<std::ptrdiff_t>(next_window_++);
     m_->stats().add("fault.link_degrade_windows");
+    m_->metrics().link_degrade_begins->inc();
     if (m_->events().enabled()) {
       m_->events().record(sim::Event{.time = now,
                                      .type = sim::EventType::kLinkDegradeBegin,

@@ -1,0 +1,176 @@
+#include "obs/json_check.hpp"
+
+#include <cctype>
+
+namespace ghum::obs {
+
+namespace {
+
+/// Cursor over the input with the strict grammar of RFC 8259. Depth is
+/// bounded so a pathological input cannot overflow the C++ stack.
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string* error = nullptr;
+  static constexpr int kMaxDepth = 256;
+
+  bool fail(const char* why) {
+    if (error != nullptr) {
+      *error = "offset " + std::to_string(pos) + ": " + why;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool at_end() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return fail("bad literal");
+    pos += lit.size();
+    return true;
+  }
+
+  bool string() {
+    if (at_end() || peek() != '"') return fail("expected string");
+    ++pos;
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text[pos]);
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c == '\\') {
+        ++pos;
+        if (at_end()) return fail("truncated escape");
+        const char e = text[pos];
+        if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' ||
+            e == 'n' || e == 'r' || e == 't') {
+          ++pos;
+        } else if (e == 'u') {
+          ++pos;
+          for (int i = 0; i < 4; ++i, ++pos) {
+            if (at_end() || std::isxdigit(static_cast<unsigned char>(text[pos])) == 0) {
+              return fail("bad \\u escape");
+            }
+          }
+        } else {
+          return fail("invalid escape character");
+        }
+      } else {
+        ++pos;
+      }
+    }
+  }
+
+  bool number() {
+    if (!at_end() && peek() == '-') ++pos;
+    if (at_end() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+      return fail("expected digit");
+    }
+    if (peek() == '0') {
+      ++pos;  // no leading zeros
+    } else {
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos;
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos;
+      if (at_end() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        return fail("expected fraction digit");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos;
+      if (at_end() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        return fail("expected exponent digit");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos;
+    }
+    return true;
+  }
+
+  bool value(int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (at_end()) return fail("expected value");
+    switch (peek()) {
+      case '{': {
+        ++pos;
+        skip_ws();
+        if (!at_end() && peek() == '}') {
+          ++pos;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          if (!string()) return false;
+          skip_ws();
+          if (at_end() || peek() != ':') return fail("expected ':'");
+          ++pos;
+          if (!value(depth + 1)) return false;
+          skip_ws();
+          if (at_end()) return fail("unterminated object");
+          if (peek() == ',') {
+            ++pos;
+            continue;
+          }
+          if (peek() == '}') {
+            ++pos;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos;
+        skip_ws();
+        if (!at_end() && peek() == ']') {
+          ++pos;
+          return true;
+        }
+        while (true) {
+          if (!value(depth + 1)) return false;
+          skip_ws();
+          if (at_end()) return fail("unterminated array");
+          if (peek() == ',') {
+            ++pos;
+            continue;
+          }
+          if (peek() == ']') {
+            ++pos;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text, std::string* error) {
+  Parser p{.text = text, .error = error};
+  if (!p.value(0)) return false;
+  p.skip_ws();
+  if (!p.at_end()) return p.fail("trailing content after value");
+  return true;
+}
+
+}  // namespace ghum::obs

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+/// \file json_check.hpp
+/// A strict RFC 8259 JSON validator (recursive descent, no allocation of a
+/// document tree). The container ships no JSON library, and the exported
+/// Chrome traces and metric snapshots must be *parseable* JSON, not just
+/// brace-balanced text — tests and bench_observability validate every
+/// artifact through this before calling it well-formed.
+
+namespace ghum::obs {
+
+/// True iff \p text is exactly one valid JSON value (with optional
+/// surrounding whitespace). On failure, \p error (when non-null) receives a
+/// byte offset and reason.
+[[nodiscard]] bool json_valid(std::string_view text, std::string* error = nullptr);
+
+}  // namespace ghum::obs

@@ -1,0 +1,185 @@
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file metrics.hpp
+/// Deterministic, zero-wall-clock metrics registry (DESIGN.md Section 9).
+/// Three typed instruments — Counter, Gauge, Histogram — with static label
+/// sets, owned by core::Machine and threaded through the layers that
+/// previously counted ad hoc (TLB hit/miss, fault-service latencies,
+/// migration batches, link utilization, eviction pressure, retry depth).
+///
+/// Everything is exact integer arithmetic: histograms use fixed
+/// power-of-two buckets and a u64 running sum, so there is no
+/// floating-point accumulation drift and two identical runs produce
+/// bit-identical expositions (bench_observability asserts this).
+///
+/// Instruments are stable-addressed (deque storage): hot paths cache the
+/// returned pointers once and do plain increments, never map lookups.
+
+namespace ghum::obs {
+
+struct Label {
+  std::string key;
+  std::string value;
+};
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_ = v; }
+  void add(std::int64_t delta) noexcept { value_ += delta; }
+  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Fixed power-of-two-bucket histogram over u64 observations. Bucket i
+/// holds values whose bit width is i, i.e. bucket 0 holds exactly 0 and
+/// bucket i>=1 holds [2^(i-1), 2^i); the inclusive upper bound of bucket i
+/// is 2^i - 1, which is what the exposition prints as "le".
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  // bit widths 0..64
+
+  void observe(std::uint64_t v) noexcept {
+    ++buckets_[std::bit_width(v)];
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return min_; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i];
+  }
+  /// Inclusive upper bound of bucket \p i (0, 1, 3, 7, ..., 2^64-1).
+  [[nodiscard]] static std::uint64_t bucket_bound(std::size_t i) noexcept {
+    return i >= 64 ? ~0ull : (1ull << i) - 1;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Name+labels-keyed registry with deterministic (lexicographic) exposition
+/// order. Re-registering an existing name+labels returns the same
+/// instrument; re-registering it as a different type throws.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name, const std::vector<Label>& labels = {});
+  Gauge& gauge(std::string_view name, const std::vector<Label>& labels = {});
+  Histogram& histogram(std::string_view name,
+                       const std::vector<Label>& labels = {});
+
+  /// Prometheus text exposition (one # TYPE line per family, metrics in
+  /// lexicographic key order; histogram buckets are cumulative with
+  /// integer le bounds).
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// JSON snapshot of every instrument. Bit-identical across identical
+  /// runs; bench_observability compares two runs' snapshots verbatim.
+  [[nodiscard]] std::string to_json() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Slot {
+    Kind kind;
+    std::size_t index;
+    std::string name;
+    std::vector<Label> labels;  // sorted by key
+  };
+
+  Slot& slot(std::string_view name, const std::vector<Label>& labels, Kind kind);
+
+  std::map<std::string, Slot> slots_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+/// Cached instrument handles for the memory-system hot paths. Bound once by
+/// core::Machine's constructor; the policy layers (os/, driver/, fault/)
+/// reach them through Machine::metrics() and do pointer increments only.
+///
+/// Counters whose name mirrors an EventLog event type are incremented at
+/// the exact code site that records the event, so bench_observability can
+/// cross-validate them against independently derived Tracer summaries.
+struct MemSysMetrics {
+  // Faults (mirror the fault events).
+  Counter* faults_cpu_first_touch = nullptr;
+  Counter* faults_gpu_first_touch = nullptr;
+  Counter* faults_gpu_managed = nullptr;  ///< kGpuManagedFault block migrations
+  Counter* gpu_fault_requests = nullptr;  ///< every ManagedEngine::gpu_fault
+  Counter* cpu_fault_requests = nullptr;  ///< every ManagedEngine::cpu_fault
+  Counter* fallback_placements = nullptr;
+  Counter* oom_events = nullptr;
+  // Fault-service latency in simulated picoseconds, per fault type.
+  Histogram* fault_latency_cpu_first_touch = nullptr;
+  Histogram* fault_latency_gpu_first_touch = nullptr;
+  Histogram* fault_latency_gpu_managed = nullptr;
+
+  // Migrations (mirror kMigrationH2D/kMigrationD2H).
+  Counter* migrations_h2d = nullptr;
+  Counter* migrations_d2h = nullptr;
+  Counter* migrated_bytes_h2d = nullptr;
+  Counter* migrated_bytes_d2h = nullptr;
+  Histogram* migration_batch_bytes_h2d = nullptr;
+  Histogram* migration_batch_bytes_d2h = nullptr;
+  Histogram* migration_latency_h2d = nullptr;
+  Histogram* migration_latency_d2h = nullptr;
+
+  // Eviction pressure (mirror kEviction).
+  Counter* evictions = nullptr;
+  Counter* evicted_bytes = nullptr;
+  Counter* evictions_blocked = nullptr;
+  Counter* cross_tenant_evictions = nullptr;
+  Histogram* eviction_batch_bytes = nullptr;
+
+  // Prefetch & access-counter engine.
+  Counter* prefetches = nullptr;        ///< kExplicitPrefetch
+  Counter* prefetched_bytes = nullptr;
+  Counter* counter_notifications = nullptr;  ///< kCounterNotification
+  Counter* host_registers = nullptr;         ///< kHostRegister
+
+  // Fault injection & resilience (mirror the kFault*/kEcc* events).
+  Counter* migration_retries = nullptr;
+  Counter* migration_aborts = nullptr;
+  Histogram* migration_retry_depth = nullptr;  ///< attempts until success/abort
+  Counter* alloc_denials = nullptr;
+  Counter* ecc_retirements = nullptr;
+  Counter* ecc_retired_bytes = nullptr;
+  Counter* link_degrade_begins = nullptr;
+  Counter* link_degrade_ends = nullptr;
+};
+
+/// Creates every MemSysMetrics family in \p reg and returns the handles.
+[[nodiscard]] MemSysMetrics bind_memsys_metrics(MetricsRegistry& reg);
+
+}  // namespace ghum::obs

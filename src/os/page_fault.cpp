@@ -9,6 +9,10 @@ namespace ghum::os {
 
 mem::Node PageFaultHandler::first_touch(Vma& vma, std::uint64_t va,
                                         mem::Node origin) {
+  // The fault is a causal root: fallback placements (and, for managed
+  // callers, migrations) it triggers inherit its span.
+  sim::SpanScope span{m_->events()};
+  const sim::Picos fault_start = m_->clock().now();
   const auto& costs = m_->config().costs;
   // cudaMemAdvise(kSetPreferredLocation) overrides first-touch placement
   // for system allocations; managed ranges handle advice in the driver
@@ -27,6 +31,7 @@ mem::Node PageFaultHandler::first_touch(Vma& vma, std::uint64_t va,
     fault::FaultInjector::ScopedSuppress guard{m_->fault_injector()};
     if (!m_->map_system_page(vma, va, placed)) {
       m_->stats().add("os.fault.oom");
+      m_->metrics().oom_events->inc();
       if (m_->events().enabled()) {
         m_->events().record(sim::Event{.time = m_->clock().now(),
                                        .type = sim::EventType::kOutOfMemory,
@@ -38,6 +43,7 @@ mem::Node PageFaultHandler::first_touch(Vma& vma, std::uint64_t va,
                         "PageFaultHandler: out of physical memory on both nodes"};
     }
     m_->stats().add("os.fault.fallback");
+    m_->metrics().fallback_placements->inc();
     if (m_->events().enabled()) {
       m_->events().record(sim::Event{.time = m_->clock().now(),
                                      .type = sim::EventType::kFallbackPlacement,
@@ -68,6 +74,16 @@ mem::Node PageFaultHandler::first_touch(Vma& vma, std::uint64_t va,
   }
   m_->stats().add(origin == mem::Node::kCpu ? "os.fault.cpu_first_touch"
                                             : "os.fault.gpu_first_touch");
+  auto& met = m_->metrics();
+  if (origin == mem::Node::kCpu) {
+    met.faults_cpu_first_touch->inc();
+    met.fault_latency_cpu_first_touch->observe(
+        static_cast<std::uint64_t>(m_->clock().now() - fault_start));
+  } else {
+    met.faults_gpu_first_touch->inc();
+    met.fault_latency_gpu_first_touch->observe(
+        static_cast<std::uint64_t>(m_->clock().now() - fault_start));
+  }
   return placed;
 }
 
@@ -104,6 +120,7 @@ bool PageFaultHandler::host_register(Vma& vma) {
                              .aux = complete ? 0u : 1u});
   }
   m_->stats().add("os.host_register.pages", populated);
+  m_->metrics().host_registers->inc();
   return complete;
 }
 

@@ -66,6 +66,9 @@ class Gmmu {
 
   [[nodiscard]] const Tlb& utlb_gpu() const noexcept { return utlb_gpu_; }
   [[nodiscard]] const Tlb& utlb_sys() const noexcept { return utlb_sys_; }
+  /// Mutable access for observability wiring (Tlb::bind_metrics).
+  [[nodiscard]] Tlb& utlb_gpu() noexcept { return utlb_gpu_; }
+  [[nodiscard]] Tlb& utlb_sys() noexcept { return utlb_sys_; }
 
  private:
   PageTable* gpu_pt_;

@@ -70,6 +70,9 @@ class Smmu {
 
   [[nodiscard]] const Tlb& cpu_tlb() const noexcept { return cpu_tlb_; }
   [[nodiscard]] const Tlb& ats_tlb() const noexcept { return ats_tlb_; }
+  /// Mutable access for observability wiring (Tlb::bind_metrics).
+  [[nodiscard]] Tlb& cpu_tlb() noexcept { return cpu_tlb_; }
+  [[nodiscard]] Tlb& ats_tlb() noexcept { return ats_tlb_; }
   [[nodiscard]] const SmmuCosts& costs() const noexcept { return costs_; }
 
  private:

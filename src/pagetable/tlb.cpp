@@ -6,9 +6,11 @@ std::optional<mem::Node> Tlb::lookup(std::uint64_t vpn) {
   auto it = map_.find(vpn);
   if (it == map_.end()) {
     ++misses_;
+    if (misses_ctr_ != nullptr) misses_ctr_->inc();
     return std::nullopt;
   }
   ++hits_;
+  if (hits_ctr_ != nullptr) hits_ctr_->inc();
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->node;
 }

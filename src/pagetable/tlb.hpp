@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "mem/node.hpp"
+#include "obs/metrics.hpp"
 
 /// \file tlb.hpp
 /// A fully-associative LRU translation lookaside buffer. Grace Hopper has
@@ -37,6 +38,13 @@ class Tlb {
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
 
+  /// Mirrors hit/miss counts into registry counters (obs subsystem). Bound
+  /// once by core::Machine; nullptr (the default) means unobserved.
+  void bind_metrics(obs::Counter* hits, obs::Counter* misses) noexcept {
+    hits_ctr_ = hits;
+    misses_ctr_ = misses;
+  }
+
  private:
   struct Entry {
     std::uint64_t vpn;
@@ -47,6 +55,8 @@ class Tlb {
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  obs::Counter* hits_ctr_ = nullptr;
+  obs::Counter* misses_ctr_ = nullptr;
 };
 
 }  // namespace ghum::pagetable

@@ -7,10 +7,13 @@ namespace ghum::profile {
 void MemoryProfiler::start() {
   if (running_) return;
   running_ = true;
-  next_sample_ = m_->clock().now();
   observer_id_ = m_->clock().add_observer(
       [this](sim::Picos before, sim::Picos after) { on_advance(before, after); });
+  // t0 is covered by the mark() below; the periodic schedule starts one
+  // period later (scheduling it at now would duplicate the t0 sample on
+  // the first advance).
   mark();
+  next_sample_ = m_->clock().now() + period_;
 }
 
 void MemoryProfiler::stop() {
@@ -41,6 +44,13 @@ void MemoryProfiler::sample_at(sim::Picos t) {
                  .gpu_used_bytes = m_->gpu_used_bytes()};
   if (s.gpu_used_bytes > peak_gpu_) peak_gpu_ = s.gpu_used_bytes;
   if (s.cpu_rss_bytes > peak_rss_) peak_rss_ = s.cpu_rss_bytes;
+  // A mark() landing exactly on a periodic timestamp (stop() at a period
+  // boundary, explicit marks) replaces the earlier sample instead of
+  // duplicating the time point; the newer values win.
+  if (!samples_.empty() && samples_.back().time == t) {
+    samples_.back() = s;
+    return;
+  }
   samples_.push_back(s);
 }
 

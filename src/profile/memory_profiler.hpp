@@ -29,8 +29,13 @@ class MemoryProfiler {
  public:
   MemoryProfiler(core::Machine& m, sim::Picos period) : m_(&m), period_(period) {}
 
-  /// Attaches to the machine clock and starts sampling.
+  /// Attaches to the machine clock and starts sampling: one sample at the
+  /// current time, then one per period during clock advances.
   void start();
+  /// Detaches from the clock. Always emits a final sample at the current
+  /// time first, so runs shorter than one period still record their end
+  /// state (a run shorter than the period would otherwise leave only the
+  /// t0 sample).
   void stop();
   [[nodiscard]] bool running() const noexcept { return running_; }
 
@@ -45,7 +50,11 @@ class MemoryProfiler {
 
   void clear();
 
-  /// Writes a plot-ready TSV (time_ms, cpu_rss_mib, gpu_used_mib).
+  /// Writes a plot-ready TSV. Columns and units:
+  ///   time_ms      — sample timestamp, milliseconds of *simulated* time;
+  ///   cpu_rss_mib  — process resident set size, MiB (2^20 bytes);
+  ///   gpu_used_mib — GPU used memory as nvidia-smi reports it, MiB,
+  ///                  including the driver baseline.
   [[nodiscard]] std::string to_tsv() const;
 
  private:

@@ -1,22 +1,46 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "obs/link_monitor.hpp"
 #include "profile/workload_analysis.hpp"
 #include "sim/event_log.hpp"
 
 /// \file trace_export.hpp
 /// Export of the simulator's event log and kernel records to the Chrome
 /// trace-event JSON format (chrome://tracing, Perfetto, Speedscope). This
-/// is the ghum counterpart of exporting an Nsight Systems timeline: kernel
-/// launches become duration events on a "GPU" track; faults, migrations
-/// and evictions become instant events on a "MemSys" track; simulated
-/// picoseconds map to trace microseconds.
+/// is the ghum counterpart of exporting an Nsight Systems timeline:
+///  - kernel launches are duration events on the "GPU kernels" track;
+///  - faults, migrations and evictions are instant events on a "MemSys"
+///    track — one lane per tenant in co-scheduled runs;
+///  - NVLink-C2C degradation windows are duration events on a "Link state"
+///    track, and obs::LinkMonitor samples become a utilization counter
+///    track;
+///  - causal spans (sim::SpanScope) are rendered as Chrome flow arrows
+///    connecting a root cause to everything it transitively triggered.
+/// Simulated picoseconds map to trace microseconds (3 decimal places, i.e.
+/// nanosecond resolution).
 
 namespace ghum::profile {
+
+/// Optional enrichments for to_chrome_trace.
+struct TraceOptions {
+  /// Closed windows from obs::LinkMonitor; rendered as a "C2C util
+  /// (permille)" counter track when non-null.
+  const std::vector<obs::LinkSample>* link_samples = nullptr;
+  /// Route events stamped with tenant != 0 to one lane per tenant
+  /// (tid 100 + tenant) instead of the shared MemSys lane.
+  bool tenant_lanes = true;
+  /// Emit flow (s/t/f) arrows for causal spans with at least two events.
+  bool flow_events = true;
+};
 
 /// Renders \p log and \p workload as a complete Chrome trace JSON document.
 [[nodiscard]] std::string to_chrome_trace(const sim::EventLog& log,
                                           const WorkloadAnalysis& workload);
+[[nodiscard]] std::string to_chrome_trace(const sim::EventLog& log,
+                                          const WorkloadAnalysis& workload,
+                                          const TraceOptions& opts);
 
 }  // namespace ghum::profile

@@ -59,6 +59,8 @@ struct Event {
                             ///< kEviction: the victim block's tenant)
   std::uint32_t tenant = 0; ///< tenant active when the event fired (0 = none);
                             ///< stamped by EventLog::record, never by callers
+  std::uint32_t span = 0;   ///< causal span id (0 = outside any span); stamped
+                            ///< by EventLog::record from the open SpanScope
 };
 
 class EventLog {
@@ -73,9 +75,21 @@ class EventLog {
   void set_current_tenant(std::uint32_t t) noexcept { tenant_ = t; }
   [[nodiscard]] std::uint32_t current_tenant() const noexcept { return tenant_; }
 
+  // --- causal span tracing (DESIGN.md Section 9) ---------------------------
+  /// Allocates a fresh span id (ids start at 1; 0 means "no span"). The
+  /// sequence advances even while logging is disabled so enabling the log
+  /// never changes simulator decisions.
+  [[nodiscard]] std::uint32_t open_span() noexcept { return ++span_seq_; }
+  /// Span stamped on every subsequent event. Use SpanScope instead of
+  /// calling this directly: a root cause (GPU fault, prefetch, ECC event)
+  /// opens a span and everything it transitively triggers inherits it.
+  void set_current_span(std::uint32_t s) noexcept { span_ = s; }
+  [[nodiscard]] std::uint32_t current_span() const noexcept { return span_; }
+
   void record(Event e) {
     if (!enabled_) return;
     e.tenant = tenant_;
+    e.span = span_;
     events_.push_back(e);
     const auto t = static_cast<std::size_t>(e.type);
     ++counts_[t];
@@ -104,6 +118,7 @@ class EventLog {
       mix(e.bytes);
       mix(e.aux);
       mix(e.tenant);
+      mix(e.span);
     }
     mix(static_cast<std::uint64_t>(end_time));
     return h;
@@ -127,9 +142,30 @@ class EventLog {
  private:
   bool enabled_ = false;
   std::uint32_t tenant_ = 0;
+  std::uint32_t span_ = 0;
+  std::uint32_t span_seq_ = 0;
   std::vector<Event> events_;
   std::array<std::size_t, kEventTypeCount> counts_{};
   std::array<std::uint64_t, kEventTypeCount> bytes_{};
+};
+
+/// RAII causal span: opens a fresh span when none is active and restores
+/// the previous one on exit. Nested scopes (an eviction inside a managed
+/// fault, a retry inside a migration) therefore inherit the *root* cause's
+/// span — the property the fault -> migration -> eviction chain tests walk.
+class SpanScope {
+ public:
+  explicit SpanScope(EventLog& log) noexcept
+      : log_(&log), prev_(log.current_span()) {
+    if (prev_ == 0) log.set_current_span(log.open_span());
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  ~SpanScope() { log_->set_current_span(prev_); }
+
+ private:
+  EventLog* log_;
+  std::uint32_t prev_;
 };
 
 }  // namespace ghum::sim

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/system.hpp"
+#include "obs/json_check.hpp"
 #include "profile/memory_profiler.hpp"
 #include "profile/trace_export.hpp"
 #include "profile/tracer.hpp"
@@ -192,6 +193,105 @@ TEST(TraceExport, KernelArgsCarryTrafficCounters) {
   });
   const std::string json = profile::to_chrome_trace(sys.events(), sys.workload());
   EXPECT_NE(json.find("\"hbm_bytes\":1048576"), std::string::npos);
+}
+
+TEST(MemoryProfiler, StopEmitsFinalSampleWhenPeriodExceedsRun) {
+  // Regression: a run shorter than one profiler period used to leave only
+  // the t0 sample, losing the end state Figures 4/5 plot.
+  core::SystemConfig cfg = prof_config();
+  cfg.profiler_period = sim::milliseconds(10);  // far beyond the run below
+  core::System sys{cfg};
+  runtime::Runtime rt{sys};
+  core::Buffer b = rt.malloc_device(2 << 20);
+  sys.advance(sim::microseconds(5));
+  sys.profiler().stop();
+  const auto& samples = sys.profiler().samples();
+  ASSERT_GE(samples.size(), 2u);
+  EXPECT_EQ(samples.back().time, sys.now());
+  EXPECT_EQ(samples.back().gpu_used_bytes, (2ull << 20) + (1ull << 20));
+  rt.free(b);
+}
+
+TEST(MemoryProfiler, NoDuplicateTimestamps) {
+  core::System sys{prof_config()};
+  sys.profiler().mark();  // same time as the start() sample
+  sys.advance(sim::microseconds(40));
+  sys.profiler().mark();  // may coincide with a periodic sample
+  sys.profiler().stop();
+  const auto& samples = sys.profiler().samples();
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i - 1].time, samples[i].time) << "duplicate sample at " << i;
+  }
+}
+
+TEST(Tracer, ToTextListsEventsAndTruncates) {
+  sim::EventLog log;
+  log.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    log.record({.time = sim::microseconds(i + 1),
+                .type = sim::EventType::kMigrationH2D,
+                .va = 0xabc0ull + static_cast<std::uint64_t>(i),
+                .bytes = 64});
+  }
+  profile::Tracer tracer{log};
+  const std::string full = tracer.to_text();
+  EXPECT_NE(full.find("migration_h2d"), std::string::npos);
+  EXPECT_NE(full.find("va=0xabc0"), std::string::npos);
+  EXPECT_EQ(full.find("more)"), std::string::npos);
+  // Truncation reports how many events were dropped.
+  const std::string cut = tracer.to_text(2);
+  EXPECT_NE(cut.find("... (3 more)"), std::string::npos);
+}
+
+TEST(Tracer, SummarizeWindowEdgesAreHalfOpen) {
+  sim::EventLog log;
+  log.set_enabled(true);
+  const sim::Picos t0 = sim::microseconds(10);
+  const sim::Picos t1 = sim::microseconds(20);
+  log.record({.time = t0, .type = sim::EventType::kMigrationH2D, .bytes = 1});
+  log.record({.time = sim::microseconds(15),
+              .type = sim::EventType::kMigrationH2D,
+              .bytes = 2});
+  log.record({.time = t1, .type = sim::EventType::kMigrationH2D, .bytes = 4});
+  profile::Tracer tracer{log};
+  // [t0, t1): the event at t0 is included, the one exactly at t1 is not.
+  const auto s = tracer.summarize(t0, t1);
+  EXPECT_EQ(s.migrations_h2d, 2u);
+  EXPECT_EQ(s.migrated_h2d_bytes, 3u);
+  // Empty window.
+  const auto empty = tracer.summarize(t0, t0);
+  EXPECT_EQ(empty.migrations_h2d, 0u);
+  EXPECT_EQ(empty.migrated_h2d_bytes, 0u);
+}
+
+TEST(TraceExport, ParsesAsStrictJson) {
+  core::System sys{prof_config()};
+  runtime::Runtime rt{sys};
+  core::Buffer b = rt.malloc_managed(4 << 20);
+  (void)rt.launch("k", 0, [&] {
+    auto s = rt.device_span<float>(b);
+    s.store(0, 1.0f);
+  });
+  std::string err;
+  EXPECT_TRUE(obs::json_valid(
+      profile::to_chrome_trace(sys.events(), sys.workload()), &err))
+      << err;
+}
+
+TEST(TraceExport, EscapesHostileKernelNames) {
+  // Caller-supplied kernel names can contain quotes, backslashes and
+  // control characters; the exporter must keep the document parseable.
+  core::System sys{prof_config()};
+  runtime::Runtime rt{sys};
+  core::Buffer b = rt.malloc_device(1 << 20);
+  (void)rt.launch("step \"k\"\\x\ttail\n", 0, [&] {
+    auto s = rt.device_span<float>(b);
+    s.store(0, 1.0f);
+  });
+  const std::string json = profile::to_chrome_trace(sys.events(), sys.workload());
+  std::string err;
+  ASSERT_TRUE(obs::json_valid(json, &err)) << err;
+  EXPECT_NE(json.find(R"(step \"k\"\\x\ttail\n)"), std::string::npos);
 }
 
 TEST(KernelTraffic, AggregationOperator) {
