@@ -13,7 +13,9 @@
 //     JSON parse.
 // A final multi-tenant co-run exports an enriched Chrome trace and checks
 // it contains per-tenant lanes, causal flow events and the C2C-utilization
-// counter track. Results land in BENCH_observability.json.
+// counter track; a crash-recovery co-run then exercises the reset/restart/
+// checkpoint instruments at nonzero values and cross-checks them the same
+// way. Results land in BENCH_observability.json.
 //
 // Flags:
 //   --smoke          small problem sizes (the ctest "perf" smoke target)
@@ -123,6 +125,19 @@ void cross_check(core::System& sys, std::vector<std::string>& failures) {
   check_eq(failures, "oom_events", met.oom_events->value(), ts.oom_events);
   check_eq(failures, "cross_tenant_evictions", met.cross_tenant_evictions->value(),
            ts.cross_tenant_evictions);
+
+  // Crash-ladder instruments (DESIGN.md Section 10): reset, restart and
+  // scrub counters must agree with the event log's kGpuReset/kJobRestart
+  // records. (The recovery counters read zero when no RecoveryManager ran.)
+  check_eq(failures, "gpu_resets", met.gpu_resets->value(), ts.gpu_resets);
+  const std::uint64_t restarts =
+      m.obs().counter("ghum_recovery_restarts_total", {{"cause", "gpu_reset"}}).value() +
+      m.obs().counter("ghum_recovery_restarts_total", {{"cause", "ecc_uncorrectable"}}).value() +
+      m.obs().counter("ghum_recovery_restarts_total", {{"cause", "timeout"}}).value();
+  check_eq(failures, "recovery_restarts", restarts, ts.job_restarts);
+  check_eq(failures, "recovery_scrubbed_bytes",
+           m.obs().counter("ghum_recovery_scrubbed_bytes_total").value(),
+           ts.scrubbed_bytes);
 
   // Histograms vs their sibling counters: every migration/eviction/fault
   // observes exactly one histogram sample, and byte sums must agree.
@@ -295,6 +310,78 @@ TenancyResult tenancy_corun(bs::Scale scale) {
   return out;
 }
 
+/// The crash-recovery co-run: a GPU channel reset fells one of two managed
+/// tenants mid-run and the recovery ladder restarts it, with periodic
+/// verified checkpoints on. The registry-vs-Tracer pass then sees NONZERO
+/// reset/restart/scrub counters — the quiet matrix rows above cannot tell
+/// a dead recovery instrument from an unused one.
+std::vector<std::string> recovery_corun(bs::Scale scale) {
+  auto base = [] {
+    core::SystemConfig cfg = bs::rodinia_config(pagetable::kSystemPage64K, false);
+    cfg.event_log = true;
+    return cfg;
+  };
+  auto spec = [scale](std::uint64_t seed) {
+    tenant::JobSpec s;
+    s.name = "hotspot";
+    s.footprint_bytes = 1ull << 20;
+    s.make = [scale, seed](runtime::Runtime& rt) {
+      apps::HotspotConfig h = bs::hotspot_config(scale);
+      h.seed = seed;
+      return apps::hotspot_steps(rt, apps::MemMode::kManaged, h);
+    };
+    return s;
+  };
+  sim::Picos solo = 0;
+  {
+    core::System sys{base()};
+    tenant::Scheduler sched{sys, {}};
+    (void)sched.submit(spec(42));
+    sched.run_all();
+    solo = sys.now();
+  }
+
+  core::SystemConfig cfg = base();
+  cfg.link_monitor = true;
+  cfg.faults.enabled = true;
+  cfg.faults.gpu_resets = {{.time = solo / 2}};
+  core::System sys{cfg};
+  tenant::SchedulerConfig scfg;
+  scfg.recovery.enabled = true;
+  scfg.recovery.checkpoint_period_quanta = 4;
+  scfg.recovery.verify_checkpoints = true;
+  tenant::Scheduler sched{sys, scfg};
+  (void)sched.submit(spec(42));
+  (void)sched.submit(spec(43));
+  sched.run_all();
+  sys.link_monitor().stop();
+
+  std::vector<std::string> failures;
+  cross_check(sys, failures);
+  const profile::TraceSummary ts = profile::Tracer{sys.events()}.summarize();
+  if (ts.gpu_resets == 0 || ts.job_restarts == 0) {
+    failures.emplace_back("recovery co-run produced no reset/restart events");
+  }
+  // Instruments without an event-log mirror still must agree with the
+  // scheduler's own accounting.
+  obs::MetricsRegistry& reg = sys.machine().obs();
+  check_eq(failures, "recovery.restarts(stats)",
+           sys.stats().get("recovery.restarts"), ts.job_restarts);
+  check_eq(failures, "chk_checkpoints",
+           reg.counter("ghum_chk_checkpoints_total").value(),
+           sys.stats().get("recovery.checkpoints"));
+  check_eq(failures, "chk_snapshot_bytes.count",
+           reg.histogram("ghum_chk_snapshot_bytes").count(),
+           reg.counter("ghum_chk_checkpoints_total").value());
+  if (reg.counter("ghum_recovery_replayed_picos_total").value() == 0) {
+    failures.emplace_back("restart happened but replayed-picos counter is zero");
+  }
+  check_eq(failures, "recovery.watchdog_trips",
+           reg.counter("ghum_recovery_watchdog_trips_total").value(),
+           sys.stats().get("recovery.watchdog_trips"));
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -364,6 +451,13 @@ int main(int argc, char** argv) {
   std::printf("tenancy co-run: %zu check failures, trace %zu bytes\n",
               tenancy.failures.size(), tenancy.trace.size());
 
+  const std::vector<std::string> recovery = recovery_corun(scale);
+  for (const auto& f : recovery) {
+    std::fprintf(stderr, "  [recovery] %s\n", f.c_str());
+  }
+  total_failures += recovery.size();
+  std::printf("recovery co-run: %zu check failures\n", recovery.size());
+
   if (!trace_path.empty()) {
     if (std::FILE* f = std::fopen(trace_path.c_str(), "w")) {
       std::fwrite(tenancy.trace.data(), 1, tenancy.trace.size(), f);
@@ -389,6 +483,7 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"tenancy_failures\": %zu,\n", tenancy.failures.size());
+    std::fprintf(f, "  \"recovery_failures\": %zu,\n", recovery.size());
     std::fprintf(f, "  \"total_failures\": %zu,\n", total_failures);
     std::fprintf(f, "  \"ok\": %s\n", total_failures == 0 ? "true" : "false");
     std::fprintf(f, "}\n");

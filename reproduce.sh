@@ -30,10 +30,11 @@ ctest --test-dir build-asan --output-on-failure 2>&1 | tee test_output_asan.txt
 # bench_tenancy if a co-run row is non-reproducible or the designated
 # interference row shows no cross-tenant eviction, bench_observability if
 # any registry counter disagrees with the Tracer or a snapshot fails to
-# reproduce. Every bench that declares a JSON artifact must have produced
-# it.
+# reproduce, bench_recovery if an interrupted run diverges from its
+# uninterrupted twin or a crash scenario ends in the wrong state. Every
+# bench that declares a JSON artifact must have produced it.
 for artifact in BENCH_selfperf.json BENCH_tenancy.json \
-                BENCH_observability.json; do
+                BENCH_observability.json BENCH_recovery.json; do
   test -f "$artifact" || { echo "missing artifact: $artifact" >&2; exit 1; }
 done
 

@@ -140,16 +140,24 @@ class AppCoro {
 /// time charged during a lap is subtracted from that lap and accumulated
 /// separately (PhaseTimes.context_s), mirroring the paper's phase model
 /// where context init is its own phase regardless of where it fires.
+///
+/// Holds the Runtime, not the System: app coroutines keep a PhaseTimer
+/// alive across co_yields, and checkpoint restore swaps the Runtime onto a
+/// fresh System (runtime::Runtime::rebind) — resolving the clock through
+/// the Runtime at every lap keeps the stopwatch valid across that swap.
 class PhaseTimer {
  public:
-  explicit PhaseTimer(core::System& sys)
-      : sys_(&sys), t0_(sys.now()), ctx_seen_(sys.context_init_charged()) {}
+  explicit PhaseTimer(runtime::Runtime& rt)
+      : rt_(&rt),
+        t0_(rt.system().now()),
+        ctx_seen_(rt.system().context_init_charged()) {}
 
   /// Seconds since construction or the last lap() call, context-init
   /// charges excluded.
   double lap() {
-    const sim::Picos now = sys_->now();
-    const sim::Picos ctx = sys_->context_init_charged();
+    core::System& sys = rt_->system();
+    const sim::Picos now = sys.now();
+    const sim::Picos ctx = sys.context_init_charged();
     const sim::Picos ctx_delta = ctx - ctx_seen_;
     ctx_seen_ = ctx;
     ctx_total_ += ctx_delta;
@@ -162,7 +170,7 @@ class PhaseTimer {
   [[nodiscard]] double context_s() const { return sim::to_seconds(ctx_total_); }
 
  private:
-  core::System* sys_;
+  runtime::Runtime* rt_;
   sim::Picos t0_;
   sim::Picos ctx_seen_;
   sim::Picos ctx_total_ = 0;

@@ -77,7 +77,6 @@ AppReport run_bfs(runtime::Runtime& rt, MemMode mode, const BfsConfig& cfg) {
 }
 
 AppCoro bfs_steps(runtime::Runtime& rt, MemMode mode, BfsConfig cfg) {
-  core::System& sys = rt.system();
   const Csr graph = generate_graph(cfg);
   const std::uint64_t n = cfg.nodes;
   const std::uint64_t m = graph.col_idx.size();
@@ -85,7 +84,7 @@ AppCoro bfs_steps(runtime::Runtime& rt, MemMode mode, BfsConfig cfg) {
   AppReport report;
   report.app = "bfs";
   report.mode = mode;
-  PhaseTimer timer{sys};
+  PhaseTimer timer{rt};
 
   UnifiedBuffer row_off =
       UnifiedBuffer::create(rt, mode, (n + 1) * sizeof(int), "bfs.row_off");

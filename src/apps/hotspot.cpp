@@ -35,14 +35,13 @@ AppReport run_hotspot(runtime::Runtime& rt, MemMode mode, const HotspotConfig& c
 }
 
 AppCoro hotspot_steps(runtime::Runtime& rt, MemMode mode, HotspotConfig cfg) {
-  core::System& sys = rt.system();
   const std::uint64_t n = std::uint64_t{cfg.rows} * cfg.cols;
   const std::uint64_t bytes = n * sizeof(float);
 
   AppReport report;
   report.app = "hotspot";
   report.mode = mode;
-  PhaseTimer timer{sys};
+  PhaseTimer timer{rt};
 
   // --- allocation -----------------------------------------------------------
   // Paper porting rule (Section 3.1): only buffers involved in explicit

@@ -27,7 +27,6 @@ AppReport run_needle(runtime::Runtime& rt, MemMode mode, const NeedleConfig& cfg
 }
 
 AppCoro needle_steps(runtime::Runtime& rt, MemMode mode, NeedleConfig cfg) {
-  core::System& sys = rt.system();
   if (cfg.n == 0 || cfg.n % kTile != 0) {
     throw std::invalid_argument{"needle: n must be a positive multiple of 16"};
   }
@@ -37,7 +36,7 @@ AppCoro needle_steps(runtime::Runtime& rt, MemMode mode, NeedleConfig cfg) {
   AppReport report;
   report.app = "needle";
   report.mode = mode;
-  PhaseTimer timer{sys};
+  PhaseTimer timer{rt};
 
   UnifiedBuffer score =
       UnifiedBuffer::create(rt, mode, cells * sizeof(int), "needle.score");

@@ -15,13 +15,12 @@ AppReport run_pathfinder(runtime::Runtime& rt, MemMode mode,
 }
 
 AppCoro pathfinder_steps(runtime::Runtime& rt, MemMode mode, PathfinderConfig cfg) {
-  core::System& sys = rt.system();
   const std::uint64_t n = std::uint64_t{cfg.rows} * cfg.cols;
 
   AppReport report;
   report.app = "pathfinder";
   report.mode = mode;
-  PhaseTimer timer{sys};
+  PhaseTimer timer{rt};
 
   UnifiedBuffer wall = UnifiedBuffer::create(rt, mode, n * sizeof(int), "pf.wall");
   UnifiedBuffer result =

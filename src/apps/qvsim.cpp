@@ -122,7 +122,6 @@ namespace {
 AppCoro qvsim_explicit_chunked_steps(runtime::Runtime& rt, QvConfig cfg,
                                      AppReport report, PhaseTimer& timer,
                                      core::Buffer host_sv) {
-  core::System& sys = rt.system();
   const std::uint32_t nq = cfg.qubits;
   const std::uint64_t n = 1ull << nq;
 
@@ -132,7 +131,7 @@ AppCoro qvsim_explicit_chunked_steps(runtime::Runtime& rt, QvConfig cfg,
   const std::uint32_t sets = cfg.pipelined ? 2 : 1;
   std::uint32_t c = nq - 2;
   while (c > 2 &&
-         sets * 4 * (sizeof(amp_t) << c) > sys.gpu_free_bytes() * 9 / 10) {
+         sets * 4 * (sizeof(amp_t) << c) > rt.system().gpu_free_bytes() * 9 / 10) {
     --c;
   }
   const std::uint64_t chunk_amps = 1ull << c;
@@ -163,7 +162,7 @@ AppCoro qvsim_explicit_chunked_steps(runtime::Runtime& rt, QvConfig cfg,
 
   const std::vector<GateSpec> gates = qv_circuit(cfg);
   for (const GateSpec& g : gates) {
-    const sim::Picos gate_start = sys.now();
+    const sim::Picos gate_start = rt.system().now();
     // Gate qubits above the chunk width couple distinct chunks.
     std::uint32_t hb[2];
     std::uint32_t k = 0;
@@ -217,10 +216,10 @@ AppCoro qvsim_explicit_chunked_steps(runtime::Runtime& rt, QvConfig cfg,
           "qv.gate.chunked", static_cast<double>(kernel_groups * members) * 120,
           [&] {
             runtime::Span<amp_t> spans[4] = {
-                {sys, slots[set][0], mem::Node::kGpu},
-                {sys, slots[set][1], mem::Node::kGpu},
-                {sys, slots[set][2], mem::Node::kGpu},
-                {sys, slots[set][3], mem::Node::kGpu},
+                {rt.system(), slots[set][0], mem::Node::kGpu},
+                {rt.system(), slots[set][1], mem::Node::kGpu},
+                {rt.system(), slots[set][2], mem::Node::kGpu},
+                {rt.system(), slots[set][3], mem::Node::kGpu},
             };
             auto slot_of = [&](std::uint64_t chunk) -> runtime::Span<amp_t>& {
               for (std::uint32_t m = 0; m < members; ++m) {
@@ -263,7 +262,7 @@ AppCoro qvsim_explicit_chunked_steps(runtime::Runtime& rt, QvConfig cfg,
     // Gates touch overlapping chunks: all writebacks must land before the
     // next gate stages its inputs.
     for (std::uint32_t s = 0; s < sets; ++s) rt.stream_synchronize(d2h_stream[s]);
-    report.iteration_s.push_back(sim::to_seconds(sys.now() - gate_start));
+    report.iteration_s.push_back(sim::to_seconds(rt.system().now() - gate_start));
     report.iteration_traffic.push_back(gate_traffic);
     report.compute_traffic += gate_traffic;
     co_yield 0;
@@ -293,16 +292,15 @@ AppReport run_qvsim(runtime::Runtime& rt, MemMode mode, const QvConfig& cfg) {
 }
 
 AppCoro qvsim_steps(runtime::Runtime& rt, MemMode mode, QvConfig cfg) {
-  core::System& sys = rt.system();
   const std::uint64_t n = 1ull << cfg.qubits;
   const std::uint64_t bytes = n * sizeof(amp_t);
 
   AppReport report;
   report.app = "qvsim";
   report.mode = mode;
-  PhaseTimer timer{sys};
+  PhaseTimer timer{rt};
 
-  if (mode == MemMode::kExplicit && bytes + (4u << 20) > sys.gpu_free_bytes()) {
+  if (mode == MemMode::kExplicit && bytes + (4u << 20) > rt.system().gpu_free_bytes()) {
     // The statevector does not fit: Aer's chunk-exchange pipeline. The
     // host statevector is pinned so the chunk staging runs at full
     // NVLink-C2C bandwidth — this is the "sophisticated data movement

@@ -79,14 +79,13 @@ AppReport run_srad(runtime::Runtime& rt, MemMode mode, const SradConfig& cfg) {
 }
 
 AppCoro srad_steps(runtime::Runtime& rt, MemMode mode, SradConfig cfg) {
-  core::System& sys = rt.system();
   const std::uint64_t n = std::uint64_t{cfg.rows} * cfg.cols;
   const std::uint64_t bytes = n * sizeof(float);
 
   AppReport report;
   report.app = "srad";
   report.mode = mode;
-  PhaseTimer timer{sys};
+  PhaseTimer timer{rt};
 
   // J is the image: CPU-initialized, GPU-updated in place — the buffer
   // whose gradual access-counter migration Figure 10 charts. The
@@ -124,8 +123,8 @@ AppCoro srad_steps(runtime::Runtime& rt, MemMode mode, SradConfig cfg) {
 
   img.h2d(rt);
   for (std::uint32_t it = 0; it < cfg.iterations; ++it) {
-    const sim::Picos iter_start = sys.now();
-    const sim::Picos ctx_before = sys.context_init_charged();
+    const sim::Picos iter_start = rt.system().now();
+    const sim::Picos ctx_before = rt.system().context_init_charged();
     cache::KernelTraffic iter_traffic;
 
     auto rec0 = rt.launch("srad.reduce", static_cast<double>(n) * 3, [&] {
@@ -225,8 +224,9 @@ AppCoro srad_steps(runtime::Runtime& rt, MemMode mode, SradConfig cfg) {
     // Context init fires inside iteration 1's first kernel in the system
     // version; report per-iteration times net of it (paper Figure 10
     // compares steady-state iteration behaviour).
-    const sim::Picos ctx_delta = sys.context_init_charged() - ctx_before;
-    report.iteration_s.push_back(sim::to_seconds(sys.now() - iter_start - ctx_delta));
+    const sim::Picos ctx_delta = rt.system().context_init_charged() - ctx_before;
+    report.iteration_s.push_back(
+        sim::to_seconds(rt.system().now() - iter_start - ctx_delta));
     report.iteration_traffic.push_back(iter_traffic);
     report.compute_traffic += iter_traffic;
     co_yield 0;

@@ -115,6 +115,12 @@ struct CostModel {
   /// (Real driver: dynamic page retirement / row remapping on recoverable
   /// paths; we only model the bookkeeping latency, not a process kill.)
   sim::Picos ecc_retire = sim::microseconds(50);
+  /// Driver-side handling of a GPU channel reset: tear down the faulted
+  /// channel, invalidate GMMU/TLB state, poison the victim's
+  /// device-resident pages. (Real driver: robust-channel recovery; the
+  /// hundreds-of-microseconds scale matches observed Xid-handling
+  /// latencies, not a full device reinit.)
+  sim::Picos gpu_reset = sim::microseconds(500);
 
   // --- GPU compute throughput ---------------------------------------------
   /// Used to convert kernels' arithmetic-work hints into a compute-time

@@ -32,6 +32,10 @@ namespace ghum::fault {
 class FaultInjector;
 }  // namespace ghum::fault
 
+namespace ghum::chk {
+class Snapshotter;
+}  // namespace ghum::chk
+
 namespace ghum::core {
 
 class Machine {
@@ -193,6 +197,8 @@ class Machine {
   std::uint64_t epoch_ = 0;
   tenant::TenantId tenant_ = tenant::kNoTenant;
   tenant::AttributionTable attribution_;
+
+  friend class ghum::chk::Snapshotter;
 };
 
 }  // namespace ghum::core

@@ -5,6 +5,8 @@
 #include <new>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace ghum::core {
 
@@ -162,10 +164,61 @@ Status System::host_register(const Buffer& buf) {
 }
 
 void System::service_faults() {
-  if (!fi_.enabled()) return;
+  // Suppression covers the scheduled crash class too: the recovery scrub
+  // must not be killed by the next due reset — it fires at the first
+  // unsuppressed service point instead.
+  if (!fi_.enabled() || fi_.suppressed()) return;
+  // Crash class first: a due channel reset pre-empts pending retirements
+  // (handle_gpu_reset throws, so anything ECC-due is serviced on the next
+  // API call — matching a real driver, which handles the Xid before
+  // resuming deferred work).
+  if (const fault::GpuResetEvent* r = fi_.take_due_reset(m_.clock().now())) {
+    handle_gpu_reset(*r);
+  }
   while (const fault::EccEvent* e = fi_.take_due_ecc(m_.clock().now())) {
     handle_ecc(*e);
   }
+}
+
+void System::handle_gpu_reset(const fault::GpuResetEvent& /*e*/) {
+  sim::SpanScope span{m_.events()};
+  const tenant::TenantId victim = m_.current_tenant();
+  std::uint64_t poisoned_bytes = 0;
+  {
+    // Dropping device state is context teardown, not a migration: the
+    // injector must not re-fail the crash's own cleanup.
+    fault::FaultInjector::ScopedSuppress guard{&fi_};
+    for (auto& [base, vma] : m_.address_space()) {
+      if (vma.tenant != victim || vma.poisoned) continue;
+      if (vma.kind == os::AllocKind::kGpuOnly) {
+        // The content lived in the dead context; mappings (and frames) are
+        // held until cudaFree, but every access now fails.
+        vma.poisoned = true;
+        poisoned_bytes += vma.size;
+      } else if (vma.kind == os::AllocKind::kManaged &&
+                 vma.resident_gpu_bytes > 0) {
+        // Device-resident managed blocks die with the channel: dropped
+        // without writeback (their content is lost, not flushed back).
+        managed_.release_gpu_blocks(vma);
+        vma.poisoned = true;
+        poisoned_bytes += vma.size;
+      }
+    }
+  }
+  // The reset invalidates all GMMU translation state (both the GPU-table
+  // and the ATS-side uTLBs).
+  m_.gmmu().flush_tlbs();
+  m_.clock().advance(m_.config().costs.gpu_reset);
+  m_.stats().add("fault.gpu_resets");
+  m_.metrics().gpu_resets->inc();
+  if (m_.events().enabled()) {
+    m_.events().record(sim::Event{.time = m_.clock().now(),
+                                  .type = sim::EventType::kGpuReset,
+                                  .va = 0,
+                                  .bytes = poisoned_bytes,
+                                  .aux = victim});
+  }
+  throw StatusError{Status::kErrorGpuReset, "GPU channel reset"};
 }
 
 void System::handle_ecc(const fault::EccEvent& e) {
@@ -200,6 +253,15 @@ void System::handle_ecc(const fault::EccEvent& e) {
                                   .va = 0,
                                   .bytes = retired,
                                   .aux = retired < want ? 1u : 0u});
+  }
+  // ECC storm: retirement past the configured budget means the device is
+  // losing frames faster than retirement can absorb — beyond what any
+  // restart can cure, so the escalation is terminal.
+  const std::uint64_t budget = m_.config().faults.ecc_retirement_budget;
+  if (budget != 0 && gpu_fa.retired_bytes() > budget) {
+    m_.stats().add("fault.ecc_storms");
+    throw StatusError{Status::kErrorUnrecoverable,
+                      "ECC storm: frame-retirement budget exceeded"};
   }
 }
 
@@ -239,6 +301,10 @@ void System::prefetch(const Buffer& buf, std::uint64_t offset, std::uint64_t len
   ensure_gpu_context();
   os::Vma* vma = m_.address_space().find_exact(buf.va);
   if (vma == nullptr) throw std::invalid_argument{"prefetch: unknown buffer"};
+  if (vma->poisoned) {
+    throw StatusError{Status::kErrorGpuReset,
+                      "prefetch on allocation poisoned by GPU reset"};
+  }
   if (vma->kind == os::AllocKind::kManaged) {
     managed_.prefetch(*vma, buf.va + offset, len, dst);
     return;
@@ -281,6 +347,14 @@ sim::Picos System::memcpy_cost_and_copy(const Buffer& dst, std::uint64_t dst_off
   ensure_gpu_context();
   if (dst_off + bytes > dst.bytes || src_off + bytes > src.bytes) {
     throw std::out_of_range{"memcpy_buffers: range outside buffer"};
+  }
+  {
+    const os::Vma* sv = m_.address_space().find_exact(src.va);
+    const os::Vma* dv = m_.address_space().find_exact(dst.va);
+    if ((sv != nullptr && sv->poisoned) || (dv != nullptr && dv->poisoned)) {
+      throw StatusError{Status::kErrorGpuReset,
+                        "memcpy on allocation poisoned by GPU reset"};
+    }
   }
   const auto& costs = m_.config().costs;
   std::memcpy(dst.host + dst_off, src.host + src_off, bytes);
@@ -388,6 +462,30 @@ const cache::KernelRecord& System::host_phase_end(double flop_work) {
 void System::device_synchronize() {
   // Synchronous simulator: only the call overhead remains.
   m_.clock().advance(sim::microseconds(1));
+}
+
+void System::abort_phase() noexcept {
+  in_phase_ = false;
+  in_kernel_ = false;
+}
+
+std::uint64_t System::scrub_tenant(tenant::TenantId t) {
+  // Collect first (free_buffer erases VMAs), in base order so the scrub's
+  // simulated-time charges are deterministic.
+  std::vector<std::uint64_t> bases;
+  for (const auto& [base, vma] : std::as_const(m_.address_space())) {
+    if (vma.tenant == t) bases.push_back(base);
+  }
+  std::uint64_t scrubbed = 0;
+  for (std::uint64_t base : bases) {
+    os::Vma* vma = m_.address_space().find_exact(base);
+    if (vma == nullptr) continue;
+    scrubbed += vma->size;
+    Buffer b = make_buffer(*vma);
+    (void)free_buffer(b);
+  }
+  if (scrubbed > 0) m_.stats().add("recovery.scrubbed_bytes", scrubbed);
+  return scrubbed;
 }
 
 void System::begin_phase(std::string name, bool gpu) {
@@ -498,6 +596,10 @@ PageView System::resolve(std::uint64_t va, mem::Node origin) {
   os::Vma* vma = m_.address_space().find(va);
   if (vma == nullptr) {
     throw std::out_of_range{"resolve: access outside any allocation (SIGSEGV)"};
+  }
+  if (vma->poisoned) {
+    throw StatusError{Status::kErrorGpuReset,
+                      "access to allocation poisoned by GPU reset"};
   }
   PageView view;
   view.origin = origin;

@@ -27,6 +27,10 @@
 /// library's mid-level API: allocation, explicit copies, kernel phases,
 /// and the page-granular access path used by runtime::Span.
 
+namespace ghum::chk {
+class Snapshotter;
+}  // namespace ghum::chk
+
 namespace ghum::core {
 
 /// A virtual allocation handle. Copyable value type; the backing VMA is
@@ -127,10 +131,12 @@ class System {
   /// prefix stays mapped; the rest faults on demand).
   Status host_register(const Buffer& buf);
 
-  /// Processes due time-scheduled faults (ECC retirements). Called at API
-  /// entry points — not from the clock observer, because retirement can
-  /// evict managed blocks and advance the clock. Cheap no-op when nothing
-  /// is pending.
+  /// Processes due time-scheduled faults (GPU channel resets first, then
+  /// ECC retirements). Called at API entry points — not from the clock
+  /// observer, because retirement can evict managed blocks and advance the
+  /// clock. Cheap no-op when nothing is pending. A due GPU reset (and an
+  /// ECC event past the retirement budget) throws StatusError after
+  /// applying its damage.
   void service_faults();
 
   [[nodiscard]] fault::FaultInjector& fault_injector() noexcept { return fi_; }
@@ -201,6 +207,19 @@ class System {
   [[nodiscard]] bool in_gpu_kernel() const noexcept { return in_kernel_; }
   [[nodiscard]] std::uint64_t kernel_id() const noexcept { return kernel_seq_; }
 
+  /// Recovery-path cleanup after a crash Status unwound out of a kernel or
+  /// host phase: clears the open-phase state (a mid-kernel GPU reset leaves
+  /// in_kernel_/in_phase_ set) so the next phase can begin. No cost, no
+  /// record — the aborted phase never produced a kernel record, exactly as
+  /// a killed channel produces none. No-op outside a phase.
+  void abort_phase() noexcept;
+
+  /// Frees every allocation owned by tenant \p t (in base-address order),
+  /// poisoned or not — the teardown a crashed/retired job's exit would have
+  /// performed had its coroutine been allowed to finish. Charges the real
+  /// deallocation costs. Returns the virtual bytes scrubbed.
+  std::uint64_t scrub_tenant(tenant::TenantId t);
+
   /// cudaDeviceSynchronize(): execution is synchronous in the simulator,
   /// so this only models the call overhead.
   void device_synchronize();
@@ -249,6 +268,12 @@ class System {
   /// retired directly; in-use frames are vacated by evicting managed
   /// blocks first (remap instead of abort).
   void handle_ecc(const fault::EccEvent& e);
+
+  /// Applies one GPU channel reset: drops the current tenant's
+  /// device-resident managed blocks without writeback, poisons the damaged
+  /// allocations, flushes the GMMU TLBs, charges the recovery latency and
+  /// throws StatusError{kErrorGpuReset}.
+  [[noreturn]] void handle_gpu_reset(const fault::GpuResetEvent& e);
 
   void begin_phase(std::string name, bool gpu);
   const cache::KernelRecord& end_phase(double flop_work);
@@ -302,6 +327,8 @@ class System {
   /// Base VAs of successfully freed buffers; VAs are never reused, so
   /// membership identifies a double free (vs. a never-valid pointer).
   std::unordered_set<std::uint64_t> freed_bases_;
+
+  friend class ghum::chk::Snapshotter;
 };
 
 }  // namespace ghum::core

@@ -22,6 +22,10 @@
 /// what spreads working-set migration over several iterations in
 /// iterative workloads (the iteration 1-4 ramp of paper Figure 10).
 
+namespace ghum::chk {
+class Snapshotter;
+}  // namespace ghum::chk
+
 namespace ghum::driver {
 
 class AccessCounterEngine {
@@ -65,6 +69,8 @@ class AccessCounterEngine {
   std::uint64_t notifications_ = 0;
   std::uint64_t h2d_ = 0;
   std::uint64_t d2h_ = 0;
+
+  friend class ghum::chk::Snapshotter;
 };
 
 }  // namespace ghum::driver

@@ -33,6 +33,10 @@
 ///  - explicit prefetch (cudaMemPrefetchAsync), which migrates at full
 ///    link bandwidth without fault overhead and re-arms migration.
 
+namespace ghum::chk {
+class Snapshotter;
+}  // namespace ghum::chk
+
 namespace ghum::driver {
 
 /// How a GPU access to a managed page got resolved.
@@ -163,6 +167,8 @@ class ManagedEngine {
   std::uint64_t evictions_ = 0;
   std::uint64_t gpu_faults_ = 0;
   std::uint64_t cpu_faults_ = 0;
+
+  friend class ghum::chk::Snapshotter;
 };
 
 }  // namespace ghum::driver

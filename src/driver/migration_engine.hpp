@@ -10,6 +10,10 @@
 /// bookkeeping (application bytes live in one host buffer); what this
 /// engine produces is simulated time and C2C traffic.
 
+namespace ghum::chk {
+class Snapshotter;
+}  // namespace ghum::chk
+
 namespace ghum::driver {
 
 class MigrationEngine {
@@ -54,6 +58,8 @@ class MigrationEngine {
   core::Machine* m_;
   std::uint64_t h2d_bytes_ = 0;
   std::uint64_t d2h_bytes_ = 0;
+
+  friend class ghum::chk::Snapshotter;
 };
 
 }  // namespace ghum::driver

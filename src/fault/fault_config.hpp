@@ -37,6 +37,16 @@ struct EccEvent {
   std::uint64_t bytes = 2ull << 20;
 };
 
+/// A GPU channel reset at a simulated-time point: the crash fault class.
+/// The device context executing at that moment dies — in-flight migration
+/// batches are aborted, GMMU TLB state is invalidated, and the victim
+/// tenant's device-resident managed pages (plus its device-only
+/// allocations) are poisoned. Surfaces as Status::kErrorGpuReset; the
+/// recovery ladder (tenant::RecoveryManager) decides restart vs failure.
+struct GpuResetEvent {
+  sim::Picos time = 0;
+};
+
 struct FaultConfig {
   bool enabled = false;
 
@@ -62,6 +72,14 @@ struct FaultConfig {
 
   std::vector<LinkDegradeWindow> link_degrade;
   std::vector<EccEvent> ecc_events;
+  std::vector<GpuResetEvent> gpu_resets;
+
+  /// ECC-storm escalation: once more than this many bytes of HBM frames
+  /// have been retired, further ECC events are beyond what frame
+  /// retirement can absorb and the run escalates to
+  /// Status::kErrorUnrecoverable (no restart can cure a dying device).
+  /// 0 = unlimited retirement budget (the pre-existing behaviour).
+  std::uint64_t ecc_retirement_budget = 0;
 };
 
 }  // namespace ghum::fault

@@ -14,6 +14,11 @@ FaultInjector::FaultInjector(core::Machine& m)
   ecc_ = cfg_.ecc_events;
   std::sort(ecc_.begin(), ecc_.end(),
             [](const EccEvent& a, const EccEvent& b) { return a.time < b.time; });
+  resets_ = cfg_.gpu_resets;
+  std::sort(resets_.begin(), resets_.end(),
+            [](const GpuResetEvent& a, const GpuResetEvent& b) {
+              return a.time < b.time;
+            });
 }
 
 bool FaultInjector::deny_frame_alloc(mem::Node node) {

@@ -22,6 +22,10 @@
 /// Resilience responses (eviction writeback, fallback placement) run under
 /// ScopedSuppress so the cure is never re-injected with the disease.
 
+namespace ghum::chk {
+class Snapshotter;
+}  // namespace ghum::chk
+
 namespace ghum::fault {
 
 class FaultInjector {
@@ -80,6 +84,19 @@ class FaultInjector {
     return &ecc_[next_ecc_++];
   }
 
+  // --- GPU channel-reset schedule (crash fault class) ------------------------
+  /// True when a GPU reset is due at or before \p now.
+  [[nodiscard]] bool reset_due(sim::Picos now) const noexcept {
+    return next_reset_ < resets_.size() && resets_[next_reset_].time <= now;
+  }
+  /// Consumes and returns the next due GPU reset, or nullptr. The cursor
+  /// only ever advances — a restore never rewinds it, so a restarted job
+  /// does not deterministically re-crash on the same scheduled reset.
+  [[nodiscard]] const GpuResetEvent* take_due_reset(sim::Picos now) {
+    if (!reset_due(now)) return nullptr;
+    return &resets_[next_reset_++];
+  }
+
   // --- lifetime counters -----------------------------------------------------
   [[nodiscard]] std::uint64_t denials() const noexcept { return denials_; }
 
@@ -96,7 +113,12 @@ class FaultInjector {
   std::vector<EccEvent> ecc_;  ///< sorted by time
   std::size_t next_ecc_ = 0;
 
+  std::vector<GpuResetEvent> resets_;  ///< sorted by time
+  std::size_t next_reset_ = 0;
+
   std::uint64_t denials_ = 0;
+
+  friend class ghum::chk::Snapshotter;
 };
 
 }  // namespace ghum::fault

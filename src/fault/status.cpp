@@ -10,6 +10,9 @@ std::string_view to_string(Status s) noexcept {
     case Status::kErrorInvalidValue: return "invalid value";
     case Status::kErrorDoubleFree: return "double free";
     case Status::kErrorEccUncorrectable: return "uncorrectable ECC error";
+    case Status::kErrorGpuReset: return "GPU channel reset";
+    case Status::kErrorUnrecoverable: return "unrecoverable";
+    case Status::kErrorTimeout: return "watchdog timeout";
   }
   return "unknown";
 }

@@ -32,6 +32,18 @@ enum class Status : std::uint8_t {
   kErrorDoubleFree,
   /// Uncorrectable ECC error retired frames out from under the run.
   kErrorEccUncorrectable,
+  /// GPU channel reset: the device context died, in-flight work was aborted
+  /// and device-resident managed pages of the victim were poisoned. The job
+  /// can be restarted from a checkpoint (cudaErrorECCUncorrectable's big
+  /// sibling in the escalation ladder).
+  kErrorGpuReset,
+  /// Escalation past every bounded-retry and restart budget (e.g. an ECC
+  /// storm that blew through the frame-retirement budget): the job cannot
+  /// be recovered, only failed gracefully with attribution intact.
+  kErrorUnrecoverable,
+  /// Progress watchdog fired: the job made no simulated-time progress (or
+  /// sat in a retry storm) for longer than the configured budget.
+  kErrorTimeout,
 };
 
 [[nodiscard]] std::string_view to_string(Status s) noexcept;

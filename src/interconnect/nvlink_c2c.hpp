@@ -17,6 +17,10 @@
 /// Traffic counters feed the per-kernel Memory Workload Analysis
 /// (profile/workload_analysis.hpp), used by paper Figures 10 and 12.
 
+namespace ghum::chk {
+class Snapshotter;
+}  // namespace ghum::chk
+
 namespace ghum::interconnect {
 
 /// Direction of *data flow* over the link.
@@ -79,6 +83,8 @@ class NvlinkC2C {
   double lat_factor_ = 1.0;
   std::uint64_t bytes_[2]{};
   std::uint64_t atomics_ = 0;
+
+  friend class ghum::chk::Snapshotter;
 };
 
 }  // namespace ghum::interconnect

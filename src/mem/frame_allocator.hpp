@@ -12,6 +12,10 @@
 /// (first-touch placement, oversubscription fallbacks, eviction pressure)
 /// and the memory-profiler time series (paper Figures 4 and 5).
 
+namespace ghum::chk {
+class Snapshotter;
+}  // namespace ghum::chk
+
 namespace ghum::mem {
 
 class FrameAllocator {
@@ -52,6 +56,8 @@ class FrameAllocator {
   std::uint64_t retired_ = 0;
   std::uint64_t total_allocated_ = 0;
   std::uint64_t peak_used_ = 0;
+
+  friend class ghum::chk::Snapshotter;
 };
 
 }  // namespace ghum::mem

@@ -261,6 +261,7 @@ MemSysMetrics bind_memsys_metrics(MetricsRegistry& reg) {
       &reg.counter("ghum_link_degrade_windows_total", {{"edge", "begin"}});
   m.link_degrade_ends =
       &reg.counter("ghum_link_degrade_windows_total", {{"edge", "end"}});
+  m.gpu_resets = &reg.counter("ghum_gpu_resets_total");
   return m;
 }
 

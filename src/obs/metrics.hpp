@@ -24,6 +24,10 @@
 /// Instruments are stable-addressed (deque storage): hot paths cache the
 /// returned pointers once and do plain increments, never map lookups.
 
+namespace ghum::chk {
+class Snapshotter;
+}  // namespace ghum::chk
+
 namespace ghum::obs {
 
 struct Label {
@@ -38,6 +42,8 @@ class Counter {
 
  private:
   std::uint64_t value_ = 0;
+
+  friend class ghum::chk::Snapshotter;
 };
 
 class Gauge {
@@ -48,6 +54,8 @@ class Gauge {
 
  private:
   std::int64_t value_ = 0;
+
+  friend class ghum::chk::Snapshotter;
 };
 
 /// Fixed power-of-two-bucket histogram over u64 observations. Bucket i
@@ -84,6 +92,8 @@ class Histogram {
   std::uint64_t sum_ = 0;
   std::uint64_t min_ = 0;
   std::uint64_t max_ = 0;
+
+  friend class ghum::chk::Snapshotter;
 };
 
 /// Name+labels-keyed registry with deterministic (lexicographic) exposition
@@ -122,6 +132,8 @@ class MetricsRegistry {
   std::deque<Counter> counters_;
   std::deque<Gauge> gauges_;
   std::deque<Histogram> histograms_;
+
+  friend class ghum::chk::Snapshotter;
 };
 
 /// Cached instrument handles for the memory-system hot paths. Bound once by
@@ -177,6 +189,7 @@ struct MemSysMetrics {
   Counter* ecc_retired_bytes = nullptr;
   Counter* link_degrade_begins = nullptr;
   Counter* link_degrade_ends = nullptr;
+  Counter* gpu_resets = nullptr;  ///< kGpuReset channel resets
 };
 
 /// Creates every MemSysMetrics family in \p reg and returns the handles.

@@ -17,6 +17,10 @@
 /// host buffer so application kernels compute real, testable results while
 /// the memory system charges simulated costs.
 
+namespace ghum::chk {
+class Snapshotter;
+}  // namespace ghum::chk
+
 namespace ghum::os {
 
 /// Allocation categories of paper Table 1.
@@ -51,6 +55,12 @@ struct Vma {
   /// Residency accounting, maintained by the Machine's transition helpers.
   std::uint64_t resident_cpu_bytes = 0;
   std::uint64_t resident_gpu_bytes = 0;
+
+  /// A GPU channel reset killed the context while this allocation had
+  /// device-resident state: its contents are lost and every subsequent
+  /// access throws StatusError{kErrorGpuReset}. Only free_buffer (and the
+  /// recovery scrub built on it) accepts a poisoned VMA.
+  bool poisoned = false;
 
   /// Real backing storage (uninitialized; simulated first-touch zeroes are
   /// modeled in time only — kernels must initialize what they read, as the
@@ -104,6 +114,8 @@ class AddressSpace {
   /// Iteration support (ordered by base address).
   [[nodiscard]] auto begin() const { return vmas_.begin(); }
   [[nodiscard]] auto end() const { return vmas_.end(); }
+  [[nodiscard]] auto begin() { return vmas_.begin(); }
+  [[nodiscard]] auto end() { return vmas_.end(); }
 
  private:
   static constexpr std::uint64_t kVaStart = 0x10'0000'0000ull;
@@ -113,6 +125,8 @@ class AddressSpace {
   std::uint64_t next_va_ = kVaStart;
   std::uint64_t rss_ = 0;
   tenant::TenantId current_tenant_ = tenant::kNoTenant;
+
+  friend class ghum::chk::Snapshotter;
 };
 
 }  // namespace ghum::os

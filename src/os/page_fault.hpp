@@ -11,6 +11,10 @@
 /// expensive, which is the root cause of the slow GPU-side initialization
 /// with system memory (paper Sections 5.1.2 and 5.2).
 
+namespace ghum::chk {
+class Snapshotter;
+}  // namespace ghum::chk
+
 namespace ghum::os {
 
 class PageFaultHandler {
@@ -39,6 +43,8 @@ class PageFaultHandler {
  private:
   core::Machine* m_;
   std::uint64_t fault_count_[2]{};
+
+  friend class ghum::chk::Snapshotter;
 };
 
 }  // namespace ghum::os

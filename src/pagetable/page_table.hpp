@@ -15,6 +15,10 @@
 ///    GMMU for cudaMalloc allocations and for managed allocations whose
 ///    physical location is GPU memory. Its page size is 2 MiB.
 
+namespace ghum::chk {
+class Snapshotter;
+}  // namespace ghum::chk
+
 namespace ghum::pagetable {
 
 struct Pte {
@@ -71,6 +75,8 @@ class PageTable {
   std::uint64_t page_size_;
   unsigned page_shift_;
   std::unordered_map<std::uint64_t, Pte> entries_;  // keyed by VPN
+
+  friend class ghum::chk::Snapshotter;
 };
 
 /// GPU-exclusive page table page size (constant on Hopper).

@@ -15,6 +15,10 @@
 /// number. A TLB hit avoids the page-walk cost; migration and unmapping
 /// invalidate entries (TLB shootdown costs are charged by the cost model).
 
+namespace ghum::chk {
+class Snapshotter;
+}  // namespace ghum::chk
+
 namespace ghum::pagetable {
 
 class Tlb {
@@ -57,6 +61,11 @@ class Tlb {
   std::uint64_t misses_ = 0;
   obs::Counter* hits_ctr_ = nullptr;
   obs::Counter* misses_ctr_ = nullptr;
+
+  // Restore rebuilds lru_/map_ in recency order and reinstates hits_/misses_
+  // without touching the bound registry counters (those are restored with
+  // the registry itself, avoiding double counting).
+  friend class ghum::chk::Snapshotter;
 };
 
 }  // namespace ghum::pagetable

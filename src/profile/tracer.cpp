@@ -41,6 +41,14 @@ void accumulate(TraceSummary& s, const sim::Event& e) {
       break;
     case sim::EventType::kFallbackPlacement: ++s.fallback_placements; break;
     case sim::EventType::kOutOfMemory: ++s.oom_events; break;
+    case sim::EventType::kGpuReset:
+      ++s.gpu_resets;
+      s.poisoned_bytes += e.bytes;
+      break;
+    case sim::EventType::kJobRestart:
+      ++s.job_restarts;
+      s.scrubbed_bytes += e.bytes;
+      break;
     default: break;
   }
 }

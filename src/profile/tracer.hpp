@@ -37,6 +37,13 @@ struct TraceSummary {
   std::size_t fallback_placements = 0;
   std::size_t oom_events = 0;
 
+  // Crash ladder (DESIGN.md Section 10): channel resets with the bytes
+  // they poisoned, and recovery restarts with the bytes they scrubbed.
+  std::size_t gpu_resets = 0;
+  std::uint64_t poisoned_bytes = 0;
+  std::size_t job_restarts = 0;
+  std::uint64_t scrubbed_bytes = 0;
+
   /// Evictions whose perpetrator (Event::tenant) differs from the victim
   /// block's owner (Event::aux on kEviction) — the multi-tenant
   /// interference signal (DESIGN.md Section 8).

@@ -34,15 +34,19 @@ Status Runtime::malloc_host(std::uint64_t bytes, core::Buffer& out,
 void Runtime::memcpy(const core::Buffer& dst, const core::Buffer& src,
                      std::uint64_t bytes, CopyKind kind, std::uint64_t dst_off,
                      std::uint64_t src_off) {
-  validate_direction(dst, src, kind);
-  sys_->memcpy_buffers(dst, dst_off, src, src_off, bytes);
+  guarded([&] {
+    validate_direction(dst, src, kind);
+    sys_->memcpy_buffers(dst, dst_off, src, src_off, bytes);
+  });
 }
 
 void Runtime::memcpy_async(const core::Buffer& dst, const core::Buffer& src,
                            std::uint64_t bytes, CopyKind kind, Stream& stream,
                            std::uint64_t dst_off, std::uint64_t src_off) {
-  validate_direction(dst, src, kind);
-  sys_->memcpy_buffers_async(dst, dst_off, src, src_off, bytes, stream);
+  guarded([&] {
+    validate_direction(dst, src, kind);
+    sys_->memcpy_buffers_async(dst, dst_off, src, src_off, bytes, stream);
+  });
 }
 
 DeviceProperties get_device_properties(core::System& sys) {

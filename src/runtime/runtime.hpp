@@ -1,6 +1,9 @@
 #pragma once
 
+#include <new>
+#include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <utility>
 
 #include "core/system.hpp"
@@ -23,6 +26,13 @@ class Runtime {
 
   [[nodiscard]] core::System& system() noexcept { return *sys_; }
 
+  /// Re-points this runtime at a different System — the checkpoint/restore
+  /// hand-off (chk::Snapshotter::restore builds a fresh System; live
+  /// application coroutines hold Runtime&, so swapping the target here is
+  /// all it takes to continue them on the restored machine). The sticky
+  /// last error is preserved: restore does not consume pending errors.
+  void rebind(core::System& sys) noexcept { sys_ = &sys; }
+
   // --- error surface (cudaGetLastError semantics) ---------------------------
   /// Returns the last error recorded by an API call and clears it
   /// (cudaGetLastError). kSuccess when nothing failed since the last call.
@@ -36,12 +46,13 @@ class Runtime {
   /// malloc(): system-allocated memory.
   [[nodiscard]] core::Buffer malloc_system(std::uint64_t bytes,
                                            std::string label = "sys") {
-    return sys_->sys_malloc(bytes, std::move(label));
+    return guarded([&] { return sys_->sys_malloc(bytes, std::move(label)); });
   }
   /// cudaMallocManaged().
   [[nodiscard]] core::Buffer malloc_managed(std::uint64_t bytes,
                                             std::string label = "managed") {
-    return sys_->managed_malloc(bytes, std::move(label));
+    return guarded(
+        [&] { return sys_->managed_malloc(bytes, std::move(label)); });
   }
   /// cudaMalloc(). Non-throwing form: fills \p out on success; on
   /// exhaustion returns (and records) kErrorMemoryAllocation like
@@ -91,7 +102,7 @@ class Runtime {
   /// cudaMemPrefetchAsync.
   void mem_prefetch(const core::Buffer& buf, std::uint64_t offset,
                     std::uint64_t bytes, mem::Node dst) {
-    sys_->prefetch(buf, offset, bytes, dst);
+    guarded([&] { sys_->prefetch(buf, offset, bytes, dst); });
   }
 
   /// cudaHostRegister. kErrorMemoryAllocation when CPU frames ran out
@@ -102,7 +113,7 @@ class Runtime {
 
   /// cudaMemAdvise.
   void mem_advise(const core::Buffer& buf, core::System::MemAdvice advice) {
-    sys_->mem_advise(buf, advice);
+    guarded([&] { sys_->mem_advise(buf, advice); });
   }
 
   /// cudaDeviceSynchronize.
@@ -114,17 +125,21 @@ class Runtime {
   /// duration is max(memory time, flop_work / gpu_flops) + launch cost.
   template <typename F>
   cache::KernelRecord launch(std::string name, double flop_work, F&& body) {
-    sys_->kernel_begin(std::move(name));
-    std::forward<F>(body)();
-    return sys_->kernel_end(flop_work);
+    return guarded([&]() -> cache::KernelRecord {
+      sys_->kernel_begin(std::move(name));
+      std::forward<F>(body)();
+      return sys_->kernel_end(flop_work);
+    });
   }
 
   /// Runs \p body as a named host phase (CPU-side initialization etc.).
   template <typename F>
   cache::KernelRecord host_phase(std::string name, double flop_work, F&& body) {
-    sys_->host_phase_begin(std::move(name));
-    std::forward<F>(body)();
-    return sys_->host_phase_end(flop_work);
+    return guarded([&]() -> cache::KernelRecord {
+      sys_->host_phase_begin(std::move(name));
+      std::forward<F>(body)();
+      return sys_->host_phase_end(flop_work);
+    });
   }
 
   // --- spans -------------------------------------------------------------------
@@ -149,6 +164,31 @@ class Runtime {
   Status record(Status s) noexcept {
     if (s != Status::kSuccess) last_error_ = s;
     return s;
+  }
+
+  /// Runs \p f recording any failure for get_last_error() before letting
+  /// the original exception continue — every public API that can fail sets
+  /// the sticky error, whether it reports by Status return or by throw.
+  /// Exception types are preserved: callers relying on std::bad_alloc from
+  /// cudaMalloc-style exhaustion or StatusError from crash faults see them
+  /// unchanged.
+  template <typename F>
+  std::invoke_result_t<F> guarded(F&& f) {
+    try {
+      return std::forward<F>(f)();
+    } catch (const StatusError& e) {
+      record(e.status());
+      throw;
+    } catch (const std::bad_alloc&) {
+      record(Status::kErrorMemoryAllocation);
+      throw;
+    } catch (const std::invalid_argument&) {
+      record(Status::kErrorInvalidValue);
+      throw;
+    } catch (const std::out_of_range&) {
+      record(Status::kErrorInvalidValue);
+      throw;
+    }
   }
 
   core::System* sys_;

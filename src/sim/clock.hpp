@@ -12,6 +12,10 @@
 /// notified on every advance so they can take periodic samples against
 /// simulated time, mirroring the paper's 100 ms sampling profiler.
 
+namespace ghum::chk {
+class Snapshotter;
+}  // namespace ghum::chk
+
 namespace ghum::sim {
 
 class Clock {
@@ -34,6 +38,10 @@ class Clock {
  private:
   Picos now_ = 0;
   std::vector<Observer> observers_;  // empty slots are disabled observers
+
+  // Checkpoint restore sets now_ directly (no observer firing: the restored
+  // subsystem state already reflects everything observers would have done).
+  friend class ghum::chk::Snapshotter;
 };
 
 }  // namespace ghum::sim

@@ -27,6 +27,8 @@ std::string_view to_string(EventType t) noexcept {
     case EventType::kEccRetirement: return "ecc_retirement";
     case EventType::kFallbackPlacement: return "fallback_placement";
     case EventType::kOutOfMemory: return "out_of_memory";
+    case EventType::kGpuReset: return "gpu_reset";
+    case EventType::kJobRestart: return "job_restart";
   }
   return "unknown";
 }

@@ -15,6 +15,10 @@
 /// our tests additionally rely on it for system-memory events, which real
 /// Nsight cannot report.
 
+namespace ghum::chk {
+class Snapshotter;
+}  // namespace ghum::chk
+
 namespace ghum::sim {
 
 enum class EventType : std::uint8_t {
@@ -42,11 +46,15 @@ enum class EventType : std::uint8_t {
   kEccRetirement,         ///< uncorrectable ECC retired physical frames
   kFallbackPlacement,     ///< fault placed the page on the non-preferred node
   kOutOfMemory,           ///< both nodes exhausted (OOM-killer analogue)
+  kGpuReset,              ///< GPU channel reset: context lost, device-resident
+                          ///< managed state of the victim tenant poisoned
+  kJobRestart,            ///< RecoveryManager rolled a job back to its
+                          ///< checkpoint and replays it (aux = cause Status)
 };
 
 /// Number of EventType values (for per-type aggregation arrays).
 inline constexpr std::size_t kEventTypeCount =
-    static_cast<std::size_t>(EventType::kOutOfMemory) + 1;
+    static_cast<std::size_t>(EventType::kJobRestart) + 1;
 
 [[nodiscard]] std::string_view to_string(EventType t) noexcept;
 
@@ -147,6 +155,8 @@ class EventLog {
   std::vector<Event> events_;
   std::array<std::size_t, kEventTypeCount> counts_{};
   std::array<std::uint64_t, kEventTypeCount> bytes_{};
+
+  friend class ghum::chk::Snapshotter;
 };
 
 /// RAII causal span: opens a fresh span when none is active and restores

@@ -8,6 +8,10 @@
 /// across platforms and standard-library versions, so we do not use
 /// std::mt19937 / std::uniform_*_distribution anywhere.
 
+namespace ghum::chk {
+class Snapshotter;
+}  // namespace ghum::chk
+
 namespace ghum::sim {
 
 class Rng {
@@ -33,6 +37,10 @@ class Rng {
  private:
   static std::uint64_t splitmix64(std::uint64_t& x) noexcept;
   std::uint64_t s_[4]{};
+
+  // Checkpoint restore reinstates the exact generator state so continued
+  // probability draws match the uninterrupted run draw for draw.
+  friend class ghum::chk::Snapshotter;
 };
 
 }  // namespace ghum::sim

@@ -11,6 +11,10 @@
 /// Hot-path per-kernel traffic accounting uses cache/kernel_traffic.hpp
 /// instead; this registry is for low-frequency events and reporting.
 
+namespace ghum::chk {
+class Snapshotter;
+}  // namespace ghum::chk
+
 namespace ghum::sim {
 
 class StatsRegistry {
@@ -27,6 +31,8 @@ class StatsRegistry {
 
  private:
   std::map<std::string, std::uint64_t, std::less<>> counters_;
+
+  friend class ghum::chk::Snapshotter;
 };
 
 }  // namespace ghum::sim

@@ -16,6 +16,10 @@
 /// exhibit: whose pages occupy each tier, who faulted, who migrated what,
 /// and — the headline — who evicted whom under HBM pressure.
 
+namespace ghum::chk {
+class Snapshotter;
+}  // namespace ghum::chk
+
 namespace ghum::tenant {
 
 /// Running usage of one tenant. Resident counters are signed deltas (they
@@ -83,6 +87,8 @@ class AttributionTable {
   std::map<std::pair<TenantId, TenantId>, EvictionCell> matrix_;  // (perp, victim)
   std::uint64_t cross_tenant_evictions_ = 0;
   std::uint64_t cross_tenant_evicted_bytes_ = 0;
+
+  friend class ghum::chk::Snapshotter;
 };
 
 }  // namespace ghum::tenant

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+
+#include "chk/snapshot.hpp"
+#include "core/system.hpp"
+#include "fault/status.hpp"
+#include "tenant/job.hpp"
+
+/// \file recovery.hpp
+/// Progress watchdog and bounded-restart recovery for co-scheduled jobs.
+///
+/// Crash faults (GPU channel reset, ECC storm) and watchdog trips (stalled
+/// or retry-storming jobs) surface as failed quanta. The RecoveryManager
+/// decides what happens next: restartable causes roll the victim back —
+/// its leaked allocations are scrubbed, its coroutine is rebuilt from the
+/// JobSpec factory — and the job replays from its beginning under a
+/// bounded restart budget. Exhausting the budget (or a cause that is
+/// unrecoverable by definition) fails the job with attribution intact.
+///
+/// Determinism contract: recovery adds no artificial time — the only
+/// clock charges on the rollback path are the victim's own unmap/free
+/// costs (scrubbing is real simulated work, attributed to the victim) —
+/// and it never touches another tenant's state, so co-tenants of a
+/// crashing job compute exactly the results they would next to a
+/// crash-free victim (bench_recovery asserts sibling output checksums).
+/// Scrubbing runs under fault-injection suppression so the cleanup path
+/// cannot itself crash.
+///
+/// Periodic checkpoints: every checkpoint_period_quanta scheduler quanta,
+/// the whole simulated machine is serialized via chk::Snapshotter; with
+/// verify_checkpoints set, each blob is immediately restored into a fresh
+/// System and re-snapshotted to prove the round trip is lossless. These
+/// checkpoints are observability artifacts (restart provenance, blob-size
+/// telemetry) — taking one is side-effect-free for the simulation.
+namespace ghum::tenant {
+
+struct RecoveryConfig {
+  bool enabled = false;
+  /// Restarts allowed per job before it fails with kErrorUnrecoverable.
+  std::uint32_t max_restarts = 2;
+  /// Watchdog: consecutive quanta with zero simulated progress before the
+  /// job is declared stalled (kErrorTimeout). 0 disables the stall check.
+  std::uint64_t stall_quanta = 0;
+  /// Watchdog: migration retries within one quantum at or above this
+  /// count trip a retry-storm timeout. 0 disables the check.
+  std::uint64_t retry_storm_threshold = 0;
+  /// Take a machine checkpoint every this many scheduler quanta. 0
+  /// disables periodic checkpoints.
+  std::uint64_t checkpoint_period_quanta = 0;
+  /// Restore + re-snapshot every periodic checkpoint and require digest
+  /// equality (catches any state the serializer would silently drop).
+  bool verify_checkpoints = false;
+};
+
+class RecoveryManager {
+ public:
+  RecoveryManager(core::System& sys, RecoveryConfig cfg);
+
+  /// Called with the tenant stamped, before the quantum's first step.
+  void quantum_begin(Job& j);
+
+  /// Watchdog pass after a successful quantum. Returns kSuccess, or
+  /// kErrorTimeout when the job stalled / retry-stormed past its budget.
+  [[nodiscard]] Status quantum_end(Job& j, sim::Picos now_before);
+
+  /// Handles a failed quantum (crash fault or watchdog verdict in
+  /// \p cause). Returns true when the job was rolled back and stays
+  /// kRunning (replay); false when the failure is terminal — the caller
+  /// marks the job kFailed. On budget exhaustion of a restartable cause,
+  /// j.status is escalated to kErrorUnrecoverable.
+  bool on_failure(Job& j, Status cause);
+
+  /// Takes (and optionally verifies) a periodic machine checkpoint when
+  /// \p total_quanta crosses the configured period.
+  void maybe_checkpoint(std::uint64_t total_quanta);
+
+  [[nodiscard]] const RecoveryConfig& config() const noexcept { return cfg_; }
+  /// The most recent periodic checkpoint blob (empty before the first).
+  [[nodiscard]] const chk::Blob& last_checkpoint() const noexcept {
+    return last_checkpoint_;
+  }
+
+  /// True when \p s is a cause recovery may restart from.
+  [[nodiscard]] static bool restartable(Status s) noexcept {
+    return s == Status::kErrorGpuReset || s == Status::kErrorEccUncorrectable ||
+           s == Status::kErrorTimeout;
+  }
+
+ private:
+  obs::Counter* restarts_for(Status cause);
+
+  core::System* sys_;
+  RecoveryConfig cfg_;
+  chk::Blob last_checkpoint_;
+
+  // Instruments (registered at construction; zero until events occur).
+  obs::Counter* watchdog_trips_;
+  obs::Counter* replayed_picos_;
+  obs::Counter* failed_jobs_;
+  obs::Counter* scrubbed_bytes_;
+  obs::Counter* checkpoints_;
+  obs::Histogram* snapshot_bytes_;
+};
+
+}  // namespace ghum::tenant

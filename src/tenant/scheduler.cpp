@@ -14,6 +14,9 @@ Scheduler::Scheduler(core::System& sys, SchedulerConfig cfg)
   budget_ = cfg_.footprint_budget != 0 ? cfg_.footprint_budget
                                        : mc.hbm_capacity + mc.ddr_capacity;
   if (cfg_.quantum_steps == 0) cfg_.quantum_steps = 1;
+  if (cfg_.recovery.enabled) {
+    rm_ = std::make_unique<RecoveryManager>(sys, cfg_.recovery);
+  }
 }
 
 Status Scheduler::submit(JobSpec spec, TenantId* out_id) {
@@ -121,18 +124,19 @@ bool Scheduler::step() {
   const std::uint64_t h2d0 = c2c.bytes_moved(interconnect::Direction::kCpuToGpu);
   const std::uint64_t d2h0 = c2c.bytes_moved(interconnect::Direction::kGpuToCpu);
 
+  const sim::Picos now_before = sys_->now();
   sys_->set_current_tenant(j->id);
+  if (rm_ != nullptr) rm_->quantum_begin(*j);
   bool alive = true;
+  Status failure = Status::kSuccess;
   try {
     for (std::uint32_t s = 0; s < cfg_.quantum_steps && alive; ++s) {
       alive = j->coro.step();
     }
   } catch (const StatusError& e) {
-    j->state = JobState::kFailed;
-    j->status = e.status();
+    failure = e.status();
   } catch (const std::bad_alloc&) {
-    j->state = JobState::kFailed;
-    j->status = Status::kErrorOutOfMemory;
+    failure = Status::kErrorOutOfMemory;
   }
   sys_->set_current_tenant(kNoTenant);
 
@@ -146,14 +150,30 @@ bool Scheduler::step() {
 
   j->local_now = sys_->now();
   ++j->quanta;
+  ++total_quanta_;
 
-  if (j->state == JobState::kFailed) {
-    retire(*j);
+  if (failure == Status::kSuccess && alive && rm_ != nullptr) {
+    failure = rm_->quantum_end(*j, now_before);
+  }
+
+  if (failure != Status::kSuccess) {
+    // A throw mid-kernel leaves the machine's phase bookkeeping open;
+    // clear it before anything else runs (no simulated cost — the
+    // crashed kernel's charges already landed).
+    sys_->abort_phase();
+    j->status = failure;
+    if (rm_ != nullptr && rm_->on_failure(*j, failure)) {
+      // Rolled back; the job stays kRunning and replays from the top.
+    } else {
+      j->state = JobState::kFailed;
+      retire(*j);
+    }
   } else if (!alive) {
     j->report = std::move(j->coro.report());
     j->state = JobState::kFinished;
     retire(*j);
   }
+  if (rm_ != nullptr) rm_->maybe_checkpoint(total_quanta_);
   return true;
 }
 

@@ -3,8 +3,11 @@
 #include <deque>
 #include <string_view>
 
+#include <memory>
+
 #include "core/system.hpp"
 #include "tenant/job.hpp"
+#include "tenant/recovery.hpp"
 
 /// \file scheduler.hpp
 /// Deterministic multi-tenant co-scheduler over one simulated superchip.
@@ -63,6 +66,9 @@ struct SchedulerConfig {
   /// Over-budget jobs wait in a FIFO queue for capacity instead of being
   /// rejected (jobs larger than the whole budget are still rejected).
   bool queue_over_budget = false;
+  /// Crash recovery, watchdog, and periodic checkpoints. Disabled by
+  /// default: a failing quantum then fails the job exactly as before.
+  RecoveryConfig recovery;
 };
 
 class Scheduler {
@@ -93,6 +99,10 @@ class Scheduler {
   [[nodiscard]] std::size_t waiting_count() const noexcept {
     return waiting_.size();
   }
+  /// Non-null when SchedulerConfig::recovery.enabled was set.
+  [[nodiscard]] const RecoveryManager* recovery() const noexcept {
+    return rm_.get();
+  }
 
  private:
   void admit(Job& j);
@@ -105,8 +115,10 @@ class Scheduler {
   std::uint64_t budget_ = 0;
   std::uint64_t admitted_bytes_ = 0;
   TenantId next_id_ = 1;  ///< 0 is kNoTenant
+  std::uint64_t total_quanta_ = 0;  ///< checkpoint-period clock
   std::deque<Job> jobs_;        ///< all jobs, indexed by id - 1
   std::deque<TenantId> waiting_;  ///< over-budget FIFO (queue_over_budget)
+  std::unique_ptr<RecoveryManager> rm_;  ///< present when recovery.enabled
 };
 
 }  // namespace ghum::tenant

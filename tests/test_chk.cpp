@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "apps/hotspot.hpp"
+#include "apps/srad.hpp"
+#include "chk/snapshot.hpp"
+#include "runtime/runtime.hpp"
+
+/// Checkpoint/restore tests (DESIGN.md Section 10): blob round trips, header
+/// validation, and the core replay-equivalence guarantee — a run snapshotted
+/// mid-flight, restored into a fresh System, and continued must be
+/// bit-identical (same EventLog digest, same simulated end time) to the
+/// uninterrupted run.
+
+namespace ghum {
+namespace {
+
+core::SystemConfig chk_cfg() {
+  core::SystemConfig cfg;
+  cfg.system_page_size = pagetable::kSystemPage64K;
+  cfg.hbm_capacity = 16ull << 20;
+  cfg.ddr_capacity = 256ull << 20;
+  cfg.gpu_driver_baseline = 1ull << 20;
+  cfg.event_log = true;
+  cfg.access_counter_migration = true;
+  cfg.counter_min_interval = sim::microseconds(5);
+  return cfg;
+}
+
+apps::HotspotConfig small_hotspot() {
+  apps::HotspotConfig h;
+  h.rows = 128;
+  h.cols = 128;
+  h.iterations = 3;
+  return h;
+}
+
+struct RunOutcome {
+  sim::Picos end = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Uninterrupted reference run.
+RunOutcome run_straight(apps::MemMode mode) {
+  core::System sys{chk_cfg()};
+  runtime::Runtime rt{sys};
+  const apps::AppReport rep = apps::run_hotspot(rt, mode, small_hotspot());
+  return {sys.now(), sys.events().digest(sys.now()), rep.checksum};
+}
+
+/// Same run, but snapshotted after \p snap_steps coroutine steps, restored
+/// into a fresh System (donor adoption + Runtime::rebind), and continued
+/// there. The original System is destroyed before the continuation runs so
+/// any surviving pointer into it would be caught by ASan/UBSan builds.
+RunOutcome run_interrupted(apps::MemMode mode, int snap_steps) {
+  auto sys = std::make_unique<core::System>(chk_cfg());
+  auto rt = std::make_unique<runtime::Runtime>(*sys);
+  apps::AppCoro coro = apps::hotspot_steps(*rt, mode, small_hotspot());
+
+  bool alive = true;
+  for (int i = 0; i < snap_steps && alive; ++i) alive = coro.step();
+
+  const chk::Blob blob = chk::Snapshotter::snapshot(*sys);
+  std::unique_ptr<core::System> restored =
+      chk::Snapshotter::restore(blob, sys.get());
+  rt->rebind(*restored);
+  sys.reset();  // the donor dies; the coroutine must not miss it
+
+  while (alive) alive = coro.step();
+  const apps::AppReport& rep = coro.report();
+  return {restored->now(), restored->events().digest(restored->now()),
+          rep.checksum};
+}
+
+TEST(ChkRoundTrip, RestoredMachineCarriesIdenticalState) {
+  core::System sys{chk_cfg()};
+  runtime::Runtime rt{sys};
+  (void)apps::run_hotspot(rt, apps::MemMode::kManaged, small_hotspot());
+
+  const chk::Blob blob = chk::Snapshotter::snapshot(sys);
+  std::unique_ptr<core::System> twin = chk::Snapshotter::restore(blob);
+
+  EXPECT_EQ(twin->now(), sys.now());
+  EXPECT_EQ(chk::Snapshotter::state_digest(*twin),
+            chk::Snapshotter::state_digest(sys));
+  // Re-serializing the twin reproduces the payload bit for bit.
+  const chk::Blob again = chk::Snapshotter::snapshot(*twin);
+  EXPECT_EQ(chk::Snapshotter::blob_digest(again),
+            chk::Snapshotter::blob_digest(blob));
+  EXPECT_EQ(again, blob);
+}
+
+TEST(ChkRoundTrip, SnapshotIsStableAcrossIdenticalRuns) {
+  auto digest_of_run = [] {
+    core::System sys{chk_cfg()};
+    runtime::Runtime rt{sys};
+    (void)apps::run_hotspot(rt, apps::MemMode::kSystem, small_hotspot());
+    return chk::Snapshotter::state_digest(sys);
+  };
+  EXPECT_EQ(digest_of_run(), digest_of_run());
+}
+
+class ChkReplay : public ::testing::TestWithParam<apps::MemMode> {};
+
+TEST_P(ChkReplay, ContinuedRunIsBitIdenticalToUninterrupted) {
+  const apps::MemMode mode = GetParam();
+  const RunOutcome straight = run_straight(mode);
+  for (int snap_steps : {1, 2, 4}) {
+    const RunOutcome resumed = run_interrupted(mode, snap_steps);
+    EXPECT_EQ(resumed.end, straight.end) << "snap at step " << snap_steps;
+    EXPECT_EQ(resumed.digest, straight.digest) << "snap at step " << snap_steps;
+    EXPECT_EQ(resumed.checksum, straight.checksum)
+        << "snap at step " << snap_steps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ChkReplay,
+                         ::testing::Values(apps::MemMode::kExplicit,
+                                           apps::MemMode::kManaged,
+                                           apps::MemMode::kSystem),
+                         [](const auto& info) {
+                           return std::string{apps::to_string(info.param)};
+                         });
+
+TEST(ChkValidation, RejectsCorruptTruncatedAndAlienBlobs) {
+  core::System sys{chk_cfg()};
+  runtime::Runtime rt{sys};
+  core::Buffer b = rt.malloc_managed(1 << 20);
+  (void)b;
+  chk::Blob blob = chk::Snapshotter::snapshot(sys);
+
+  // Flipped payload byte: digest check trips.
+  chk::Blob corrupt = blob;
+  corrupt.back() ^= 0x5a;
+  EXPECT_THROW((void)chk::Snapshotter::restore(corrupt), StatusError);
+
+  // Truncated payload: size check trips.
+  chk::Blob trunc{blob.begin(), blob.begin() + 40};
+  EXPECT_THROW((void)chk::Snapshotter::restore(trunc), StatusError);
+
+  // Truncated below even the header: both entry points reject it.
+  chk::Blob stub{blob.begin(), blob.begin() + 10};
+  EXPECT_THROW((void)chk::Snapshotter::restore(stub), StatusError);
+  EXPECT_THROW((void)chk::Snapshotter::blob_digest(stub), StatusError);
+
+  // Alien magic.
+  chk::Blob alien = blob;
+  alien[0] ^= 0xff;
+  EXPECT_THROW((void)chk::Snapshotter::restore(alien), StatusError);
+}
+
+TEST(ChkValidation, SnapshotInsideOpenKernelThrows) {
+  core::System sys{chk_cfg()};
+  sys.kernel_begin("k");
+  try {
+    (void)chk::Snapshotter::snapshot(sys);
+    FAIL() << "snapshot inside a kernel must throw";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status(), Status::kErrorInvalidValue);
+  }
+  (void)sys.kernel_end();
+}
+
+TEST(ChkDonor, HostPointersSurviveRestoreViaDonorAdoption) {
+  auto sys = std::make_unique<core::System>(chk_cfg());
+  runtime::Runtime rt{*sys};
+  core::Buffer b = rt.malloc_system(1 << 20, "probe");
+  sys->host_phase_begin("w");
+  {
+    runtime::Span<std::uint64_t> s{*sys, b, mem::Node::kCpu};
+    s.store(7, 0xfeedfaceull);
+  }
+  (void)sys->host_phase_end();
+
+  const chk::Blob blob = chk::Snapshotter::snapshot(*sys);
+  std::unique_ptr<core::System> restored =
+      chk::Snapshotter::restore(blob, sys.get());
+  rt.rebind(*restored);
+  sys.reset();
+
+  restored->host_phase_begin("r");
+  {
+    runtime::Span<std::uint64_t> s{*restored, b, mem::Node::kCpu};
+    EXPECT_EQ(s.load(7), 0xfeedfaceull);
+  }
+  (void)restored->host_phase_end();
+  rt.free(b);
+}
+
+TEST(StatusStrings, EveryCodeHasADistinctName) {
+  const std::vector<Status> all = {
+      Status::kSuccess,
+      Status::kErrorMemoryAllocation,
+      Status::kErrorOutOfMemory,
+      Status::kErrorInvalidValue,
+      Status::kErrorDoubleFree,
+      Status::kErrorEccUncorrectable,
+      Status::kErrorGpuReset,
+      Status::kErrorUnrecoverable,
+      Status::kErrorTimeout,
+  };
+  // Round trip: every code maps to a unique, non-placeholder string, and
+  // the string maps back to exactly one code.
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const std::string_view name = to_string(all[i]);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "unknown");
+    for (std::size_t j = 0; j < all.size(); ++j) {
+      if (i != j) EXPECT_NE(name, to_string(all[j]));
+    }
+  }
+  EXPECT_EQ(to_string(Status::kErrorGpuReset), "GPU channel reset");
+  EXPECT_EQ(to_string(Status::kErrorUnrecoverable), "unrecoverable");
+  EXPECT_EQ(to_string(Status::kErrorTimeout), "watchdog timeout");
+}
+
+}  // namespace
+}  // namespace ghum

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
+#include "chk/snapshot.hpp"
 #include "runtime/runtime.hpp"
 #include "sim/rng.hpp"
 
@@ -263,6 +265,85 @@ TEST(FuzzBatchedDifferential, BatchedAndLegacyShareOneTimelineUnderFaults) {
     // the epoch underneath live Spans in both runs.
     EXPECT_GE(fast.ecc_retirements, 1u) << "seed " << seed;
     EXPECT_EQ(legacy.ecc_retirements, fast.ecc_retirements) << "seed " << seed;
+  }
+}
+
+/// Crash-point fuzzing for checkpoint/restore: the same randomized op
+/// sequence runs straight through, and again with a snapshot/restore cut
+/// at a pseudo-random op index (between ops — never inside a kernel). The
+/// restored run adopts the donor's buffer backing (host pointers survive)
+/// and must finish on the same simulated end time with the same event
+/// digest. Any state the Snapshotter forgets to carry — a TLB entry, an
+/// access-counter cursor, an LRU position — shifts the continuation's
+/// timeline and trips here.
+TEST(FuzzCrashPoint, SnapshotRestoreContinueMatchesUninterruptedRun) {
+  auto run = [](std::uint64_t seed, bool cut) {
+    auto cfg = fuzz_config(pagetable::kSystemPage64K);
+    cfg.event_log = true;
+    auto sys = std::make_unique<core::System>(cfg);
+    auto rt = std::make_unique<runtime::Runtime>(*sys);
+    sim::Rng rng{seed * 6271 + 5};
+    const int kOps = 80;
+    // Drawn in both runs so the op stream is identical with and without
+    // the snapshot/restore cut.
+    const int cut_draw = 10 + static_cast<int>(rng.next_below(60));
+    const int cut_at = cut ? cut_draw : -1;
+
+    std::vector<core::Buffer> live;
+    live.push_back(rt->malloc_managed(3 << 20));
+    live.push_back(rt->malloc_system(3 << 20));
+    for (int step = 0; step < kOps; ++step) {
+      if (step == cut_at) {
+        const chk::Blob blob = chk::Snapshotter::snapshot(*sys);
+        std::unique_ptr<core::System> restored =
+            chk::Snapshotter::restore(blob, sys.get());
+        rt->rebind(*restored);
+        sys = std::move(restored);
+      }
+      const std::uint64_t op = rng.next_below(6);
+      core::Buffer& b = live[rng.next_below(live.size())];
+      const std::uint64_t n = b.bytes / sizeof(float);
+      if (op == 0) {
+        sys->prefetch(b, 0, b.bytes,
+                      rng.next_below(2) ? mem::Node::kGpu : mem::Node::kCpu);
+      } else if (op < 3) {
+        sys->host_phase_begin("h");
+        {
+          runtime::Span<float> s{*sys, b, mem::Node::kCpu};
+          const std::uint64_t start = rng.next_below(n);
+          const std::uint64_t count = std::min<std::uint64_t>(n - start, 30'000);
+          if (rng.next_below(2)) {
+            std::fill_n(s.store_run(start, count), count,
+                        static_cast<float>(step));
+          } else {
+            (void)s.load_run(start, count);
+          }
+        }
+        (void)sys->host_phase_end();
+      } else {
+        sys->kernel_begin("k");
+        {
+          runtime::Span<float> s{*sys, b, mem::Node::kGpu};
+          const std::uint64_t start = rng.next_below(n);
+          const std::uint64_t count = std::min<std::uint64_t>(n - start, 30'000);
+          if (rng.next_below(2)) {
+            std::fill_n(s.store_run(start, count), count,
+                        static_cast<float>(step) * 2);
+          } else {
+            (void)s.load_run(start, count);
+          }
+        }
+        (void)sys->kernel_end();
+      }
+    }
+    for (auto& b : live) rt->free(b);
+    return std::pair{sys->now(), sys->events().digest(sys->now())};
+  };
+  for (std::uint64_t seed : {3ull, 17ull, 51ull, 88ull}) {
+    const auto straight = run(seed, false);
+    const auto resumed = run(seed, true);
+    EXPECT_EQ(straight.first, resumed.first) << "seed " << seed;
+    EXPECT_EQ(straight.second, resumed.second) << "seed " << seed;
   }
 }
 
