@@ -31,10 +31,14 @@ ctest --test-dir build-asan --output-on-failure 2>&1 | tee test_output_asan.txt
 # interference row shows no cross-tenant eviction, bench_observability if
 # any registry counter disagrees with the Tracer or a snapshot fails to
 # reproduce, bench_recovery if an interrupted run diverges from its
-# uninterrupted twin or a crash scenario ends in the wrong state. Every
-# bench that declares a JSON artifact must have produced it.
+# uninterrupted twin or a crash scenario ends in the wrong state,
+# bench_fleet if the node-kill storm is non-reproducible, a surviving
+# job's checksum diverges from its solo run, or the top SLO class takes
+# any violation. Every bench that declares a JSON artifact must have
+# produced it.
 for artifact in BENCH_selfperf.json BENCH_tenancy.json \
-                BENCH_observability.json BENCH_recovery.json; do
+                BENCH_observability.json BENCH_recovery.json \
+                BENCH_fleet.json; do
   test -f "$artifact" || { echo "missing artifact: $artifact" >&2; exit 1; }
 done
 

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file fleet_fault.hpp
+/// Fleet-scale fault domains (DESIGN.md Section 11). Where FaultConfig
+/// injects failures *inside* one simulated superchip (frame denials, link
+/// degradation, ECC, channel resets), FleetFaultConfig injects failures of
+/// *whole superchips* into a fleet::Controller: abrupt node loss and
+/// node degradation (slow node). Both are keyed to deterministic
+/// fleet-time points, so a node-kill storm is exactly reproducible run to
+/// run — the property bench_fleet's bit-for-bit gate enforces.
+
+namespace ghum::fault {
+
+/// Whole-node loss at a fleet-time point: the superchip drops out of the
+/// cluster without warning. Its in-flight machine state dies with it —
+/// there is nothing to drain — so every job placed there either has a live
+/// replica elsewhere (anti-affinity pays off), is replayed on a surviving
+/// node under the bounded re-placement retry policy, or fails with
+/// Status::kErrorNodeLost.
+struct NodeLossEvent {
+  sim::Picos time = 0;
+  std::uint32_t node = 0;
+};
+
+/// Node degradation at a fleet-time point: the superchip keeps running but
+/// every unit of its simulated work takes \p slow_factor times longer
+/// (thermal throttling, a flapping NIC, a failing DIMM in write-leveling).
+/// A degraded node accepts no new placements; with
+/// FleetFaultConfig::evacuate_degraded set and a spare available, the
+/// controller drains it by live migration — snapshot, ship, restore.
+struct NodeDegradeEvent {
+  sim::Picos time = 0;
+  std::uint32_t node = 0;
+  std::uint32_t slow_factor = 4;  ///< >= 1; 1 degrades placement only
+};
+
+/// Deterministic fleet-level fault schedule consumed by fleet::Controller.
+struct FleetFaultConfig {
+  std::vector<NodeLossEvent> node_loss;
+  std::vector<NodeDegradeEvent> node_degrade;
+
+  /// Drain-and-migrate degraded nodes: the whole machine is serialized via
+  /// chk::Snapshotter, charged at the fleet's inter-node transfer cost,
+  /// and restored onto a spare superchip where every resident job
+  /// continues mid-flight (replay equivalence, PR 5). When false — or when
+  /// no spare is left — the degraded node keeps running slow and only
+  /// stops receiving new work.
+  bool evacuate_degraded = true;
+};
+
+}  // namespace ghum::fault

@@ -13,6 +13,8 @@ std::string_view to_string(Status s) noexcept {
     case Status::kErrorGpuReset: return "GPU channel reset";
     case Status::kErrorUnrecoverable: return "unrecoverable";
     case Status::kErrorTimeout: return "watchdog timeout";
+    case Status::kErrorNodeLost: return "node lost";
+    case Status::kErrorDeadlineExceeded: return "deadline exceeded";
   }
   return "unknown";
 }

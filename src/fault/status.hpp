@@ -44,6 +44,15 @@ enum class Status : std::uint8_t {
   /// Progress watchdog fired: the job made no simulated-time progress (or
   /// sat in a retry storm) for longer than the configured budget.
   kErrorTimeout,
+  /// The superchip a job was placed on left the fleet (whole-node loss).
+  /// In-flight state died with the node; the fleet controller either
+  /// replays the job elsewhere or fails it with this code once the
+  /// re-placement retry budget is spent.
+  kErrorNodeLost,
+  /// The job cannot meet (or has already missed) its SLO deadline: it
+  /// finished late, sat queued past its deadline, or was shed by admission
+  /// control when fleet capacity dropped below demand.
+  kErrorDeadlineExceeded,
 };
 
 [[nodiscard]] std::string_view to_string(Status s) noexcept;

@@ -1,0 +1,67 @@
+#include "fleet/arrival.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace ghum::fleet {
+
+std::vector<JobRequest> generate_arrivals(
+    const ArrivalConfig& cfg, const std::vector<JobTemplate>& templates) {
+  if (templates.empty()) {
+    throw std::invalid_argument{"fleet::generate_arrivals: no job templates"};
+  }
+  const std::uint32_t classes =
+      cfg.priority_classes == 0 ? 1 : cfg.priority_classes;
+
+  // Weighted class draw over a fixed total; uniform when unspecified.
+  std::vector<std::uint64_t> weights(classes, 1);
+  for (std::size_t c = 0; c < weights.size() && c < cfg.class_weights.size();
+       ++c) {
+    weights[c] = cfg.class_weights[c];
+  }
+  std::uint64_t total_weight = 0;
+  for (const std::uint64_t w : weights) total_weight += w;
+  if (total_weight == 0) {
+    throw std::invalid_argument{"fleet::generate_arrivals: zero class weights"};
+  }
+
+  sim::Rng rng{cfg.seed};
+  std::vector<JobRequest> out;
+  out.reserve(cfg.count);
+  sim::Picos t = 0;
+  for (std::uint64_t i = 0; i < cfg.count; ++i) {
+    t += static_cast<sim::Picos>(rng.next_interarrival(
+        static_cast<std::uint64_t>(cfg.mean_interarrival)));
+
+    JobRequest r;
+    r.id = i;
+    r.arrival = t;
+    r.tmpl = static_cast<std::uint32_t>(rng.next_below(templates.size()));
+
+    std::uint64_t pick = rng.next_below(total_weight);
+    std::uint32_t cls = 0;
+    while (pick >= weights[cls]) {
+      pick -= weights[cls];
+      ++cls;
+    }
+    r.priority = cls;
+
+    const double factor =
+        cfg.deadline_factor.empty()
+            ? 16.0
+            : cfg.deadline_factor[cls < cfg.deadline_factor.size()
+                                      ? cls
+                                      : cfg.deadline_factor.size() - 1];
+    const sim::Picos est = templates[r.tmpl].est_cost;
+    r.deadline =
+        t + std::max(cfg.deadline_floor,
+                     static_cast<sim::Picos>(static_cast<double>(est) * factor));
+    r.replicas = (cls == 0 && cfg.top_replicas > 1) ? cfg.top_replicas : 1;
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace ghum::fleet

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "fleet/fleet_config.hpp"
+
+/// \file arrival.hpp
+/// Deterministic open-loop arrival process for the fleet. Generates the
+/// full request stream up front from a dedicated sim::Rng — arrivals never
+/// react to fleet state (open loop), so overload genuinely piles up and
+/// admission control has something to shed.
+
+namespace ghum::fleet {
+
+/// Generates \p cfg.count requests over \p templates: arrival times from
+/// the integer inter-arrival draw, template and priority class from
+/// weighted draws, deadlines from the template's predicted cost times the
+/// class factor, replicas for the top class. Requests come back sorted by
+/// arrival time with dense ids 0..count-1 (ties keep id order). Same
+/// config + same templates => bit-identical stream.
+[[nodiscard]] std::vector<JobRequest> generate_arrivals(
+    const ArrivalConfig& cfg, const std::vector<JobTemplate>& templates);
+
+}  // namespace ghum::fleet

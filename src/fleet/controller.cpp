@@ -1,0 +1,690 @@
+#include "fleet/controller.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "chk/snapshot.hpp"
+#include "core/system.hpp"
+#include "fault/status.hpp"
+#include "tenant/scheduler.hpp"
+
+namespace ghum::fleet {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void mix(std::uint64_t& h, std::uint64_t x) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+void mix_bytes(std::uint64_t& h, std::string_view s) noexcept {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+}
+
+std::vector<obs::Label> class_label(std::uint32_t cls) {
+  return {{"class", std::to_string(cls)}};
+}
+
+}  // namespace
+
+Controller::Controller(FleetConfig cfg, std::vector<JobTemplate> templates)
+    : cfg_(std::move(cfg)), templates_(std::move(templates)) {
+  if (templates_.empty() || cfg_.nodes == 0) {
+    throw StatusError{Status::kErrorInvalidValue,
+                      "fleet: need at least one node and one job template"};
+  }
+  for (const auto& e : cfg_.faults.node_loss) {
+    if (e.node >= cfg_.nodes) {
+      throw StatusError{Status::kErrorInvalidValue,
+                        "fleet: node-loss event names a node outside the fleet"};
+    }
+  }
+  for (const auto& e : cfg_.faults.node_degrade) {
+    if (e.node >= cfg_.nodes || e.slow_factor == 0) {
+      throw StatusError{Status::kErrorInvalidValue,
+                        "fleet: malformed node-degrade event"};
+    }
+  }
+
+  nodes_.resize(cfg_.nodes + cfg_.spares);
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].id = i;
+    if (i < cfg_.nodes) activate(nodes_[i]);
+  }
+
+  arrivals_ = &reg_.counter("ghum_fleet_arrivals_total");
+  placements_ = &reg_.counter("ghum_fleet_placements_total");
+  finished_ = &reg_.counter("ghum_fleet_finished_total");
+  shed_ = &reg_.counter("ghum_fleet_shed_total");
+  node_losses_ = &reg_.counter("ghum_fleet_node_losses_total");
+  node_degrades_ = &reg_.counter("ghum_fleet_node_degrades_total");
+  evacuations_ = &reg_.counter("ghum_fleet_evacuations_total");
+  migrated_jobs_ = &reg_.counter("ghum_fleet_migrated_jobs_total");
+  migrated_bytes_ = &reg_.counter("ghum_fleet_migrated_bytes_total");
+  replace_retries_ = &reg_.counter("ghum_fleet_replacement_retries_total");
+}
+
+void Controller::activate(Node& n) {
+  n.sys = std::make_unique<core::System>(cfg_.node_config);
+  n.sched = std::make_unique<tenant::Scheduler>(*n.sys, cfg_.scheduler);
+  n.state = NodeState::kAlive;
+  n.slow_factor = 1;
+  n.placed_bytes = 0;
+}
+
+std::uint64_t Controller::node_budget() const noexcept {
+  if (cfg_.node_footprint_budget != 0) return cfg_.node_footprint_budget;
+  for (const Node& n : nodes_) {
+    if (n.sched != nullptr) return n.sched->budget();
+  }
+  return 0;
+}
+
+sim::Picos Controller::transfer_cost(std::uint64_t bytes) const noexcept {
+  return cfg_.transfer_latency +
+         sim::transfer_time(bytes, cfg_.transfer_bandwidth_Bps);
+}
+
+void Controller::ensure_classes(std::uint32_t classes) {
+  for (std::uint32_t c = static_cast<std::uint32_t>(latency_by_class_.size());
+       c < classes; ++c) {
+    violations_by_class_.push_back(
+        &reg_.counter("ghum_fleet_slo_violations_total", class_label(c)));
+    failed_by_class_.push_back(
+        &reg_.counter("ghum_fleet_failed_total", class_label(c)));
+    latency_by_class_.push_back(
+        &reg_.histogram("ghum_fleet_job_latency_us", class_label(c)));
+    wait_by_class_.push_back(
+        &reg_.histogram("ghum_fleet_queue_wait_us", class_label(c)));
+  }
+}
+
+// --- event loop --------------------------------------------------------------
+
+bool Controller::step_node(Node& n) {
+  const sim::Picos t0 = n.sys->now();
+  if (!n.sched->step()) return false;
+  if (n.slow_factor > 1) {
+    const sim::Picos delta = n.sys->now() - t0;
+    if (delta > 0) {
+      n.sys->advance(delta * static_cast<sim::Picos>(n.slow_factor - 1));
+    }
+  }
+  return true;
+}
+
+void Controller::run_nodes_until(sim::Picos t) {
+  // Earliest-local-clock-first interleaving across nodes (ties: lowest
+  // node id): nodes genuinely run concurrently, so the globally furthest-
+  // behind node always steps next — the fleet-level analogue of the
+  // scheduler's kMinLocalTime rule, and deterministic by construction.
+  // Completions free footprint immediately: pending jobs are re-offered
+  // capacity at the completing node's clock, never at the wait-until
+  // bound \p t (which is +inf during the final drain).
+  std::vector<bool> parked(nodes_.size(), false);  // step() said idle
+  for (;;) {
+    Node* best = nullptr;
+    for (Node& n : nodes_) {
+      if (n.state != NodeState::kAlive && n.state != NodeState::kDegraded) {
+        continue;
+      }
+      if (parked[n.id] || n.live.empty() || n.sys->now() >= t) continue;
+      if (best == nullptr || n.sys->now() < best->sys->now()) best = &n;
+    }
+    if (best == nullptr) break;
+    if (!step_node(*best)) {
+      parked[best->id] = true;  // live but nothing runnable (queued-only)
+      continue;
+    }
+    if (harvest(*best)) {
+      try_place_pending(best->sys->now());
+      std::fill(parked.begin(), parked.end(), false);  // placements wake nodes
+    }
+  }
+}
+
+sim::Picos Controller::fleet_now() const noexcept {
+  sim::Picos now = 0;
+  for (const Node& n : nodes_) {
+    if (n.sys != nullptr) now = std::max(now, n.sys->now());
+  }
+  return now;
+}
+
+bool Controller::harvest(Node& n) {
+  bool retired = false;
+  for (std::size_t i = 0; i < n.live.size();) {
+    const auto [tid, jidx] = n.live[i];
+    const tenant::Job& tj = n.sched->job(tid);
+    if (!tj.terminal()) {
+      ++i;
+      continue;
+    }
+    FleetJob& j = jobs_[jidx];
+    retired = true;
+    // Drop this replica regardless of what happens to the fleet job.
+    n.live.erase(n.live.begin() + static_cast<std::ptrdiff_t>(i));
+    n.placed_bytes -= std::min(n.placed_bytes, j.footprint);
+    const auto r = std::find_if(
+        j.replicas.begin(), j.replicas.end(),
+        [&](const FleetJob::Replica& rep) {
+          return rep.node == n.id && rep.tenant == tid;
+        });
+    if (r != j.replicas.end()) j.replicas.erase(r);
+
+    if (j.terminal()) continue;  // late redundant replica; nothing more to do
+
+    if (tj.state == tenant::JobState::kFinished) {
+      finish_job(j, tj);
+    } else if (j.replicas.empty()) {
+      // Last live replica failed on-node (crash-recovery exhaustion or an
+      // unrecoverable app fault): the fleet job fails with that cause.
+      fail_job(j, tj.status == Status::kSuccess ? Status::kErrorUnrecoverable
+                                                : tj.status,
+               n.sys->now());
+    }
+    // else: another live replica keeps the job going (anti-affinity payoff).
+  }
+  return retired;
+}
+
+void Controller::finish_job(FleetJob& j, const tenant::Job& tj) {
+  ensure_classes(j.req.priority + 1);
+  j.state = FleetJobState::kFinished;
+  j.finished_at = tj.finished_at;
+  j.latency = j.finished_at - j.req.arrival;
+  j.checksum = tj.report.checksum;
+  finished_->inc();
+  latency_by_class_[j.req.priority]->observe(
+      static_cast<std::uint64_t>(j.latency / 1'000'000));  // picos -> us
+  if (j.first_placed_at >= 0) {
+    wait_by_class_[j.req.priority]->observe(
+        static_cast<std::uint64_t>((j.first_placed_at - j.req.arrival) /
+                                   1'000'000));
+  }
+  if (j.finished_at > j.req.deadline) {
+    j.slo_violation = true;
+    violations_by_class_[j.req.priority]->inc();
+  }
+}
+
+void Controller::fail_job(FleetJob& j, Status why, sim::Picos now) {
+  if (j.terminal()) return;
+  ensure_classes(j.req.priority + 1);
+  cancel_replicas(j, why);
+  j.state = FleetJobState::kFailed;
+  j.status = why;
+  j.finished_at = now;
+  j.slo_violation = true;
+  failed_by_class_[j.req.priority]->inc();
+  violations_by_class_[j.req.priority]->inc();
+  record(why);
+}
+
+void Controller::cancel_replicas(FleetJob& j, Status reason) {
+  for (const FleetJob::Replica& r : j.replicas) {
+    Node& n = nodes_[r.node];
+    if (n.sched == nullptr) continue;  // node died with the replica
+    (void)n.sched->cancel(r.tenant, reason);
+    const auto it = std::find_if(
+        n.live.begin(), n.live.end(),
+        [&](const auto& p) { return p.first == r.tenant; });
+    if (it != n.live.end()) n.live.erase(it);
+    n.placed_bytes -= std::min(n.placed_bytes, j.footprint);
+  }
+  j.replicas.clear();
+}
+
+void Controller::expire_and_cancel_overdue(sim::Picos now) {
+  for (FleetJob& j : jobs_) {
+    if (j.terminal() || j.req.priority < cfg_.shed_protect_classes) continue;
+    if (j.state == FleetJobState::kPending) {
+      if (j.req.arrival <= now && j.req.deadline < now) {
+        fail_job(j, Status::kErrorDeadlineExceeded, now);
+      }
+    } else if (cfg_.cancel_overdue && j.state == FleetJobState::kPlaced) {
+      // A running job is overdue once every node executing it is past the
+      // deadline — it can no longer finish in time anywhere.
+      bool overdue = !j.replicas.empty();
+      for (const FleetJob::Replica& r : j.replicas) {
+        if (nodes_[r.node].sys->now() <= j.req.deadline) overdue = false;
+      }
+      if (overdue) fail_job(j, Status::kErrorDeadlineExceeded, now);
+    }
+  }
+}
+
+// --- placement ---------------------------------------------------------------
+
+NodeId Controller::pick_node(std::uint64_t footprint,
+                             const std::vector<NodeId>& exclude) const {
+  const std::uint64_t budget = node_budget();
+  NodeId best = kNoNode;
+  std::uint64_t best_fill = 0;       // kBinPack: max placed_bytes that fits
+  sim::Picos best_eta = 0;           // kLoadBalance: min predicted completion
+  for (const Node& n : nodes_) {
+    if (n.state != NodeState::kAlive) continue;
+    if (std::find(exclude.begin(), exclude.end(), n.id) != exclude.end()) {
+      continue;
+    }
+    if (n.placed_bytes + footprint > budget) continue;
+    if (cfg_.placement == PlacementPolicy::kBinPack) {
+      if (best == kNoNode || n.placed_bytes > best_fill) {
+        best = n.id;
+        best_fill = n.placed_bytes;
+      }
+    } else {
+      sim::Picos eta = n.sys->now();
+      for (const auto& [tid, jidx] : n.live) {
+        eta += templates_[jobs_[jidx].req.tmpl].est_cost;
+      }
+      if (best == kNoNode || eta < best_eta) {
+        best = n.id;
+        best_eta = eta;
+      }
+    }
+  }
+  return best;
+}
+
+bool Controller::place(FleetJob& j, sim::Picos now) {
+  const JobTemplate& tmpl = templates_[j.req.tmpl];
+  // Oversized-for-any-node is a property of the job, not of the moment —
+  // but only judge it against a live node's budget. With the whole fleet
+  // down, node_budget() is 0 and the job's true cause is the loss (or its
+  // deadline), which the retry and drain paths attribute.
+  const std::uint64_t budget = node_budget();
+  if (budget > 0 && j.footprint > budget) {
+    fail_job(j, Status::kErrorOutOfMemory, now);
+    return false;
+  }
+  std::vector<NodeId> exclude;
+  for (const FleetJob::Replica& r : j.replicas) exclude.push_back(r.node);
+
+  const std::uint32_t want =
+      std::max<std::uint32_t>(j.req.replicas, 1) -
+      static_cast<std::uint32_t>(j.replicas.size());
+  std::uint32_t placed = 0;
+  for (std::uint32_t k = 0; k < want; ++k) {
+    const NodeId nid = pick_node(j.footprint, exclude);
+    if (nid == kNoNode) break;
+    Node& n = nodes_[nid];
+    if (n.sys->now() < now) n.sys->advance(now - n.sys->now());
+
+    tenant::JobSpec spec;
+    spec.name = tmpl.name;
+    spec.mode = tmpl.mode;
+    spec.make = tmpl.make;
+    spec.footprint_bytes = j.footprint;
+    spec.priority = -static_cast<int>(j.req.priority);  // class 0 most urgent
+    tenant::TenantId tid = tenant::kNoTenant;
+    if (n.sched->submit(std::move(spec), &tid) != Status::kSuccess) {
+      exclude.push_back(nid);
+      continue;
+    }
+    n.live.emplace_back(tid, static_cast<std::uint64_t>(&j - jobs_.data()));
+    n.placed_bytes += j.footprint;
+    j.replicas.push_back({nid, tid});
+    exclude.push_back(nid);
+    ++placed;
+    placements_->inc();
+  }
+  if (placed == 0) return false;
+  j.placements += placed;
+  j.state = FleetJobState::kPlaced;
+  if (j.first_placed_at < 0) j.first_placed_at = now;
+  return true;
+}
+
+void Controller::try_place_pending(sim::Picos now) {
+  // Offer freed capacity to the most urgent class first, FIFO within it.
+  std::vector<std::uint64_t> ready;
+  for (std::uint64_t i = 0; i < jobs_.size(); ++i) {
+    const FleetJob& j = jobs_[i];
+    if (j.state != FleetJobState::kPending) continue;
+    if (j.req.arrival > now || j.not_before > now) continue;
+    ready.push_back(i);
+  }
+  std::sort(ready.begin(), ready.end(), [&](std::uint64_t a, std::uint64_t b) {
+    const FleetJob& ja = jobs_[a];
+    const FleetJob& jb = jobs_[b];
+    return ja.req.priority != jb.req.priority
+               ? ja.req.priority < jb.req.priority
+               : a < b;
+  });
+  for (const std::uint64_t i : ready) {
+    FleetJob& j = jobs_[i];
+    if (!place(j, now) && !j.terminal()) {
+      // Strict priority: no backfill past a blocked higher-priority job.
+      // Without this, every completion's freed footprint is snapped up by
+      // smaller low-priority jobs and a large top-class job waits forever
+      // for headroom that never accumulates.
+      break;
+    }
+  }
+}
+
+// --- fault domain ------------------------------------------------------------
+
+void Controller::on_node_loss(const fault::NodeLossEvent& e) {
+  Node& n = nodes_[e.node];
+  if (n.state != NodeState::kAlive && n.state != NodeState::kDegraded) return;
+  node_losses_->inc();
+
+  const std::vector<std::pair<tenant::TenantId, std::uint64_t>> victims =
+      std::move(n.live);
+  n.live.clear();
+  // The machine dies with its in-flight state: scheduler first (owns the
+  // coroutines and per-tenant runtimes), then the system they reference.
+  n.sched.reset();
+  n.sys.reset();
+  n.state = NodeState::kDead;
+  n.placed_bytes = 0;
+
+  for (const auto& [tid, jidx] : victims) {
+    FleetJob& j = jobs_[jidx];
+    const auto r = std::find_if(
+        j.replicas.begin(), j.replicas.end(),
+        [&](const FleetJob::Replica& rep) { return rep.node == e.node; });
+    if (r != j.replicas.end()) j.replicas.erase(r);
+    if (j.terminal()) continue;
+    if (!j.replicas.empty()) continue;  // a live replica elsewhere carries on
+
+    // Replay elsewhere under the bounded backoff budget.
+    j.state = FleetJobState::kPending;
+    j.replayed_after_loss = true;
+    if (j.loss_attempts >= cfg_.replace_max_retries) {
+      fail_job(j, Status::kErrorNodeLost, e.time);
+      continue;
+    }
+    ++j.loss_attempts;
+    j.not_before =
+        e.time + cfg_.replace_backoff *
+                     (sim::Picos{1} << (j.loss_attempts - 1));
+    retries_.push_back({j.not_before, jidx});
+    replace_retries_->inc();
+  }
+  std::sort(retries_.begin(), retries_.end(), [](const Retry& a, const Retry& b) {
+    return a.due != b.due ? a.due < b.due : a.job < b.job;
+  });
+
+  shed_to_capacity(e.time);
+}
+
+void Controller::shed_to_capacity(sim::Picos now) {
+  // Open-loop demand vs what the surviving fleet can hold: shed the
+  // lowest-priority, youngest pending load until the rest fits. Protected
+  // classes are never shed.
+  std::uint64_t capacity = 0;
+  for (const Node& n : nodes_) {
+    if (n.state == NodeState::kAlive) capacity += node_budget();
+  }
+  std::uint64_t committed = 0;
+  for (const Node& n : nodes_) committed += n.placed_bytes;
+  std::uint64_t pending = 0;
+  for (const FleetJob& j : jobs_) {
+    if (j.state == FleetJobState::kPending && j.req.arrival <= now) {
+      pending += j.footprint;
+    }
+  }
+  while (committed + pending > capacity) {
+    FleetJob* victim = nullptr;
+    for (FleetJob& j : jobs_) {
+      if (j.state != FleetJobState::kPending || j.req.arrival > now) continue;
+      if (j.req.priority < cfg_.shed_protect_classes) continue;
+      if (victim == nullptr ||
+          j.req.priority > victim->req.priority ||
+          (j.req.priority == victim->req.priority &&
+           j.req.arrival > victim->req.arrival)) {
+        victim = &j;
+      }
+    }
+    if (victim == nullptr) break;
+    pending -= std::min(pending, victim->footprint);
+    fail_job(*victim, Status::kErrorNodeLost, now);
+    shed_->inc();
+  }
+}
+
+void Controller::on_node_degrade(const fault::NodeDegradeEvent& e) {
+  Node& n = nodes_[e.node];
+  if (n.state != NodeState::kAlive) return;
+  node_degrades_->inc();
+  n.state = NodeState::kDegraded;
+  n.slow_factor = std::max(n.slow_factor, e.slow_factor);
+  if (cfg_.faults.evacuate_degraded) evacuate(n);
+}
+
+void Controller::evacuate(Node& n) {
+  Node* spare = nullptr;
+  for (Node& s : nodes_) {
+    if (s.state == NodeState::kSpare) {
+      spare = &s;
+      break;
+    }
+  }
+  if (spare == nullptr) return;  // keep limping along slow
+
+  // Live migration: serialize the whole machine, ship it at the inter-node
+  // transfer cost, restore onto the spare with the old machine as donor so
+  // app-held host pointers survive, and re-point the scheduler. Every
+  // resident job continues mid-flight (replay equivalence, PR 5).
+  chk::Blob blob = chk::Snapshotter::snapshot(*n.sys);
+  spare->sys = chk::Snapshotter::restore(blob, n.sys.get());
+  spare->sched = std::move(n.sched);
+  spare->sched->rebind(*spare->sys);
+  spare->sys->advance(transfer_cost(blob.size()));
+  spare->state = NodeState::kAlive;
+  spare->slow_factor = 1;
+  spare->placed_bytes = n.placed_bytes;
+  spare->live = std::move(n.live);
+
+  n.sys.reset();
+  n.state = NodeState::kRetired;
+  n.placed_bytes = 0;
+  n.live.clear();
+
+  evacuations_->inc();
+  migrated_bytes_->inc(blob.size());
+  for (const auto& [tid, jidx] : spare->live) {
+    FleetJob& j = jobs_[jidx];
+    for (FleetJob::Replica& r : j.replicas) {
+      if (r.node == n.id) r.node = spare->id;
+    }
+    if (!j.terminal()) {
+      j.migrated = true;
+      migrated_jobs_->inc();
+    }
+  }
+}
+
+// --- run ---------------------------------------------------------------------
+
+Status Controller::run(const std::vector<JobRequest>& requests) {
+  if (ran_) return record(Status::kErrorInvalidValue);
+  ran_ = true;
+
+  jobs_.clear();
+  jobs_.reserve(requests.size());
+  std::uint32_t classes = 1;
+  for (const JobRequest& r : requests) {
+    if (r.tmpl >= templates_.size()) {
+      return record(Status::kErrorInvalidValue);
+    }
+    FleetJob j;
+    j.req = r;
+    j.footprint = templates_[r.tmpl].footprint_bytes;
+    jobs_.push_back(std::move(j));
+    classes = std::max(classes, r.priority + 1);
+  }
+  ensure_classes(classes);
+
+  auto losses = cfg_.faults.node_loss;
+  std::sort(losses.begin(), losses.end(),
+            [](const auto& a, const auto& b) {
+              return a.time != b.time ? a.time < b.time : a.node < b.node;
+            });
+  auto degrades = cfg_.faults.node_degrade;
+  std::sort(degrades.begin(), degrades.end(),
+            [](const auto& a, const auto& b) {
+              return a.time != b.time ? a.time < b.time : a.node < b.node;
+            });
+
+  std::size_t li = 0, di = 0, ai = 0;
+  constexpr sim::Picos kNever = std::numeric_limits<sim::Picos>::max();
+  for (;;) {
+    // Next fleet event in deterministic (time, kind) order: loss before
+    // degrade before retry before arrival at equal times.
+    const sim::Picos tl = li < losses.size() ? losses[li].time : kNever;
+    const sim::Picos td = di < degrades.size() ? degrades[di].time : kNever;
+    const sim::Picos tr = !retries_.empty() ? retries_.front().due : kNever;
+    const sim::Picos ta = ai < requests.size() ? requests[ai].arrival : kNever;
+    const sim::Picos t = std::min(std::min(tl, td), std::min(tr, ta));
+    if (t == kNever) break;
+
+    run_nodes_until(t);
+    expire_and_cancel_overdue(t);
+
+    if (tl == t) {
+      on_node_loss(losses[li++]);
+    } else if (td == t) {
+      on_node_degrade(degrades[di++]);
+    } else if (tr == t) {
+      const std::uint64_t jidx = retries_.front().job;
+      retries_.erase(retries_.begin());
+      FleetJob& j = jobs_[jidx];
+      if (!j.terminal() && j.state == FleetJobState::kPending) {
+        if (!place(j, t)) {
+          if (j.loss_attempts >= cfg_.replace_max_retries) {
+            fail_job(j, Status::kErrorNodeLost, t);
+          } else {
+            ++j.loss_attempts;
+            j.not_before =
+                t + cfg_.replace_backoff *
+                        (sim::Picos{1} << (j.loss_attempts - 1));
+            retries_.push_back({j.not_before, jidx});
+            std::sort(retries_.begin(), retries_.end(),
+                      [](const Retry& a, const Retry& b) {
+                        return a.due != b.due ? a.due < b.due : a.job < b.job;
+                      });
+            replace_retries_->inc();
+          }
+        }
+      }
+    } else {
+      arrivals_->inc();
+      ++ai;
+    }
+    try_place_pending(t);
+  }
+
+  // Drain: everything is submitted and every fault has fired. Keep stepping
+  // (completions free capacity for still-pending jobs) until nothing moves.
+  for (;;) {
+    run_nodes_until(kNever);
+    sim::Picos now = 0;
+    for (const Node& n : nodes_) {
+      if (n.sys != nullptr) now = std::max(now, n.sys->now());
+    }
+    expire_and_cancel_overdue(now);
+    const std::uint64_t placements_before = placements_->value();
+    try_place_pending(now);
+    bool runnable = placements_->value() != placements_before;
+    for (const Node& n : nodes_) {
+      if ((n.state == NodeState::kAlive || n.state == NodeState::kDegraded) &&
+          !n.live.empty()) {
+        runnable = true;
+      }
+    }
+    if (!runnable) {
+      // Whatever is still pending can never run (no capacity will free up).
+      for (FleetJob& j : jobs_) {
+        if (j.state == FleetJobState::kPending) {
+          fail_job(j,
+                   j.replayed_after_loss ? Status::kErrorNodeLost
+                                         : Status::kErrorDeadlineExceeded,
+                   now);
+        }
+      }
+      break;
+    }
+  }
+  return Status::kSuccess;
+}
+
+// --- results -----------------------------------------------------------------
+
+std::vector<NodeStatus> Controller::node_status() {
+  std::vector<NodeStatus> out;
+  out.reserve(nodes_.size());
+  for (Node& n : nodes_) {
+    NodeStatus s;
+    s.id = n.id;
+    s.state = n.state;
+    s.placed_bytes = n.placed_bytes;
+    s.live_jobs = static_cast<std::uint32_t>(n.live.size());
+    s.slow_factor = n.slow_factor;
+    if (n.sys != nullptr) {
+      s.local_now = n.sys->now();
+      s.events_digest = n.sys->events().digest(s.local_now);
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+SloSummary Controller::slo_summary(std::uint32_t priority) {
+  ensure_classes(priority + 1);
+  SloSummary s;
+  s.priority = priority;
+  for (const FleetJob& j : jobs_) {
+    if (j.req.priority != priority) continue;
+    ++s.submitted;
+    if (j.state == FleetJobState::kFinished) ++s.finished;
+    if (j.state == FleetJobState::kFailed) ++s.failed;
+    if (j.slo_violation) ++s.violations;
+  }
+  const obs::Histogram& h = *latency_by_class_[priority];
+  s.p50 = static_cast<sim::Picos>(h.quantile_upper_bound(50)) * 1'000'000;
+  s.p95 = static_cast<sim::Picos>(h.quantile_upper_bound(95)) * 1'000'000;
+  s.p99 = static_cast<sim::Picos>(h.quantile_upper_bound(99)) * 1'000'000;
+  return s;
+}
+
+std::uint64_t Controller::digest() {
+  std::uint64_t h = kFnvOffset;
+  for (Node& n : nodes_) {
+    mix(h, static_cast<std::uint64_t>(n.state));
+    if (n.sys != nullptr) {
+      const sim::Picos now = n.sys->now();
+      mix(h, static_cast<std::uint64_t>(now));
+      mix(h, n.sys->events().digest(now));
+    }
+  }
+  for (const FleetJob& j : jobs_) {
+    mix(h, j.req.id);
+    mix(h, static_cast<std::uint64_t>(j.state));
+    mix(h, static_cast<std::uint64_t>(j.status));
+    mix(h, static_cast<std::uint64_t>(j.finished_at));
+    mix(h, static_cast<std::uint64_t>(j.latency));
+    mix(h, j.checksum);
+    mix(h, j.placements);
+    mix(h, j.loss_attempts);
+    mix(h, (j.slo_violation ? 1u : 0u) | (j.migrated ? 2u : 0u) |
+               (j.replayed_after_loss ? 4u : 0u));
+  }
+  mix_bytes(h, reg_.to_json());
+  return h;
+}
+
+}  // namespace ghum::fleet

@@ -1,0 +1,253 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fleet/fleet_config.hpp"
+#include "obs/metrics.hpp"
+
+/// \file controller.hpp
+/// fleet::Controller — N simulated Grace Hopper superchips (each a
+/// core::System + tenant::Scheduler) under one deterministic control
+/// plane (DESIGN.md Section 11). The controller owns:
+///
+///  - placement: bin-pack by footprint or load-balance by predicted local
+///    completion, with anti-affinity (replicas of one request never share
+///    a node) and per-node footprint budgets;
+///  - the fleet fault domain: deterministic whole-node loss (in-flight
+///    state dies; victims are replayed on survivors under a bounded
+///    backoff retry budget or failed with Status::kErrorNodeLost) and
+///    node degradation (slow node; drained by live migration — the whole
+///    machine snapshotted via chk::Snapshotter, charged at the inter-node
+///    transfer cost, restored onto a spare where every resident job
+///    continues mid-flight);
+///  - admission control: when capacity drops below demand, the
+///    lowest-priority pending load is shed gracefully, and pending or
+///    running jobs that blew their deadline fail with
+///    Status::kErrorDeadlineExceeded instead of stalling the fleet —
+///    protected classes are exempt from both;
+///  - SLO accounting: per-class job-latency histograms in a fleet-level
+///    obs::MetricsRegistry; percentiles read straight from the histogram
+///    buckets (obs::Histogram::quantile_upper_bound).
+///
+/// Time model: each node's simulated clock is that node's fleet time.
+/// A node idle at placement time is advanced to the placement instant
+/// (idle time is real time); a degraded node's work is dilated by its
+/// slow factor. Fleet events (arrivals, faults, re-placement retries) are
+/// processed in deterministic (time, kind, id) order, nodes always in
+/// index order — two identical runs are bit-for-bit identical, which
+/// digest() fingerprints and bench_fleet gates.
+namespace ghum::fleet {
+
+enum class NodeState : std::uint8_t {
+  kAlive,     ///< serving
+  kDegraded,  ///< slow; accepts no new placements
+  kDead,      ///< lost; machine state gone
+  kRetired,   ///< evacuated onto a spare; machine state migrated away
+  kSpare,     ///< powered off, waiting to replace a degraded node
+};
+
+[[nodiscard]] constexpr std::string_view to_string(NodeState s) noexcept {
+  switch (s) {
+    case NodeState::kAlive: return "alive";
+    case NodeState::kDegraded: return "degraded";
+    case NodeState::kDead: return "dead";
+    case NodeState::kRetired: return "retired";
+    case NodeState::kSpare: return "spare";
+  }
+  return "?";
+}
+
+enum class FleetJobState : std::uint8_t {
+  kPending,   ///< waiting for capacity (or for its re-placement backoff)
+  kPlaced,    ///< at least one live replica on a node
+  kFinished,  ///< a replica completed; latency and checksum are valid
+  kFailed,    ///< shed, deadline-exceeded, node-lost, or app failure
+};
+
+[[nodiscard]] constexpr std::string_view to_string(FleetJobState s) noexcept {
+  switch (s) {
+    case FleetJobState::kPending: return "pending";
+    case FleetJobState::kPlaced: return "placed";
+    case FleetJobState::kFinished: return "finished";
+    case FleetJobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+/// Controller-side lifecycle record of one request.
+struct FleetJob {
+  JobRequest req;
+  std::uint64_t footprint = 0;  ///< template's declared footprint, bytes
+  FleetJobState state = FleetJobState::kPending;
+  Status status = Status::kSuccess;  ///< failure cause when kFailed
+
+  struct Replica {
+    NodeId node = kNoNode;
+    tenant::TenantId tenant = tenant::kNoTenant;
+  };
+  std::vector<Replica> replicas;  ///< live placements
+
+  std::uint32_t placements = 0;     ///< replica placements performed
+  std::uint32_t loss_attempts = 0;  ///< re-placement retries consumed
+  sim::Picos not_before = 0;        ///< re-placement backoff gate
+  sim::Picos first_placed_at = -1;  ///< fleet time of first placement (-1 = never)
+  sim::Picos finished_at = 0;       ///< completion (or failure) fleet time
+  sim::Picos latency = 0;           ///< finished_at - arrival (finished only)
+  std::uint64_t checksum = 0;       ///< finishing replica's output digest
+  bool slo_violation = false;       ///< finished late, or failed/shed
+  bool migrated = false;            ///< continued mid-flight after evacuation
+  bool replayed_after_loss = false; ///< re-placed after losing its node
+
+  [[nodiscard]] bool terminal() const noexcept {
+    return state == FleetJobState::kFinished || state == FleetJobState::kFailed;
+  }
+};
+
+/// External view of one node.
+struct NodeStatus {
+  NodeId id = kNoNode;
+  NodeState state = NodeState::kSpare;
+  sim::Picos local_now = 0;
+  std::uint64_t placed_bytes = 0;
+  std::uint32_t live_jobs = 0;
+  std::uint32_t slow_factor = 1;
+  std::uint64_t events_digest = 0;  ///< EventLog digest (0 when machine gone)
+};
+
+/// Per-class SLO summary read from the fleet histograms.
+struct SloSummary {
+  std::uint32_t priority = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t finished = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t violations = 0;  ///< late finishes + failures/sheds
+  sim::Picos p50 = 0;            ///< latency percentile upper bounds
+  sim::Picos p95 = 0;
+  sim::Picos p99 = 0;
+};
+
+class Controller {
+ public:
+  /// Builds the fleet: cfg.nodes live superchips (each its own System +
+  /// Scheduler) plus cfg.spares powered-off slots. Throws
+  /// StatusError{kErrorInvalidValue} on a malformed config (no templates,
+  /// zero nodes, fault events naming nodes outside the fleet).
+  Controller(FleetConfig cfg, std::vector<JobTemplate> templates);
+
+  /// Serves the whole request stream through the configured fault
+  /// schedule and drains the fleet. One-shot: a second call fails with
+  /// kErrorInvalidValue. Returns kSuccess when every request reached a
+  /// terminal state (individual job failures are recorded per job, not
+  /// here); any Status return is also recorded for last_error().
+  Status run(const std::vector<JobRequest>& requests);
+
+  // --- results ---------------------------------------------------------------
+  [[nodiscard]] const std::vector<FleetJob>& jobs() const noexcept {
+    return jobs_;
+  }
+  [[nodiscard]] const std::vector<JobTemplate>& templates() const noexcept {
+    return templates_;
+  }
+  [[nodiscard]] std::vector<NodeStatus> node_status();
+  [[nodiscard]] SloSummary slo_summary(std::uint32_t priority);
+
+  /// Fleet-level instruments: ghum_fleet_* counters (placements,
+  /// migrations, node losses, shed jobs, SLO violations by class) and the
+  /// per-class job-latency/queue-wait histograms.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return reg_; }
+
+  /// FNV-1a fingerprint of the complete fleet outcome: every node's state,
+  /// local end time and EventLog digest, every job's terminal record, and
+  /// the metrics exposition. Two identical runs => identical digests
+  /// (bench_fleet's gate (a)).
+  [[nodiscard]] std::uint64_t digest();
+
+  /// Sticky last error of the public API (get_last_error semantics — reads
+  /// clear it). Every fleet-facing entry point that fails records here.
+  [[nodiscard]] Status get_last_error() noexcept {
+    Status s = last_error_;
+    last_error_ = Status::kSuccess;
+    return s;
+  }
+  [[nodiscard]] Status peek_last_error() const noexcept { return last_error_; }
+
+  [[nodiscard]] const FleetConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Node {
+    NodeId id = kNoNode;
+    NodeState state = NodeState::kSpare;
+    std::unique_ptr<core::System> sys;
+    std::unique_ptr<tenant::Scheduler> sched;
+    std::uint32_t slow_factor = 1;
+    std::uint64_t placed_bytes = 0;
+    /// Live (tenant id on this node's scheduler -> fleet job index).
+    std::vector<std::pair<tenant::TenantId, std::uint64_t>> live;
+  };
+
+  struct Retry {
+    sim::Picos due = 0;
+    std::uint64_t job = 0;
+  };
+
+  Status record(Status s) noexcept {
+    if (s != Status::kSuccess) last_error_ = s;
+    return s;
+  }
+
+  void activate(Node& n);  ///< boot a fresh System + Scheduler for a node
+  [[nodiscard]] sim::Picos fleet_now() const noexcept;  ///< max node clock
+  [[nodiscard]] std::uint64_t node_budget() const noexcept;
+  [[nodiscard]] sim::Picos transfer_cost(std::uint64_t bytes) const noexcept;
+
+  // Event loop.
+  void run_nodes_until(sim::Picos t);
+  bool step_node(Node& n);  ///< one quantum + slow-factor dilation; false = idle
+  bool harvest(Node& n);    ///< collect newly terminal jobs; true if any
+  void expire_and_cancel_overdue(sim::Picos now);
+  void try_place_pending(sim::Picos now);
+
+  // Placement.
+  [[nodiscard]] NodeId pick_node(std::uint64_t footprint,
+                                 const std::vector<NodeId>& exclude) const;
+  bool place(FleetJob& j, sim::Picos now);
+  void finish_job(FleetJob& j, const tenant::Job& tj);
+  void fail_job(FleetJob& j, Status why, sim::Picos now);
+  void cancel_replicas(FleetJob& j, Status reason);
+  void ensure_classes(std::uint32_t classes);
+
+  // Fault domain.
+  void on_node_loss(const fault::NodeLossEvent& e);
+  void on_node_degrade(const fault::NodeDegradeEvent& e);
+  void evacuate(Node& n);
+  void shed_to_capacity(sim::Picos now);
+
+  FleetConfig cfg_;
+  std::vector<JobTemplate> templates_;
+  std::vector<Node> nodes_;  ///< actives then spares; index == NodeId
+  std::vector<FleetJob> jobs_;
+  std::vector<Retry> retries_;  ///< kept sorted by (due, job) ascending
+  bool ran_ = false;
+  Status last_error_ = Status::kSuccess;
+
+  // Fleet instruments (registered at construction, zero until events).
+  obs::MetricsRegistry reg_;
+  obs::Counter* arrivals_;
+  obs::Counter* placements_;
+  obs::Counter* finished_;
+  obs::Counter* shed_;
+  obs::Counter* node_losses_;
+  obs::Counter* node_degrades_;
+  obs::Counter* evacuations_;
+  obs::Counter* migrated_jobs_;
+  obs::Counter* migrated_bytes_;
+  obs::Counter* replace_retries_;
+  std::vector<obs::Counter*> violations_by_class_;
+  std::vector<obs::Counter*> failed_by_class_;
+  std::vector<obs::Histogram*> latency_by_class_;   ///< microseconds
+  std::vector<obs::Histogram*> wait_by_class_;      ///< microseconds
+};
+
+}  // namespace ghum::fleet

@@ -86,6 +86,25 @@ class Histogram {
     return i >= 64 ? ~0ull : (1ull << i) - 1;
   }
 
+  /// Upper bound of the bucket holding the \p percentile-th observation
+  /// (0..100) — the SLO-latency readout of the fleet layer. Integer-exact
+  /// and deterministic; with power-of-two buckets this is a bound, not an
+  /// interpolation: the true percentile lies at or below the returned
+  /// value. 0 when nothing has been observed.
+  [[nodiscard]] std::uint64_t quantile_upper_bound(
+      std::uint32_t percentile) const noexcept {
+    if (count_ == 0) return 0;
+    if (percentile > 100) percentile = 100;
+    std::uint64_t rank = (count_ * percentile + 99) / 100;  // 1-based
+    if (rank == 0) rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen >= rank) return bucket_bound(i);
+    }
+    return bucket_bound(kBuckets - 1);
+  }
+
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;

@@ -34,6 +34,15 @@ class Rng {
     return lo + (hi - lo) * next_double();
   }
 
+  /// Inter-arrival gap of an open-loop arrival process with the given mean:
+  /// uniform in [0, 2*mean], i.e. mean spacing \p mean with bounded jitter.
+  /// Pure integer arithmetic (no libm), so the generated arrival schedule
+  /// is bit-identical across platforms and standard-library versions —
+  /// the property every fleet reproducibility gate leans on.
+  std::uint64_t next_interarrival(std::uint64_t mean) noexcept {
+    return mean == 0 ? 0 : next_below(2 * mean + 1);
+  }
+
  private:
   static std::uint64_t splitmix64(std::uint64_t& x) noexcept;
   std::uint64_t s_[4]{};

@@ -25,6 +25,11 @@ namespace {
 
 RecoveryManager::RecoveryManager(core::System& sys, RecoveryConfig cfg)
     : sys_(&sys), cfg_(cfg) {
+  rebind(sys);
+}
+
+void RecoveryManager::rebind(core::System& sys) {
+  sys_ = &sys;
   obs::MetricsRegistry& reg = sys.machine().obs();
   watchdog_trips_ = &reg.counter("ghum_recovery_watchdog_trips_total");
   replayed_picos_ = &reg.counter("ghum_recovery_replayed_picos_total");

@@ -75,6 +75,12 @@ class RecoveryManager {
   /// \p total_quanta crosses the configured period.
   void maybe_checkpoint(std::uint64_t total_quanta);
 
+  /// Follows the owning Scheduler onto a restored System (node
+  /// evacuation): instrument pointers are re-resolved against the restored
+  /// machine's registry — the snapshot carried the counters' values, but
+  /// their addresses belong to the dead machine.
+  void rebind(core::System& sys);
+
   [[nodiscard]] const RecoveryConfig& config() const noexcept { return cfg_; }
   /// The most recent periodic checkpoint blob (empty before the first).
   [[nodiscard]] const chk::Blob& last_checkpoint() const noexcept {

@@ -1,10 +1,13 @@
 #include "tenant/scheduler.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <new>
 #include <stdexcept>
 #include <tuple>
 #include <utility>
+
+#include "fault/fault_injector.hpp"
 
 namespace ghum::tenant {
 
@@ -180,6 +183,45 @@ bool Scheduler::step() {
 void Scheduler::run_all() {
   while (step()) {
   }
+}
+
+Status Scheduler::cancel(TenantId id, Status reason) {
+  if (id == kNoTenant || id >= next_id_) return Status::kErrorInvalidValue;
+  Job& j = jobs_[id - 1];
+  if (j.terminal()) return Status::kErrorInvalidValue;
+
+  if (j.state == JobState::kQueued) {
+    const auto it = std::find(waiting_.begin(), waiting_.end(), id);
+    if (it != waiting_.end()) waiting_.erase(it);
+    j.state = JobState::kFailed;
+    j.status = reason;
+    j.finished_at = sys_->now();
+    return Status::kSuccess;
+  }
+
+  // Running: drop the suspended coroutine frame first (its destructors do
+  // no simulated work), then scrub what the incarnation allocated — the
+  // teardown its exit path would have performed, charged to the victim and
+  // immune to injected faults, exactly like the crash-recovery rollback.
+  j.coro = apps::AppCoro{};
+  {
+    fault::FaultInjector::ScopedSuppress guard{&sys_->fault_injector()};
+    sys_->set_current_tenant(j.id);
+    (void)sys_->scrub_tenant(j.id);
+    sys_->set_current_tenant(kNoTenant);
+  }
+  j.state = JobState::kFailed;
+  j.status = reason;
+  retire(j);
+  return Status::kSuccess;
+}
+
+void Scheduler::rebind(core::System& sys) {
+  sys_ = &sys;
+  for (Job& j : jobs_) {
+    if (j.rt != nullptr) j.rt->rebind(sys);
+  }
+  if (rm_ != nullptr) rm_->rebind(sys);
 }
 
 const Job& Scheduler::job(TenantId id) const {

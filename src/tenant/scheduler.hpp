@@ -90,6 +90,23 @@ class Scheduler {
   /// Drives every admitted and queued job to a terminal state.
   void run_all();
 
+  /// Cancels a queued or running job — the fleet controller's drain,
+  /// deadline-enforcement and load-shedding entry point. A running job's
+  /// coroutine is destroyed and everything its incarnation allocated is
+  /// scrubbed (real simulated unmap/free work, attributed to the victim,
+  /// under fault-injection suppression so cleanup cannot itself crash); a
+  /// queued job simply leaves the wait queue. The job ends kFailed with
+  /// \p reason as its status. Returns kErrorInvalidValue for an unknown or
+  /// already-terminal job, kSuccess otherwise.
+  Status cancel(TenantId id, Status reason);
+
+  /// Re-points the scheduler — and every job's per-tenant Runtime — at a
+  /// different System: the node-evacuation hand-off. After
+  /// chk::Snapshotter::restore() rebuilds the machine (donor adoption keeps
+  /// app-held host pointers alive), this swap lets every suspended job
+  /// coroutine continue mid-flight on the restored system.
+  void rebind(core::System& sys);
+
   [[nodiscard]] const Job& job(TenantId id) const;
   [[nodiscard]] const std::deque<Job>& jobs() const noexcept { return jobs_; }
   [[nodiscard]] std::uint64_t budget() const noexcept { return budget_; }

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <ios>
 #include <memory>
 #include <string_view>
 #include <utility>
@@ -203,6 +205,8 @@ TEST(StatusStrings, EveryCodeHasADistinctName) {
       Status::kErrorGpuReset,
       Status::kErrorUnrecoverable,
       Status::kErrorTimeout,
+      Status::kErrorNodeLost,
+      Status::kErrorDeadlineExceeded,
   };
   // Round trip: every code maps to a unique, non-placeholder string, and
   // the string maps back to exactly one code.
@@ -217,6 +221,72 @@ TEST(StatusStrings, EveryCodeHasADistinctName) {
   EXPECT_EQ(to_string(Status::kErrorGpuReset), "GPU channel reset");
   EXPECT_EQ(to_string(Status::kErrorUnrecoverable), "unrecoverable");
   EXPECT_EQ(to_string(Status::kErrorTimeout), "watchdog timeout");
+  EXPECT_EQ(to_string(Status::kErrorNodeLost), "node lost");
+  EXPECT_EQ(to_string(Status::kErrorDeadlineExceeded), "deadline exceeded");
+}
+
+/// Corruption fuzz for restore(): a malformed blob must always surface a
+/// StatusError — never crash, never hand back a machine, and never touch
+/// the donor. The blob layout is a 28-byte header (magic, version, payload
+/// digest, payload size) followed by the digest-covered payload, so every
+/// truncation and every single-byte flip lands in validated territory.
+class ChkFuzz : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sys_ = std::make_unique<core::System>(chk_cfg());
+    rt_ = std::make_unique<runtime::Runtime>(*sys_);
+    probe_ = rt_->malloc_managed(256 << 10);
+    blob_ = chk::Snapshotter::snapshot(*sys_);
+    ASSERT_GT(blob_.size(), 28u);
+  }
+
+  std::unique_ptr<core::System> sys_;
+  std::unique_ptr<runtime::Runtime> rt_;
+  core::Buffer probe_;
+  chk::Blob blob_;
+};
+
+TEST_F(ChkFuzz, EveryTruncationIsRejected) {
+  // Every length through the header byte by byte, then strided through the
+  // payload (stride coprime with 8 so cuts land at every field offset).
+  for (std::size_t len = 0; len < blob_.size();
+       len += (len < 64 ? 1 : 97)) {
+    chk::Blob t{blob_.begin(), blob_.begin() + static_cast<std::ptrdiff_t>(len)};
+    EXPECT_THROW((void)chk::Snapshotter::restore(t), StatusError)
+        << "truncated to " << len << " of " << blob_.size() << " bytes";
+  }
+}
+
+TEST_F(ChkFuzz, EverySingleByteFlipIsRejected) {
+  // Every header byte plus strided payload positions, several flip masks.
+  std::vector<std::size_t> positions;
+  for (std::size_t i = 0; i < 64 && i < blob_.size(); ++i) positions.push_back(i);
+  for (std::size_t i = 64; i < blob_.size(); i += 131) positions.push_back(i);
+  positions.push_back(blob_.size() - 1);
+  for (const std::size_t pos : positions) {
+    for (const std::uint8_t mask : {0x01, 0x80, 0xff}) {
+      chk::Blob flipped = blob_;
+      flipped[pos] ^= mask;
+      EXPECT_THROW((void)chk::Snapshotter::restore(flipped), StatusError)
+          << "flip 0x" << std::hex << int{mask} << " at byte " << std::dec
+          << pos;
+    }
+  }
+}
+
+TEST_F(ChkFuzz, FailedRestoreLeavesTheDonorIntact) {
+  const std::uint64_t before = chk::Snapshotter::state_digest(*sys_);
+  chk::Blob corrupt = blob_;
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  // Validation precedes donor adoption: a rejected blob must not have
+  // partially moved the donor's backing state.
+  EXPECT_THROW((void)chk::Snapshotter::restore(corrupt, sys_.get()),
+               StatusError);
+  EXPECT_EQ(chk::Snapshotter::state_digest(*sys_), before);
+  // The donor is still fully serviceable: a clean restore from it works.
+  std::unique_ptr<core::System> twin =
+      chk::Snapshotter::restore(blob_, sys_.get());
+  EXPECT_EQ(chk::Snapshotter::state_digest(*twin), before);
 }
 
 }  // namespace

@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "apps/hotspot.hpp"
+#include "fleet/arrival.hpp"
+#include "fleet/controller.hpp"
+#include "tenant/scheduler.hpp"
+
+/// Fleet-controller tests (DESIGN.md Section 11): deterministic arrivals,
+/// placement and anti-affinity, node-loss replay with bounded retries,
+/// degrade-and-evacuate live migration, admission control (shed + deadline
+/// expiry), SLO accounting, and the bit-for-bit digest contract.
+
+namespace ghum {
+namespace {
+
+constexpr sim::Picos kFar = sim::milliseconds(10'000);
+
+core::SystemConfig node_cfg() {
+  core::SystemConfig cfg;
+  cfg.system_page_size = pagetable::kSystemPage64K;
+  cfg.hbm_capacity = 16ull << 20;
+  cfg.ddr_capacity = 256ull << 20;
+  cfg.gpu_driver_baseline = 1ull << 20;
+  cfg.event_log = true;
+  return cfg;
+}
+
+apps::HotspotConfig small_hotspot() {
+  apps::HotspotConfig h;
+  h.rows = 128;
+  h.cols = 128;
+  h.iterations = 3;
+  return h;
+}
+
+struct Solo {
+  sim::Picos end = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Uninterrupted single-node, single-tenant reference run of the one job
+/// template every fleet test uses (measured once, cached).
+const Solo& solo() {
+  static const Solo s = [] {
+    core::System sys{node_cfg()};
+    tenant::Scheduler sched{sys, {}};
+    tenant::JobSpec spec;
+    spec.name = "hotspot";
+    spec.mode = apps::MemMode::kManaged;
+    spec.footprint_bytes = 1ull << 20;
+    spec.make = [](runtime::Runtime& rt) {
+      return apps::hotspot_steps(rt, apps::MemMode::kManaged, small_hotspot());
+    };
+    tenant::TenantId id = tenant::kNoTenant;
+    (void)sched.submit(std::move(spec), &id);
+    sched.run_all();
+    return Solo{sys.now(), sched.job(id).report.checksum};
+  }();
+  return s;
+}
+
+std::vector<fleet::JobTemplate> catalog() {
+  fleet::JobTemplate t;
+  t.name = "hotspot";
+  t.mode = apps::MemMode::kManaged;
+  t.make = [](runtime::Runtime& rt) {
+    return apps::hotspot_steps(rt, apps::MemMode::kManaged, small_hotspot());
+  };
+  t.footprint_bytes = 1ull << 20;
+  t.est_cost = solo().end;
+  t.solo_checksum = solo().checksum;
+  return {t};
+}
+
+fleet::FleetConfig small_fleet(std::uint32_t nodes, std::uint32_t spares = 0) {
+  fleet::FleetConfig f;
+  f.nodes = nodes;
+  f.spares = spares;
+  f.node_config = node_cfg();
+  f.scheduler.policy = tenant::Policy::kPriority;
+  return f;
+}
+
+fleet::JobRequest make_req(std::uint64_t id, sim::Picos arrival,
+                           std::uint32_t priority = 0,
+                           sim::Picos deadline = kFar,
+                           std::uint32_t replicas = 1) {
+  fleet::JobRequest r;
+  r.id = id;
+  r.arrival = arrival;
+  r.tmpl = 0;
+  r.priority = priority;
+  r.deadline = deadline;
+  r.replicas = replicas;
+  return r;
+}
+
+// --- arrival process ---------------------------------------------------------
+
+TEST(FleetArrival, SameConfigYieldsBitIdenticalStream) {
+  fleet::ArrivalConfig a;
+  a.seed = 7;
+  a.count = 64;
+  a.priority_classes = 3;
+  a.class_weights = {1, 2, 3};
+  a.deadline_floor = sim::microseconds(50);
+  a.top_replicas = 2;
+  const auto s1 = fleet::generate_arrivals(a, catalog());
+  const auto s2 = fleet::generate_arrivals(a, catalog());
+  ASSERT_EQ(s1.size(), 64u);
+  ASSERT_EQ(s2.size(), 64u);
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].id, i);
+    EXPECT_EQ(s1[i].arrival, s2[i].arrival);
+    EXPECT_EQ(s1[i].tmpl, s2[i].tmpl);
+    EXPECT_EQ(s1[i].priority, s2[i].priority);
+    EXPECT_EQ(s1[i].deadline, s2[i].deadline);
+    EXPECT_EQ(s1[i].replicas, s2[i].replicas);
+    // Sorted by arrival, deadlines respect the floor, replicas only for
+    // the top class.
+    if (i > 0) {
+      EXPECT_GE(s1[i].arrival, s1[i - 1].arrival);
+    }
+    EXPECT_LT(s1[i].priority, 3u);
+    EXPECT_GE(s1[i].deadline, s1[i].arrival + a.deadline_floor);
+    EXPECT_EQ(s1[i].replicas, s1[i].priority == 0 ? 2u : 1u);
+  }
+}
+
+TEST(FleetArrival, RejectsEmptyTemplatesAndZeroWeights) {
+  fleet::ArrivalConfig a;
+  a.count = 4;
+  EXPECT_THROW((void)fleet::generate_arrivals(a, {}), std::invalid_argument);
+  a.priority_classes = 2;
+  a.class_weights = {0, 0};
+  EXPECT_THROW((void)fleet::generate_arrivals(a, catalog()),
+               std::invalid_argument);
+}
+
+// --- controller construction and error surface -------------------------------
+
+TEST(FleetController, ConstructorRejectsMalformedConfigs) {
+  auto expect_invalid = [](auto&& build) {
+    try {
+      build();
+      FAIL() << "malformed fleet config must throw";
+    } catch (const StatusError& e) {
+      EXPECT_EQ(e.status(), Status::kErrorInvalidValue);
+    }
+  };
+  expect_invalid([] { fleet::Controller ctl{small_fleet(2), {}}; });
+  expect_invalid([] { fleet::Controller ctl{small_fleet(0), catalog()}; });
+  expect_invalid([] {
+    auto f = small_fleet(2);
+    f.faults.node_loss = {{.time = 0, .node = 5}};
+    fleet::Controller ctl{f, catalog()};
+  });
+  expect_invalid([] {
+    auto f = small_fleet(2);
+    f.faults.node_degrade = {{.time = 0, .node = 0, .slow_factor = 0}};
+    fleet::Controller ctl{f, catalog()};
+  });
+}
+
+TEST(FleetController, RunIsOneShotAndErrorsAreStickyUntilRead) {
+  fleet::Controller ctl{small_fleet(1), catalog()};
+  // A request naming an unknown template is rejected and recorded.
+  fleet::Controller bad{small_fleet(1), catalog()};
+  auto alien = make_req(0, 0);
+  alien.tmpl = 9;
+  EXPECT_EQ(bad.run({alien}), Status::kErrorInvalidValue);
+  EXPECT_EQ(bad.peek_last_error(), Status::kErrorInvalidValue);
+
+  EXPECT_EQ(ctl.run({make_req(0, 0)}), Status::kSuccess);
+  EXPECT_EQ(ctl.peek_last_error(), Status::kSuccess);
+  // Second run: one-shot. get_last_error reads clear (sticky until read).
+  EXPECT_EQ(ctl.run({make_req(1, 0)}), Status::kErrorInvalidValue);
+  EXPECT_EQ(ctl.peek_last_error(), Status::kErrorInvalidValue);
+  EXPECT_EQ(ctl.get_last_error(), Status::kErrorInvalidValue);
+  EXPECT_EQ(ctl.get_last_error(), Status::kSuccess);
+}
+
+// --- placement and SLO accounting --------------------------------------------
+
+TEST(FleetController, ServesRequestsMatchingSoloResults) {
+  fleet::Controller ctl{small_fleet(2), catalog()};
+  const std::vector<fleet::JobRequest> reqs = {
+      make_req(0, 0), make_req(1, 0), make_req(2, 0), make_req(3, 0)};
+  ASSERT_EQ(ctl.run(reqs), Status::kSuccess);
+
+  for (const fleet::FleetJob& j : ctl.jobs()) {
+    EXPECT_EQ(j.state, fleet::FleetJobState::kFinished);
+    EXPECT_EQ(j.checksum, solo().checksum);
+    EXPECT_FALSE(j.slo_violation);
+    EXPECT_GE(j.latency, 0);
+  }
+  fleet::SloSummary s = ctl.slo_summary(0);
+  EXPECT_EQ(s.submitted, 4u);
+  EXPECT_EQ(s.finished, 4u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.violations, 0u);
+  EXPECT_GT(s.p99, 0);
+  EXPECT_LE(s.p50, s.p99);
+  EXPECT_LE(s.p95, s.p99);
+
+  const auto status = ctl.node_status();
+  ASSERT_EQ(status.size(), 2u);
+  for (const fleet::NodeStatus& n : status) {
+    EXPECT_EQ(n.state, fleet::NodeState::kAlive);
+    EXPECT_EQ(n.live_jobs, 0u);
+    EXPECT_GT(n.local_now, 0);
+  }
+  EXPECT_EQ(ctl.metrics().counter("ghum_fleet_finished_total").value(), 4u);
+  EXPECT_EQ(ctl.metrics().counter("ghum_fleet_node_losses_total").value(), 0u);
+}
+
+TEST(FleetController, IdenticalRunsProduceIdenticalDigests) {
+  auto fleet_cfg = [] {
+    auto f = small_fleet(2, 1);
+    f.faults.node_loss = {{.time = solo().end, .node = 1}};
+    f.faults.node_degrade = {
+        {.time = 2 * solo().end, .node = 0, .slow_factor = 3}};
+    return f;
+  };
+  fleet::ArrivalConfig a;
+  a.count = 8;
+  a.mean_interarrival = solo().end / 2;
+  a.priority_classes = 2;
+  a.deadline_floor = kFar;
+  const auto reqs = fleet::generate_arrivals(a, catalog());
+
+  fleet::Controller c1{fleet_cfg(), catalog()};
+  fleet::Controller c2{fleet_cfg(), catalog()};
+  ASSERT_EQ(c1.run(reqs), Status::kSuccess);
+  ASSERT_EQ(c2.run(reqs), Status::kSuccess);
+  EXPECT_EQ(c1.digest(), c2.digest());
+
+  // A different stream lands on a different fingerprint.
+  fleet::Controller c3{fleet_cfg(), catalog()};
+  a.seed ^= 0xbeef;
+  ASSERT_EQ(c3.run(fleet::generate_arrivals(a, catalog())), Status::kSuccess);
+  EXPECT_NE(c1.digest(), c3.digest());
+}
+
+// --- fault domain ------------------------------------------------------------
+
+TEST(FleetFault, NodeLossReplaysVictimsOnSurvivors) {
+  auto f = small_fleet(2);
+  f.faults.node_loss = {{.time = solo().end / 2, .node = 1}};
+  fleet::Controller ctl{f, catalog()};
+  ASSERT_EQ(ctl.run({make_req(0, 0), make_req(1, 0)}), Status::kSuccess);
+
+  std::uint32_t replayed = 0;
+  for (const fleet::FleetJob& j : ctl.jobs()) {
+    EXPECT_EQ(j.state, fleet::FleetJobState::kFinished);
+    EXPECT_EQ(j.checksum, solo().checksum);
+    if (j.replayed_after_loss) {
+      ++replayed;
+      EXPECT_EQ(j.loss_attempts, 1u);
+      EXPECT_EQ(j.placements, 2u);  // original + re-placement
+    }
+  }
+  EXPECT_EQ(replayed, 1u);
+  EXPECT_EQ(ctl.metrics().counter("ghum_fleet_node_losses_total").value(), 1u);
+  EXPECT_GE(ctl.metrics().counter("ghum_fleet_replacement_retries_total").value(),
+            1u);
+  const auto status = ctl.node_status();
+  EXPECT_EQ(status[1].state, fleet::NodeState::kDead);
+  EXPECT_EQ(status[1].live_jobs, 0u);
+  EXPECT_EQ(status[0].state, fleet::NodeState::kAlive);
+}
+
+TEST(FleetFault, LosingTheOnlyNodeExhaustsRetriesIntoNodeLost) {
+  auto f = small_fleet(1);
+  f.faults.node_loss = {{.time = solo().end / 2, .node = 0}};
+  f.replace_max_retries = 2;
+  f.replace_backoff = sim::microseconds(10);
+  fleet::Controller ctl{f, catalog()};
+  // Job 1 arrives after the fleet is gone: it is never replayed, so its
+  // terminal cause is the deadline, not the loss.
+  ASSERT_EQ(ctl.run({make_req(0, 0), make_req(1, 2 * solo().end)}),
+            Status::kSuccess);
+
+  const auto& jobs = ctl.jobs();
+  EXPECT_EQ(jobs[0].state, fleet::FleetJobState::kFailed);
+  EXPECT_EQ(jobs[0].status, Status::kErrorNodeLost);
+  EXPECT_EQ(jobs[0].loss_attempts, 2u);
+  EXPECT_EQ(jobs[1].state, fleet::FleetJobState::kFailed);
+  EXPECT_EQ(jobs[1].status, Status::kErrorDeadlineExceeded);
+  // Both failures were recorded on the sticky error surface.
+  EXPECT_NE(ctl.get_last_error(), Status::kSuccess);
+}
+
+TEST(FleetFault, DegradeEvacuatesToSpareMidFlight) {
+  auto f = small_fleet(1, 1);
+  f.faults.node_degrade = {
+      {.time = solo().end / 2, .node = 0, .slow_factor = 4}};
+  fleet::Controller ctl{f, catalog()};
+  ASSERT_EQ(ctl.run({make_req(0, 0)}), Status::kSuccess);
+
+  const fleet::FleetJob& j = ctl.jobs()[0];
+  EXPECT_EQ(j.state, fleet::FleetJobState::kFinished);
+  EXPECT_EQ(j.checksum, solo().checksum);
+  EXPECT_TRUE(j.migrated);
+  EXPECT_FALSE(j.replayed_after_loss);
+
+  const auto status = ctl.node_status();
+  EXPECT_EQ(status[0].state, fleet::NodeState::kRetired);
+  EXPECT_EQ(status[1].state, fleet::NodeState::kAlive);
+  EXPECT_EQ(status[1].slow_factor, 1u);
+  // The job finished on the spare, later than solo (transfer cost charged).
+  EXPECT_GT(status[1].local_now, solo().end);
+  EXPECT_EQ(ctl.metrics().counter("ghum_fleet_evacuations_total").value(), 1u);
+  EXPECT_EQ(ctl.metrics().counter("ghum_fleet_migrated_jobs_total").value(), 1u);
+  EXPECT_GT(ctl.metrics().counter("ghum_fleet_migrated_bytes_total").value(),
+            0u);
+}
+
+TEST(FleetFault, DegradeWithoutSpareKeepsRunningSlow) {
+  auto f = small_fleet(1, 0);
+  f.faults.node_degrade = {
+      {.time = solo().end / 2, .node = 0, .slow_factor = 4}};
+  fleet::Controller ctl{f, catalog()};
+  ASSERT_EQ(ctl.run({make_req(0, 0)}), Status::kSuccess);
+
+  const fleet::FleetJob& j = ctl.jobs()[0];
+  EXPECT_EQ(j.state, fleet::FleetJobState::kFinished);
+  EXPECT_EQ(j.checksum, solo().checksum);
+  EXPECT_FALSE(j.migrated);
+
+  const auto status = ctl.node_status();
+  EXPECT_EQ(status[0].state, fleet::NodeState::kDegraded);
+  EXPECT_EQ(status[0].slow_factor, 4u);
+  // Slow-factor dilation: the back half of the run took 4x as long.
+  EXPECT_GT(status[0].local_now, solo().end);
+  EXPECT_EQ(ctl.metrics().counter("ghum_fleet_evacuations_total").value(), 0u);
+}
+
+TEST(FleetFault, AntiAffinityReplicaSurvivesNodeLossWithoutReplay) {
+  auto f = small_fleet(2);
+  f.faults.node_loss = {{.time = solo().end / 2, .node = 1}};
+  fleet::Controller ctl{f, catalog()};
+  ASSERT_EQ(ctl.run({make_req(0, 0, 0, kFar, /*replicas=*/2)}),
+            Status::kSuccess);
+
+  const fleet::FleetJob& j = ctl.jobs()[0];
+  EXPECT_EQ(j.placements, 2u);  // one replica per node (anti-affinity)
+  EXPECT_EQ(j.state, fleet::FleetJobState::kFinished);
+  EXPECT_EQ(j.checksum, solo().checksum);
+  // The surviving replica carried the job: no replay, no retry spent.
+  EXPECT_FALSE(j.replayed_after_loss);
+  EXPECT_EQ(j.loss_attempts, 0u);
+  EXPECT_EQ(ctl.metrics().counter("ghum_fleet_replacement_retries_total").value(),
+            0u);
+}
+
+TEST(FleetFault, RedundantReplicaCompletionIsHarmless) {
+  fleet::Controller ctl{small_fleet(2), catalog()};
+  ASSERT_EQ(ctl.run({make_req(0, 0, 0, kFar, /*replicas=*/2)}),
+            Status::kSuccess);
+  const fleet::FleetJob& j = ctl.jobs()[0];
+  EXPECT_EQ(j.placements, 2u);
+  EXPECT_EQ(j.state, fleet::FleetJobState::kFinished);
+  EXPECT_EQ(j.checksum, solo().checksum);
+  EXPECT_EQ(ctl.metrics().counter("ghum_fleet_finished_total").value(), 1u);
+}
+
+// --- admission control -------------------------------------------------------
+
+TEST(FleetAdmission, ShedDropsLowestPriorityAndNeverTheProtectedClass) {
+  auto f = small_fleet(2);
+  f.node_footprint_budget = 1ull << 20;  // one job per node
+  f.shed_protect_classes = 1;
+  f.faults.node_loss = {{.time = solo().end / 4, .node = 1}};
+  fleet::Controller ctl{f, catalog()};
+  const std::vector<fleet::JobRequest> reqs = {
+      make_req(0, 0, 0), make_req(1, 0, 1), make_req(2, 0, 1),
+      make_req(3, 0, 1), make_req(4, 0, 1)};
+  ASSERT_EQ(ctl.run(reqs), Status::kSuccess);
+
+  // The protected top-class job rode out the storm untouched.
+  EXPECT_EQ(ctl.jobs()[0].state, fleet::FleetJobState::kFinished);
+  EXPECT_EQ(ctl.jobs()[0].checksum, solo().checksum);
+  // Losing half the fleet halved capacity: every unprotected pending job
+  // was shed gracefully with the loss as its cause — the fleet never stalls.
+  for (std::size_t i = 1; i < ctl.jobs().size(); ++i) {
+    EXPECT_EQ(ctl.jobs()[i].state, fleet::FleetJobState::kFailed) << i;
+    EXPECT_EQ(ctl.jobs()[i].status, Status::kErrorNodeLost) << i;
+  }
+  EXPECT_EQ(ctl.metrics().counter("ghum_fleet_shed_total").value(), 4u);
+  fleet::SloSummary top = ctl.slo_summary(0);
+  EXPECT_EQ(top.failed, 0u);
+  EXPECT_EQ(top.violations, 0u);
+}
+
+TEST(FleetAdmission, OversizedJobFailsOutOfMemory) {
+  auto f = small_fleet(1);
+  f.node_footprint_budget = 512ull << 10;  // smaller than the template
+  fleet::Controller ctl{f, catalog()};
+  ASSERT_EQ(ctl.run({make_req(0, 0)}), Status::kSuccess);
+  EXPECT_EQ(ctl.jobs()[0].state, fleet::FleetJobState::kFailed);
+  EXPECT_EQ(ctl.jobs()[0].status, Status::kErrorOutOfMemory);
+  EXPECT_EQ(ctl.peek_last_error(), Status::kErrorOutOfMemory);
+}
+
+TEST(FleetAdmission, PendingPastDeadlineExpiresInsteadOfStalling) {
+  auto f = small_fleet(1);
+  f.node_footprint_budget = 1ull << 20;  // one job at a time
+  fleet::Controller ctl{f, catalog()};
+  const std::vector<fleet::JobRequest> reqs = {
+      make_req(0, 0, 0, kFar),
+      // Unprotected, with a deadline that expires while job 0 still holds
+      // the node.
+      make_req(1, 0, 1, solo().end / 8),
+      // A later arrival gives the controller a fleet event at which the
+      // expiry check runs.
+      make_req(2, solo().end / 2, 0, kFar)};
+  ASSERT_EQ(ctl.run(reqs), Status::kSuccess);
+
+  EXPECT_EQ(ctl.jobs()[0].state, fleet::FleetJobState::kFinished);
+  EXPECT_EQ(ctl.jobs()[1].state, fleet::FleetJobState::kFailed);
+  EXPECT_EQ(ctl.jobs()[1].status, Status::kErrorDeadlineExceeded);
+  EXPECT_TRUE(ctl.jobs()[1].slo_violation);
+  EXPECT_EQ(ctl.jobs()[2].state, fleet::FleetJobState::kFinished);
+  fleet::SloSummary s = ctl.slo_summary(1);
+  EXPECT_EQ(s.submitted, 1u);
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(s.violations, 1u);
+}
+
+}  // namespace
+}  // namespace ghum

@@ -188,6 +188,65 @@ TEST(RecoveryWatchdog, StallTripsTimeoutThenBudgetExhaustionFailsTheJob) {
   EXPECT_EQ(sys.now(), 0);
 }
 
+TEST(RecoveryBudget, ZeroRestartBudgetFailsGracefullyOnTheFirstCrash) {
+  auto cfg = recovery_cfg();
+  cfg.faults.enabled = true;
+  cfg.faults.gpu_resets = {{.time = solo_end_time() / 2}};
+  core::System sys{cfg};
+  tenant::SchedulerConfig scfg;
+  scfg.recovery.enabled = true;
+  scfg.recovery.max_restarts = 0;  // recovery on, but no replay allowance
+  tenant::Scheduler sched{sys, scfg};
+  tenant::TenantId id = tenant::kNoTenant;
+  (void)sched.submit(hotspot_spec(), &id);
+  sched.run_all();  // must terminate immediately at the crash — no replay
+
+  const tenant::Job& j = sched.job(id);
+  EXPECT_EQ(j.state, tenant::JobState::kFailed);
+  // Exhausted budget on a restartable cause escalates, so callers can tell
+  // "crashed with no budget" from "crashed once, fatal by nature".
+  EXPECT_EQ(j.status, Status::kErrorUnrecoverable);
+  EXPECT_EQ(j.restarts, 0u);
+  EXPECT_EQ(sys.events().count(sim::EventType::kJobRestart), 0u);
+  EXPECT_EQ(sys.stats().get("recovery.restarts"), 0u);
+  EXPECT_EQ(sys.stats().get("recovery.failed_jobs"), 1u);
+}
+
+/// Yields \p stalls zero-progress quanta, then finishes cleanly — a job
+/// whose remaining runtime is shorter than the watchdog interval.
+apps::AppCoro briefly_stalled_steps(runtime::Runtime&, int stalls) {
+  for (int i = 0; i < stalls; ++i) co_yield 0;
+  apps::AppReport rep;
+  rep.app = "briefly-stalled";
+  rep.checksum = 0x5717ull;
+  co_return rep;
+}
+
+TEST(RecoveryWatchdog, IntervalLongerThanTheRemainingJobNeverTrips) {
+  core::System sys{recovery_cfg()};
+  tenant::SchedulerConfig scfg;
+  scfg.recovery.enabled = true;
+  // The job stalls for 3 quanta then completes; the watchdog needs 4
+  // consecutive zero-progress quanta to fire. The run ends first — a
+  // spurious timeout here would fail a perfectly healthy job.
+  scfg.recovery.stall_quanta = 4;
+  scfg.recovery.max_restarts = 0;  // any trip would be terminal
+  tenant::Scheduler sched{sys, scfg};
+  tenant::JobSpec spec;
+  spec.name = "briefly-stalled";
+  spec.footprint_bytes = 0;
+  spec.make = [](runtime::Runtime& rt) { return briefly_stalled_steps(rt, 3); };
+  tenant::TenantId id = tenant::kNoTenant;
+  (void)sched.submit(std::move(spec), &id);
+  sched.run_all();
+
+  const tenant::Job& j = sched.job(id);
+  EXPECT_EQ(j.state, tenant::JobState::kFinished);
+  EXPECT_EQ(j.report.checksum, 0x5717ull);
+  EXPECT_EQ(j.restarts, 0u);
+  EXPECT_EQ(sys.stats().get("recovery.watchdog_trips"), 0u);
+}
+
 TEST(RecoveryWatchdog, HealthyJobsNeverTripTheWatchdog) {
   core::System sys{recovery_cfg()};
   tenant::SchedulerConfig scfg;
