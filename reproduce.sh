@@ -42,6 +42,19 @@ for artifact in BENCH_selfperf.json BENCH_tenancy.json \
   test -f "$artifact" || { echo "missing artifact: $artifact" >&2; exit 1; }
 done
 
+# Absolute simulator-throughput gate + full-scale smoke: fails if simulated
+# events/sec (or full-scale pages/sec) drops more than 20% below the
+# recorded baseline, if the full-scale address space fragments past 64
+# extents, or if host RSS grows with the 128 GiB simulated footprint.
+./build/bench/bench_selfperf --smoke \
+  --check bench/selfperf_baseline.json \
+  --gate-throughput bench/selfperf_baseline.json \
+  --out BENCH_selfperf_gate.json \
+  --fullscale-out BENCH_selfperf_fullscale.json
+test -f BENCH_selfperf_fullscale.json || {
+  echo "missing artifact: BENCH_selfperf_fullscale.json" >&2; exit 1;
+}
+
 # Sample enriched Chrome trace (README "Observability"): Figure 4's
 # managed run with event log, causal spans and the C2C utilization track.
 ./build/bench/bench_fig04_hotspot_profile --trace trace_hotspot_managed.json \

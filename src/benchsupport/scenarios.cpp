@@ -28,6 +28,19 @@ core::SystemConfig qv_config(std::uint64_t page_size, bool access_counters) {
   return cfg;
 }
 
+core::SystemConfig full_scale() {
+  core::SystemConfig cfg;
+  cfg.system_page_size = pagetable::kSystemPage64K;
+  cfg.hbm_capacity = 96ull << 30;
+  cfg.ddr_capacity = 480ull << 30;
+  cfg.gpu_driver_baseline = 600ull << 20;
+  cfg.access_counter_migration = false;
+  cfg.materialize_backing = false;
+  cfg.event_log = false;
+  cfg.name = "full-scale";
+  return cfg;
+}
+
 apps::HotspotConfig hotspot_config(Scale s) {
   apps::HotspotConfig cfg;
   if (s == Scale::kSmall) {

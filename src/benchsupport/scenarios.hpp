@@ -36,6 +36,14 @@ enum class Scale { kSmall, kDefault };
 [[nodiscard]] core::SystemConfig qv_config(std::uint64_t page_size,
                                            bool access_counters);
 
+/// The paper's actual testbed, unscaled: 96 GB HBM3 + 480 GB LPDDR5X
+/// (Section 3), 64 KiB system pages. Only viable with the extent-based
+/// page tables — a dense allocation here is millions of pages, so the
+/// preset turns off VMA backing materialization (no host byte images; the
+/// driving bench touches pages through resolve/commit, not Span I/O) and
+/// the event log (hundreds of millions of events would dominate RSS).
+[[nodiscard]] core::SystemConfig full_scale();
+
 /// App problem sizes per scale tier.
 [[nodiscard]] apps::HotspotConfig hotspot_config(Scale s);
 [[nodiscard]] apps::PathfinderConfig pathfinder_config(Scale s);

@@ -19,9 +19,11 @@
 ///   4. EventLog (full event stream; per-type totals are recomputed)
 ///   5. FrameAllocators (GPU then CPU)
 ///   6. NvlinkC2C (degrade factors + traffic counters)
-///   7. PageTables (system then GPU, entries sorted by VPN)
+///   7. PageTables (system then GPU; v2 writes extents in VPN order, v1
+///      expands them to per-page entries)
 ///   8. TLBs (SMMU cpu/ats, GMMU gpu/sys; LRU order front-to-back)
-///   9. AddressSpace (VMAs with their real backing bytes)
+///   9. AddressSpace (VMAs with their real backing bytes; v2 prefixes a
+///      has-data flag so non-materialized VMAs carry no byte image)
 ///  10. Machine epoch / current tenant
 ///  11. MetricsRegistry (slots in exposition order)
 ///  12. AttributionTable
@@ -52,7 +54,8 @@ sorted_entries(const Map& m) {
 
 // --- SystemConfig -----------------------------------------------------------
 
-void Snapshotter::save_config(const core::SystemConfig& cfg, Writer& w) {
+void Snapshotter::save_config(const core::SystemConfig& cfg, Writer& w,
+                              std::uint32_t version) {
   w.u64(cfg.system_page_size);
   w.u64(cfg.hbm_capacity);
   w.u64(cfg.ddr_capacity);
@@ -128,9 +131,15 @@ void Snapshotter::save_config(const core::SystemConfig& cfg, Writer& w) {
   w.u64(f.ecc_retirement_budget);
 
   w.str(cfg.name);
+
+  // Fields introduced with format version 2 append after the v1 tail so a
+  // version-1 payload is a strict prefix of the config section.
+  if (version >= 2) {
+    w.boolean(cfg.materialize_backing);
+  }
 }
 
-core::SystemConfig Snapshotter::load_config(Reader& r) {
+core::SystemConfig Snapshotter::load_config(Reader& r, std::uint32_t version) {
   core::SystemConfig cfg;
   cfg.system_page_size = r.u64();
   cfg.hbm_capacity = r.u64();
@@ -207,12 +216,18 @@ core::SystemConfig Snapshotter::load_config(Reader& r) {
   f.ecc_retirement_budget = r.u64();
 
   cfg.name = r.str();
+  if (version >= 2) {
+    cfg.materialize_backing = r.boolean();
+  }
+  // Version 1 predates non-materialized backing; its default (true) matches
+  // every machine a v1 blob can describe.
   return cfg;
 }
 
 // --- machine state ----------------------------------------------------------
 
-void Snapshotter::save_state(core::System& sys, Writer& w) {
+void Snapshotter::save_state(core::System& sys, Writer& w,
+                             std::uint32_t version) {
   core::Machine& m = sys.m_;
 
   // [2] Clock.
@@ -261,15 +276,30 @@ void Snapshotter::save_state(core::System& sys, Writer& w) {
   w.u64(m.c2c_.bytes_[1]);
   w.u64(m.c2c_.atomics_);
 
-  // [7] Page tables (entries sorted by VPN).
-  const auto save_pt = [&w](const pagetable::PageTable& pt) {
-    const auto entries = sorted_entries(pt.entries_);
-    w.u64(entries.size());
-    for (const auto& [vpn, pte] : entries) {
-      w.u64(vpn);
-      w.u8(static_cast<std::uint8_t>(pte.node));
-      w.boolean(pte.writable);
-      w.u32(pte.numa_generation);
+  // [7] Page tables. Version 2 writes the extent representation directly
+  // (runs are already ordered and canonical — maximal, attribute-equal);
+  // version 1 expands every run back to per-page entries, which is the
+  // legacy encoding byte for byte.
+  const auto save_pt = [&w, version](const pagetable::PageTable& pt) {
+    if (version >= 2) {
+      w.u64(pt.runs_.size());
+      for (const auto& [first_vpn, run] : pt.runs_) {
+        w.u64(first_vpn);
+        w.u64(run.pages);
+        w.u8(static_cast<std::uint8_t>(run.pte.node));
+        w.boolean(run.pte.writable);
+        w.u32(run.pte.numa_generation);
+      }
+    } else {
+      w.u64(pt.total_pages_);
+      for (const auto& [first_vpn, run] : pt.runs_) {
+        for (std::uint64_t p = 0; p < run.pages; ++p) {
+          w.u64(first_vpn + p);
+          w.u8(static_cast<std::uint8_t>(run.pte.node));
+          w.boolean(run.pte.writable);
+          w.u32(run.pte.numa_generation);
+        }
+      }
     }
   };
   save_pt(m.system_pt_);
@@ -310,7 +340,23 @@ void Snapshotter::save_state(core::System& sys, Writer& w) {
     w.boolean(vma.poisoned);
     w.u64(vma.resident_cpu_bytes);
     w.u64(vma.resident_gpu_bytes);
-    w.bytes(reinterpret_cast<const std::uint8_t*>(vma.data.get()), vma.size);
+    if (version >= 2) {
+      // Non-materialized backing (full-scale runs) has no bytes to carry.
+      const bool has_data = vma.data != nullptr;
+      w.boolean(has_data);
+      if (has_data) {
+        w.bytes(reinterpret_cast<const std::uint8_t*>(vma.data.get()),
+                vma.size);
+      }
+    } else {
+      if (vma.data == nullptr) {
+        throw StatusError{Status::kErrorInvalidValue,
+                          "checkpoint: format version 1 cannot describe "
+                          "non-materialized VMA backing"};
+      }
+      w.bytes(reinterpret_cast<const std::uint8_t*>(vma.data.get()),
+              vma.size);
+    }
   }
 
   // [10] Machine epoch / tenant.
@@ -453,7 +499,8 @@ void Snapshotter::save_state(core::System& sys, Writer& w) {
   w.u64(fi.denials_);
 }
 
-void Snapshotter::load_state(core::System& sys, Reader& r, core::System* donor) {
+void Snapshotter::load_state(core::System& sys, Reader& r,
+                             std::uint32_t version, core::System* donor) {
   core::Machine& m = sys.m_;
 
   // [2] Clock: set directly — observers (profiler, link monitor, fault
@@ -511,16 +558,31 @@ void Snapshotter::load_state(core::System& sys, Reader& r, core::System* donor) 
   m.c2c_.bytes_[1] = r.u64();
   m.c2c_.atomics_ = r.u64();
 
-  // [7] Page tables.
-  const auto load_pt = [&r](pagetable::PageTable& pt) {
-    pt.entries_.clear();
-    for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
-      const std::uint64_t vpn = r.u64();
-      pagetable::Pte pte;
-      pte.node = static_cast<mem::Node>(r.u8());
-      pte.writable = r.boolean();
-      pte.numa_generation = r.u32();
-      pt.entries_.emplace(vpn, pte);
+  // [7] Page tables. Either encoding lands in the extent map through
+  // insert_run, which coalesces — a version-1 per-page stream (entries
+  // sorted by VPN, so adjacent pages arrive in order) collapses back into
+  // the same canonical runs the machine held when it was saved.
+  const auto load_pt = [&r, version](pagetable::PageTable& pt) {
+    pt.clear();
+    if (version >= 2) {
+      for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+        const std::uint64_t first_vpn = r.u64();
+        const std::uint64_t pages = r.u64();
+        pagetable::Pte pte;
+        pte.node = static_cast<mem::Node>(r.u8());
+        pte.writable = r.boolean();
+        pte.numa_generation = r.u32();
+        pt.insert_run(first_vpn, pages, pte);
+      }
+    } else {
+      for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+        const std::uint64_t vpn = r.u64();
+        pagetable::Pte pte;
+        pte.node = static_cast<mem::Node>(r.u8());
+        pte.writable = r.boolean();
+        pte.numa_generation = r.u32();
+        pt.insert_run(vpn, 1, pte);
+      }
     }
   };
   load_pt(m.system_pt_);
@@ -569,14 +631,17 @@ void Snapshotter::load_state(core::System& sys, Reader& r, core::System* donor) 
     v.poisoned = r.boolean();
     v.resident_cpu_bytes = r.u64();
     v.resident_gpu_bytes = r.u64();
-    if (donor != nullptr) {
-      os::Vma* dv = donor->m_.as_.find_exact(v.base);
-      if (dv != nullptr && dv->size == v.size && dv->data != nullptr) {
-        v.data = std::move(dv->data);
+    const bool has_data = version >= 2 ? r.boolean() : true;
+    if (has_data) {
+      if (donor != nullptr) {
+        os::Vma* dv = donor->m_.as_.find_exact(v.base);
+        if (dv != nullptr && dv->size == v.size && dv->data != nullptr) {
+          v.data = std::move(dv->data);
+        }
       }
+      if (v.data == nullptr) v.data = std::make_unique<std::byte[]>(v.size);
+      r.bytes_into(reinterpret_cast<std::uint8_t*>(v.data.get()), v.size);
     }
-    if (v.data == nullptr) v.data = std::make_unique<std::byte[]>(v.size);
-    r.bytes_into(reinterpret_cast<std::uint8_t*>(v.data.get()), v.size);
     const std::uint64_t base = v.base;
     as.vmas_.emplace(base, std::move(v));
   }
@@ -735,19 +800,23 @@ void Snapshotter::load_state(core::System& sys, Reader& r, core::System* donor) 
 
 // --- public API -------------------------------------------------------------
 
-Blob Snapshotter::snapshot(core::System& sys) {
+Blob Snapshotter::snapshot(core::System& sys, std::uint32_t version) {
   if (sys.in_kernel_ || sys.in_phase_) {
     throw StatusError{Status::kErrorInvalidValue,
                              "snapshot inside an open kernel/phase"};
   }
+  if (version < kMinFormatVersion || version > kFormatVersion) {
+    throw StatusError{Status::kErrorInvalidValue,
+                             "snapshot: unwritable format version"};
+  }
   Writer payload;
-  save_config(sys.config(), payload);
-  save_state(sys, payload);
+  save_config(sys.config(), payload, version);
+  save_state(sys, payload, version);
   const std::vector<std::uint8_t>& body = payload.data();
 
   Writer out;
   out.u64(kMagic);
-  out.u32(kFormatVersion);
+  out.u32(version);
   out.u64(fnv1a(body.data(), body.size()));
   out.u64(body.size());
   Blob blob = out.take();
@@ -763,7 +832,8 @@ std::unique_ptr<core::System> Snapshotter::restore(const Blob& blob,
       throw StatusError{Status::kErrorInvalidValue,
                                "checkpoint: bad magic"};
     }
-    if (header.u32() != kFormatVersion) {
+    const std::uint32_t version = header.u32();
+    if (version < kMinFormatVersion || version > kFormatVersion) {
       throw StatusError{Status::kErrorInvalidValue,
                                "checkpoint: unsupported format version"};
     }
@@ -779,8 +849,8 @@ std::unique_ptr<core::System> Snapshotter::restore(const Blob& blob,
                                "checkpoint: payload digest mismatch"};
     }
     Reader r{body, static_cast<std::size_t>(size)};
-    auto sys = std::make_unique<core::System>(load_config(r));
-    load_state(*sys, r, donor);
+    auto sys = std::make_unique<core::System>(load_config(r, version));
+    load_state(*sys, r, version, donor);
     return sys;
   } catch (const std::out_of_range&) {
     throw StatusError{Status::kErrorInvalidValue,
@@ -794,8 +864,8 @@ std::uint64_t Snapshotter::state_digest(core::System& sys) {
                              "state_digest inside an open kernel/phase"};
   }
   Writer payload;
-  save_config(sys.config(), payload);
-  save_state(sys, payload);
+  save_config(sys.config(), payload, kFormatVersion);
+  save_state(sys, payload, kFormatVersion);
   return fnv1a(payload.data().data(), payload.data().size());
 }
 

@@ -53,6 +53,7 @@ class Machine {
         gmmu_(gpu_pt_, smmu_, pagetable::GmmuCosts{}, cfg.gpu_utlb_entries,
               cfg.gpu_utlb_entries) {
     events_.set_enabled(cfg.event_log);
+    as_.set_materialize(cfg.materialize_backing);
     gpu_fa_.reserve_baseline(cfg.gpu_driver_baseline);
     met_ = obs::bind_memsys_metrics(obs_);
     smmu_.cpu_tlb().bind_metrics(
@@ -163,6 +164,52 @@ class Machine {
   /// Moves a present system page to \p to. Returns false when frames on
   /// \p to are exhausted (page stays put).
   [[nodiscard]] bool move_system_page(os::Vma& vma, std::uint64_t va, mem::Node to);
+
+  // --- bulk system-page transitions -----------------------------------------
+  // Range helpers splice whole extents: one page-table operation, one frame
+  // accounting update and one TLB range shootdown per contiguous segment
+  // instead of per page. Their observable behaviour (pages mapped/moved,
+  // allocator state, TLB entries dropped) is bit-identical to the per-page
+  // loops they replace; when a fault injector is active and not suppressed
+  // they *fall back* to the per-page helpers so the injector's RNG stream
+  // is consumed identically.
+
+  /// Per-node page counts from a bulk operation.
+  struct RangePages {
+    std::uint64_t cpu = 0;
+    std::uint64_t gpu = 0;
+    [[nodiscard]] std::uint64_t total() const noexcept { return cpu + gpu; }
+  };
+  /// Outcome of a bulk map: pages newly mapped, and whether every hole in
+  /// the range was populated (false: frames ran out part-way, prefix
+  /// semantics — nothing after the failure point was touched).
+  struct BulkMapResult {
+    std::uint64_t mapped = 0;
+    bool complete = true;
+  };
+  /// Outcome of a bulk move: pages moved, and whether the destination ran
+  /// out of frames before the budget/range was exhausted.
+  struct BulkMoveResult {
+    std::uint64_t moved = 0;
+    bool dst_exhausted = false;
+  };
+
+  /// Maps every *unmapped* page in [page_base(va), +pages) on \p node,
+  /// stopping at the first page the frame allocator cannot satisfy
+  /// (already-present pages are skipped, like the per-page loops did).
+  BulkMapResult map_system_range(os::Vma& vma, std::uint64_t va,
+                                 std::uint64_t pages, mem::Node node);
+
+  /// Unmaps every *mapped* page in the range, releasing frames per node.
+  RangePages unmap_system_range(os::Vma& vma, std::uint64_t va,
+                                std::uint64_t pages);
+
+  /// Moves up to \p max_pages mapped pages in the range to \p to (pages
+  /// already there are skipped and do not consume budget), stopping when
+  /// \p to runs out of frames.
+  BulkMoveResult move_system_range(os::Vma& vma, std::uint64_t va,
+                                   std::uint64_t pages, mem::Node to,
+                                   std::uint64_t max_pages);
 
   // --- GPU-page-table block transitions -------------------------------------
   /// Size charged for the 2 MiB block containing \p va within \p vma

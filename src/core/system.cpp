@@ -572,12 +572,15 @@ std::string System::metrics_json() {
 void System::maybe_numa_hint_fault(std::uint64_t page_va, mem::Node origin) {
   const auto& cfg = m_.config();
   if (!cfg.autonuma_balancing) return;
-  pagetable::Pte* pte = m_.system_pt().lookup_mut(page_va);
+  const pagetable::Pte* pte = m_.system_pt().lookup(page_va);
   if (pte == nullptr) return;
   const auto gen =
       static_cast<std::uint32_t>(m_.clock().now() / cfg.autonuma_scan_period + 1);
   if (pte->numa_generation == gen) return;
-  pte->numa_generation = gen;
+  // Splits the page out of its extent; once neighbouring pages reach the
+  // same generation the runs re-coalesce, so a full scan sweep leaves the
+  // map as compact as before it started.
+  m_.system_pt().set_numa_generation(page_va, gen);
   const auto& costs = cfg.costs;
   m_.clock().advance(origin == mem::Node::kCpu ? costs.cpu_minor_fault
                                                : costs.gpu_replayable_fault);
@@ -643,9 +646,10 @@ bool System::advance_view(PageView& view, std::uint64_t va) {
 void System::fill_run_end(PageView& view) {
   view.run_end = view.page_end;
   if (!m_.config().batched_access) return;
-  // Cap the forward scan: long runs re-scan from the far end on the next
-  // transition, so the cap bounds per-resolve cost without losing batching.
-  constexpr std::size_t kMaxRunPages = 256;
+  // The extent map answers "where does this run end" in one O(log n)
+  // lookup, so no per-page scan cap is needed: a dense full-scale
+  // allocation (millions of pages) publishes its whole run at once.
+  constexpr std::size_t kMaxRunPages = ~std::size_t{0};
   const std::uint64_t limit = view.vma->end();
   switch (view.kind) {
     case os::AllocKind::kGpuOnly:

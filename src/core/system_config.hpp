@@ -78,6 +78,14 @@ struct SystemConfig {
   /// large runs leave it off).
   bool event_log = false;
 
+  /// Allocate real host backing for every VMA (Span<T> reads/writes live
+  /// data through it). Full-scale runs (96 GB / 480 GB presets) turn this
+  /// off: residency, faults and migrations are simulated page-granularly
+  /// without touching data bytes, so the simulator's RSS stays sub-linear
+  /// in the simulated footprint. With it off, Span/memcpy-style data paths
+  /// must not be used (Vma::data stays null).
+  bool materialize_backing = true;
+
   /// Memory-profiler sampling period in simulated time. The paper samples
   /// every 100 ms of wall time on runs lasting tens of seconds; scaled runs
   /// last milliseconds, so we default to 50 us of simulated time.

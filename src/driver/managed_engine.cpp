@@ -393,15 +393,15 @@ bool ManagedEngine::block_to_cpu(os::Vma& vma, std::uint64_t block_base,
   std::uint64_t pages = 0;
   {
     // The room was verified above; injection must not re-fail the cure
-    // mid-way (that would strand a half-written-back block).
+    // mid-way (that would strand a half-written-back block). Suppression
+    // also makes the bulk splice RNG-equivalent to the per-page loop.
     fault::FaultInjector::ScopedSuppress guard{m_->fault_injector()};
-    for (std::uint64_t va = block_base; va < stop; va += page) {
-      if (!m_->map_system_page(vma, va, mem::Node::kCpu)) {
-        throw StatusError{Status::kErrorOutOfMemory,
-                          "managed writeback: CPU frames vanished mid-transfer"};
-      }
-      ++pages;
+    const auto r = m_->map_system_range(vma, block_base, n_pages, mem::Node::kCpu);
+    if (!r.complete) {
+      throw StatusError{Status::kErrorOutOfMemory,
+                        "managed writeback: CPU frames vanished mid-transfer"};
     }
+    pages = r.mapped;
   }
 
   const sim::Picos dt =
@@ -444,26 +444,21 @@ bool ManagedEngine::block_to_gpu(os::Vma& vma, std::uint64_t block_base,
   const std::uint64_t page = m_->system_pt().page_size();
   const std::uint64_t stop = std::min(block_base + kBlock, vma.end());
 
-  // Scan what would move so the migration-batch gate only fires on actual
-  // copies (a pure GPU first touch moves nothing).
-  std::uint64_t present = 0;
-  for (std::uint64_t va = block_base; va < stop; va += page) {
-    if (m_->system_pt().lookup(va) != nullptr) ++present;
-  }
+  // Count what would move so the migration-batch gate only fires on actual
+  // copies (a pure GPU first touch moves nothing). One extent range query,
+  // not a per-page scan.
+  const std::uint64_t span_pages = (stop - block_base + page - 1) / page;
+  const std::uint64_t present =
+      m_->system_pt().resident_pages_in_range(block_base, span_pages);
   if (present > 0 && !mig_->batch_with_retry(block_base)) return false;
 
   // Claim the GPU block *before* unmapping the CPU side: if frames are
   // denied or exhausted, residency is completely unchanged.
   if (!m_->map_gpu_block(vma, block_base)) return false;
 
-  std::uint64_t moved_bytes = 0;
-  std::uint64_t pages = 0;
-  for (std::uint64_t va = block_base; va < stop; va += page) {
-    if (m_->system_pt().lookup(va) == nullptr) continue;
-    m_->unmap_system_page(vma, va);
-    moved_bytes += page;
-    ++pages;
-  }
+  const std::uint64_t pages =
+      m_->unmap_system_range(vma, block_base, span_pages).total();
+  const std::uint64_t moved_bytes = pages * page;
   const std::uint64_t block_bytes = m_->gpu_block_bytes(vma, block_base);
 
   sim::Picos t = 0;

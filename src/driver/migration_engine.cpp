@@ -83,15 +83,15 @@ std::uint64_t MigrationEngine::migrate_system_range(os::Vma& vma, std::uint64_t 
   const std::uint64_t start = m_->system_pt().page_base(std::max(base, vma.base));
   const std::uint64_t stop = std::min(base + len, vma.end());
 
-  std::uint64_t moved = 0;
-  std::uint64_t pages = 0;
-  for (std::uint64_t va = start; va < stop && moved < max_bytes; va += page) {
-    const pagetable::Pte* pte = m_->system_pt().lookup(va);
-    if (pte == nullptr || pte->node == to) continue;
-    if (!m_->move_system_page(vma, va, to)) break;  // destination exhausted
-    moved += page;
-    ++pages;
-  }
+  if (start >= stop) return 0;
+  const std::uint64_t span_pages = (stop - start + page - 1) / page;
+  // The byte budget was checked before each page, so it admits whole pages
+  // up to its ceiling.
+  const std::uint64_t budget =
+      max_bytes / page + (max_bytes % page != 0 ? 1 : 0);
+  const auto r = m_->move_system_range(vma, start, span_pages, to, budget);
+  const std::uint64_t pages = r.moved;
+  const std::uint64_t moved = pages * page;
   if (moved == 0) return 0;
 
   const auto dir = to == mem::Node::kGpu ? interconnect::Direction::kCpuToGpu

@@ -1,8 +1,15 @@
 #include "mem/frame_allocator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ghum::mem {
+
+void FrameAllocator::check_invariant() const {
+  if (used_ > capacity_) {
+    throw std::logic_error{"FrameAllocator: used exceeds capacity"};
+  }
+}
 
 void FrameAllocator::reserve_baseline(std::uint64_t bytes) {
   if (!allocate(bytes)) {
@@ -12,10 +19,13 @@ void FrameAllocator::reserve_baseline(std::uint64_t bytes) {
 }
 
 bool FrameAllocator::allocate(std::uint64_t bytes) {
-  if (used_ + bytes > capacity_) return false;
+  // Compare against the remaining headroom: `used_ + bytes > capacity_`
+  // wraps for huge requests and would admit them.
+  if (bytes > capacity_ - used_) return false;
   used_ += bytes;
   total_allocated_ += bytes;
   if (used_ > peak_used_) peak_used_ = used_;
+  check_invariant();
   return true;
 }
 
@@ -23,12 +33,15 @@ std::uint64_t FrameAllocator::retire(std::uint64_t bytes) {
   const std::uint64_t take = std::min(bytes, free_bytes());
   capacity_ -= take;
   retired_ += take;
+  if (peak_used_ > capacity_) peak_used_ = capacity_;
+  check_invariant();
   return take;
 }
 
 void FrameAllocator::release(std::uint64_t bytes) {
   if (bytes > used_) throw std::logic_error{"FrameAllocator: release underflow"};
   used_ -= bytes;
+  check_invariant();
 }
 
 }  // namespace ghum::mem

@@ -40,7 +40,8 @@ class FrameAllocator {
   /// Permanently retires free frames (uncorrectable ECC): capacity shrinks
   /// by the returned amount, bounded by what is currently free. Callers
   /// that must retire in-use frames first vacate them (remap/evict the
-  /// resident pages) and then retire.
+  /// resident pages) and then retire. peak_used() is re-clamped to the
+  /// shrunken capacity so utilization ratios stay <= 1 after retirement.
   std::uint64_t retire(std::uint64_t bytes);
   [[nodiscard]] std::uint64_t retired_bytes() const noexcept { return retired_; }
 
@@ -56,6 +57,11 @@ class FrameAllocator {
   std::uint64_t retired_ = 0;
   std::uint64_t total_allocated_ = 0;
   std::uint64_t peak_used_ = 0;
+
+  /// used_ <= capacity_ must hold after every mutation; free_bytes() and
+  /// peak_used() are derived from it and silently corrupt reports if it
+  /// ever breaks (e.g. a retire() racing a stale free_bytes() reading).
+  void check_invariant() const;
 
   friend class ghum::chk::Snapshotter;
 };

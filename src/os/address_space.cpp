@@ -30,7 +30,7 @@ Vma& AddressSpace::create(std::uint64_t size, AllocKind kind,
   vma.kind = kind;
   vma.label = std::move(label);
   vma.tenant = current_tenant_;
-  vma.data = std::make_unique<std::byte[]>(size);
+  if (materialize_) vma.data = std::make_unique<std::byte[]>(size);
 
   auto [it, inserted] = vmas_.emplace(base, std::move(vma));
   if (!inserted) throw std::logic_error{"AddressSpace::create: VA collision"};

@@ -104,6 +104,12 @@ class AddressSpace {
   /// whenever pages are mapped/unmapped/migrated).
   void note_resident_delta(Vma& vma, std::int64_t cpu_delta, std::int64_t gpu_delta);
 
+  /// Whether create() allocates host backing for new VMAs (set once by
+  /// core::Machine from SystemConfig::materialize_backing). When off,
+  /// Vma::data stays null and only page-granular accounting is simulated.
+  void set_materialize(bool m) noexcept { materialize_ = m; }
+  [[nodiscard]] bool materialize() const noexcept { return materialize_; }
+
   /// Tenant stamped on subsequently created VMAs (set by core::Machine when
   /// a scheduler quantum begins; kNoTenant otherwise).
   void set_current_tenant(tenant::TenantId t) noexcept { current_tenant_ = t; }
@@ -124,6 +130,7 @@ class AddressSpace {
   std::map<std::uint64_t, Vma> vmas_;  // keyed by base
   std::uint64_t next_va_ = kVaStart;
   std::uint64_t rss_ = 0;
+  bool materialize_ = true;
   tenant::TenantId current_tenant_ = tenant::kNoTenant;
 
   friend class ghum::chk::Snapshotter;

@@ -92,23 +92,20 @@ bool PageFaultHandler::host_register(Vma& vma) {
   const std::uint64_t page = m_->system_pt().page_size();
   m_->clock().advance(costs.host_register_base);
 
-  std::uint64_t populated = 0;
-  bool complete = true;
-  for (std::uint64_t va = vma.base; va < vma.end(); va += page) {
-    if (m_->system_pt().lookup(va) != nullptr) continue;
-    if (!m_->map_system_page(vma, va, mem::Node::kCpu)) {
-      // CPU frames exhausted (or an injected transient denial): stop the
-      // population loop. Pages mapped so far stay mapped — the remainder
-      // of the range keeps faulting on demand, which is slower but
-      // correct. Registration is only recorded on full success.
-      complete = false;
-      m_->stats().add("os.host_register.partial");
-      break;
-    }
-    ++populated;
-    const sim::Picos zero = sim::transfer_time(page, costs.fault_zero_bandwidth_Bps);
-    m_->clock().advance(costs.host_register_per_page + zero);
+  const std::uint64_t pages = (vma.size + page - 1) / page;
+  const auto r = m_->map_system_range(vma, vma.base, pages, mem::Node::kCpu);
+  const std::uint64_t populated = r.mapped;
+  const bool complete = r.complete;
+  if (!complete) {
+    // CPU frames exhausted (or an injected transient denial): population
+    // stopped. Pages mapped so far stay mapped — the remainder of the
+    // range keeps faulting on demand, which is slower but correct.
+    // Registration is only recorded on full success.
+    m_->stats().add("os.host_register.partial");
   }
+  const sim::Picos zero = sim::transfer_time(page, costs.fault_zero_bandwidth_Bps);
+  m_->clock().advance((costs.host_register_per_page + zero) *
+                      static_cast<sim::Picos>(populated));
   if (complete) vma.host_registered = true;
 
   auto& events = m_->events();

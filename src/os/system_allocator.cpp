@@ -37,30 +37,26 @@ Vma& SystemAllocator::allocate_pinned(std::uint64_t bytes, std::string label) {
   // Pinned memory is populated and locked at allocation time. mlock is
   // all-or-nothing: on exhaustion the partially populated VMA is unwound
   // and the allocation fails cleanly (no leaked frames or VA range).
-  for (std::uint64_t va = vma.base; va < vma.end(); va += page) {
-    if (!m_->map_system_page(vma, va, mem::Node::kCpu)) {
-      for (std::uint64_t undo = vma.base; undo < va; undo += page) {
-        m_->unmap_system_page(vma, undo);
-      }
-      m_->address_space().destroy(vma.base);
-      throw StatusError{Status::kErrorMemoryAllocation,
-                        "allocate_pinned: CPU memory exhausted"};
-    }
-    const sim::Picos zero = sim::transfer_time(page, costs.fault_zero_bandwidth_Bps);
-    m_->clock().advance(costs.host_register_per_page + zero);
+  const std::uint64_t pages = (bytes + page - 1) / page;
+  const auto r = m_->map_system_range(vma, vma.base, pages, mem::Node::kCpu);
+  if (!r.complete) {
+    (void)m_->unmap_system_range(vma, vma.base, pages);
+    m_->address_space().destroy(vma.base);
+    throw StatusError{Status::kErrorMemoryAllocation,
+                      "allocate_pinned: CPU memory exhausted"};
   }
+  const sim::Picos zero = sim::transfer_time(page, costs.fault_zero_bandwidth_Bps);
+  m_->clock().advance((costs.host_register_per_page + zero) *
+                      static_cast<sim::Picos>(r.mapped));
   return vma;
 }
 
 void SystemAllocator::deallocate(Vma& vma) {
   const auto& costs = m_->config().costs;
   const std::uint64_t page = m_->system_pt().page_size();
-  std::uint64_t torn_down = 0;
-  for (std::uint64_t va = vma.base; va < vma.end(); va += page) {
-    if (m_->system_pt().lookup(va) == nullptr) continue;
-    m_->unmap_system_page(vma, va);
-    ++torn_down;
-  }
+  const std::uint64_t pages = (vma.size + page - 1) / page;
+  const std::uint64_t torn_down =
+      m_->unmap_system_range(vma, vma.base, pages).total();
   m_->clock().advance(costs.unmap_base +
                       costs.unmap_per_page * static_cast<sim::Picos>(torn_down));
   if (vma.resident_gpu_bytes != 0 || vma.resident_cpu_bytes != 0) {

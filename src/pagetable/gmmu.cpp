@@ -44,6 +44,13 @@ void Gmmu::invalidate_system(std::uint64_t va) {
   utlb_sys_.invalidate(smmu_->system_vpn(va));
 }
 
+void Gmmu::invalidate_system_range(std::uint64_t va, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t first = smmu_->system_vpn(va);
+  const std::uint64_t last = smmu_->system_vpn(va + bytes - 1) + 1;
+  utlb_sys_.invalidate_range(first, last);
+}
+
 void Gmmu::flush_tlbs() {
   utlb_gpu_.flush();
   utlb_sys_.flush();

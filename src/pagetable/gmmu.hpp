@@ -62,6 +62,10 @@ class Gmmu {
 
   void invalidate_gpu_table(std::uint64_t va);
   void invalidate_system(std::uint64_t va);
+
+  /// Drops cached ATS answers for system pages in [va, va+bytes) (bulk
+  /// shootdown companion to Smmu::invalidate_range).
+  void invalidate_system_range(std::uint64_t va, std::uint64_t bytes);
   void flush_tlbs();
 
   [[nodiscard]] const Tlb& utlb_gpu() const noexcept { return utlb_gpu_; }

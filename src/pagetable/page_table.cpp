@@ -12,47 +12,176 @@ PageTable::PageTable(std::uint64_t page_size) : page_size_(page_size) {
   page_shift_ = static_cast<unsigned>(std::countr_zero(page_size));
 }
 
+PageTable::RunMap::const_iterator PageTable::find_run(std::uint64_t vpn) const {
+  auto it = runs_.upper_bound(vpn);
+  if (it == runs_.begin()) return runs_.end();
+  --it;
+  return vpn < it->first + it->second.pages ? it : runs_.end();
+}
+
+PageTable::RunMap::iterator PageTable::find_run_mut(std::uint64_t vpn) {
+  auto it = runs_.upper_bound(vpn);
+  if (it == runs_.begin()) return runs_.end();
+  --it;
+  return vpn < it->first + it->second.pages ? it : runs_.end();
+}
+
+void PageTable::account(std::uint64_t pages, mem::Node node, bool add) noexcept {
+  auto& per_node = node_pages_[static_cast<std::size_t>(node)];
+  if (add) {
+    total_pages_ += pages;
+    per_node += pages;
+  } else {
+    total_pages_ -= pages;
+    per_node -= pages;
+  }
+}
+
+void PageTable::split_before(std::uint64_t vpn) {
+  auto it = find_run_mut(vpn);
+  if (it == runs_.end() || it->first == vpn) return;
+  const std::uint64_t head = vpn - it->first;
+  const Run tail{it->second.pages - head, it->second.pte};
+  it->second.pages = head;
+  runs_.emplace_hint(std::next(it), vpn, tail);
+}
+
+PageTable::RunMap::iterator PageTable::merge_left(RunMap::iterator it) {
+  if (it == runs_.begin()) return it;
+  auto prev = std::prev(it);
+  if (prev->first + prev->second.pages != it->first ||
+      !(prev->second.pte == it->second.pte)) {
+    return it;
+  }
+  prev->second.pages += it->second.pages;
+  runs_.erase(it);
+  return prev;
+}
+
+void PageTable::insert_run(std::uint64_t first_vpn, std::uint64_t pages, Pte pte) {
+  if (pages == 0) return;
+  auto [it, inserted] = runs_.emplace(first_vpn, Run{pages, pte});
+  if (!inserted) throw std::logic_error{"PageTable: overlapping run insert"};
+  account(pages, pte.node, /*add=*/true);
+  it = merge_left(it);
+  auto next = std::next(it);
+  if (next != runs_.end()) merge_left(next);
+}
+
 const Pte* PageTable::lookup(std::uint64_t va) const {
-  auto it = entries_.find(vpn(va));
-  return it == entries_.end() ? nullptr : &it->second;
+  auto it = find_run(vpn(va));
+  return it == runs_.end() ? nullptr : &it->second.pte;
 }
 
-Pte* PageTable::lookup_mut(std::uint64_t va) {
-  auto it = entries_.find(vpn(va));
-  return it == entries_.end() ? nullptr : &it->second;
-}
+void PageTable::map(std::uint64_t va, Pte pte) { map_range(va, 1, pte); }
 
-void PageTable::map(std::uint64_t va, Pte pte) { entries_[vpn(va)] = pte; }
-
-bool PageTable::unmap(std::uint64_t va) { return entries_.erase(vpn(va)) > 0; }
+bool PageTable::unmap(std::uint64_t va) { return unmap_range(va, 1) > 0; }
 
 void PageTable::set_node(std::uint64_t va, mem::Node node) {
-  auto it = entries_.find(vpn(va));
-  if (it == entries_.end()) {
+  if (lookup(va) == nullptr) {
     throw std::logic_error{"PageTable::set_node: page not mapped"};
   }
-  it->second.node = node;
+  (void)set_node_range(va, 1, node);
+}
+
+void PageTable::set_numa_generation(std::uint64_t va, std::uint32_t generation) {
+  const std::uint64_t v = vpn(va);
+  if (find_run(v) == runs_.end()) {
+    throw std::logic_error{"PageTable::set_numa_generation: page not mapped"};
+  }
+  split_before(v);
+  split_before(v + 1);
+  auto it = runs_.find(v);
+  it->second.pte.numa_generation = generation;
+  it = merge_left(it);
+  auto next = std::next(it);
+  if (next != runs_.end()) merge_left(next);
+}
+
+void PageTable::map_range(std::uint64_t va, std::uint64_t pages, Pte pte) {
+  if (pages == 0) return;
+  (void)unmap_range(va, pages);  // overwrite semantics
+  insert_run(vpn(va), pages, pte);
+}
+
+std::uint64_t PageTable::unmap_range(std::uint64_t va, std::uint64_t pages) {
+  if (pages == 0) return 0;
+  const std::uint64_t lo = vpn(va);
+  const std::uint64_t hi = lo + pages;
+  split_before(lo);
+  split_before(hi);
+  auto it = runs_.lower_bound(lo);
+  std::uint64_t removed = 0;
+  while (it != runs_.end() && it->first < hi) {
+    removed += it->second.pages;
+    account(it->second.pages, it->second.pte.node, /*add=*/false);
+    it = runs_.erase(it);
+  }
+  return removed;
+}
+
+std::uint64_t PageTable::set_node_range(std::uint64_t va, std::uint64_t pages,
+                                        mem::Node node) {
+  if (pages == 0) return 0;
+  const std::uint64_t lo = vpn(va);
+  const std::uint64_t hi = lo + pages;
+  split_before(lo);
+  split_before(hi);
+  std::uint64_t changed = 0;
+  auto it = runs_.lower_bound(lo);
+  while (it != runs_.end() && it->first < hi) {
+    if (it->second.pte.node != node) {
+      account(it->second.pages, it->second.pte.node, /*add=*/false);
+      it->second.pte.node = node;
+      account(it->second.pages, node, /*add=*/true);
+      changed += it->second.pages;
+    }
+    it = merge_left(it);
+    ++it;
+  }
+  // Re-join the run starting exactly at hi with its (possibly rewritten)
+  // left neighbour, undoing the split when attributes still match.
+  if (it != runs_.end() && it->first == hi) (void)merge_left(it);
+  return changed;
+}
+
+std::uint64_t PageTable::resident_pages_in_range(std::uint64_t va,
+                                                 std::uint64_t pages) const {
+  std::uint64_t n = 0;
+  for_each_run_in_range(va, pages,
+                        [&n](std::uint64_t, std::uint64_t run_pages, const Pte&) {
+                          n += run_pages;
+                        });
+  return n;
 }
 
 std::uint64_t PageTable::resident_run_end(std::uint64_t va, mem::Node node,
                                           std::uint64_t limit,
                                           std::size_t max_pages) const {
-  std::uint64_t end = page_base(va) + page_size_;
-  for (std::size_t n = 1; n < max_pages && end < limit; ++n) {
-    auto it = entries_.find(vpn(end));
-    if (it == entries_.end() || it->second.node != node) break;
-    end += page_size_;
+  const std::uint64_t v = vpn(va);
+  std::uint64_t end_vpn = v + 1;
+  auto it = find_run(v);
+  if (it != runs_.end() && it->second.pte.node == node) {
+    end_vpn = it->first + it->second.pages;
+  } else {
+    // The anchor page was already resolved by the caller, so its own
+    // state is irrelevant; extend across the next extent when contiguous.
+    auto next = find_run(v + 1);
+    if (next != runs_.end() && next->second.pte.node == node) {
+      end_vpn = next->first + next->second.pages;
+    }
   }
+  if (end_vpn - v > max_pages) end_vpn = v + max_pages;
+  std::uint64_t end = end_vpn << page_shift_;
+  const std::uint64_t floor = page_base(va) + page_size_;
+  if (end < floor) end = floor;
   return end < limit ? end : limit;
 }
 
-std::size_t PageTable::resident_pages(mem::Node node) const {
-  std::size_t n = 0;
-  for (const auto& [vpn, pte] : entries_) {
-    (void)vpn;
-    if (pte.node == node) ++n;
-  }
-  return n;
+void PageTable::clear() {
+  runs_.clear();
+  total_pages_ = 0;
+  node_pages_[0] = node_pages_[1] = 0;
 }
 
 }  // namespace ghum::pagetable

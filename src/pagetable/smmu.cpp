@@ -38,6 +38,14 @@ void Smmu::invalidate(std::uint64_t va) {
   ats_tlb_.invalidate(vpn);
 }
 
+void Smmu::invalidate_range(std::uint64_t va, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t first = system_pt_->vpn(va);
+  const std::uint64_t last = system_pt_->vpn(va + bytes - 1) + 1;
+  cpu_tlb_.invalidate_range(first, last);
+  ats_tlb_.invalidate_range(first, last);
+}
+
 void Smmu::flush_tlbs() {
   cpu_tlb_.flush();
   ats_tlb_.flush();

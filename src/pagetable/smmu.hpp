@@ -60,6 +60,10 @@ class Smmu {
   /// Invalidate cached translations for the page containing \p va
   /// (called on migration/unmap; shootdown cost is charged by the caller).
   void invalidate(std::uint64_t va);
+
+  /// Drops every cached translation for pages overlapping [va, va+bytes)
+  /// from both TLBs (bulk shootdown for range unmap/migration).
+  void invalidate_range(std::uint64_t va, std::uint64_t bytes);
   void flush_tlbs();
 
   /// VPN of \p va at system-page granularity (used by the GMMU to key its

@@ -41,6 +41,18 @@ void Tlb::invalidate(std::uint64_t vpn) {
   map_.erase(it);
 }
 
+void Tlb::invalidate_range(std::uint64_t first, std::uint64_t last) {
+  if (first >= last || map_.empty()) return;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->vpn >= first && it->vpn < last) {
+      map_.erase(it->vpn);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void Tlb::flush() {
   lru_.clear();
   map_.clear();

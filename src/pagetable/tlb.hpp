@@ -34,6 +34,11 @@ class Tlb {
   /// Invalidates one VPN (no-op if absent).
   void invalidate(std::uint64_t vpn);
 
+  /// Invalidates every cached VPN in [first, last): one walk over the
+  /// bounded LRU list instead of one hash erase per page, so bulk unmap /
+  /// migration splices cost O(TLB entries), not O(pages).
+  void invalidate_range(std::uint64_t first, std::uint64_t last);
+
   /// Invalidates everything (full shootdown).
   void flush();
 

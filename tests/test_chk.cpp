@@ -129,6 +129,85 @@ INSTANTIATE_TEST_SUITE_P(Modes, ChkReplay,
                            return std::string{apps::to_string(info.param)};
                          });
 
+TEST(ChkCompat, Version1BlobRestoresBitIdentical) {
+  core::System sys{chk_cfg()};
+  runtime::Runtime rt{sys};
+  (void)apps::run_hotspot(rt, apps::MemMode::kManaged, small_hotspot());
+  // A contiguous first-touched region: one extent, 64 resident pages.
+  const core::Buffer big = sys.sys_malloc(4ull << 20, "contiguous");
+  for (std::uint64_t off = 0; off < big.bytes; off += chk_cfg().system_page_size)
+    (void)sys.resolve(big.va + off, mem::Node::kCpu);
+
+  // The legacy encoding (per-page page tables, unconditional VMA bytes)
+  // must still restore to the same machine: loading per-page entries into
+  // the extent map coalesces them back to the canonical runs.
+  const chk::Blob legacy = chk::Snapshotter::snapshot(sys, /*version=*/1);
+  std::unique_ptr<core::System> twin = chk::Snapshotter::restore(legacy);
+  EXPECT_EQ(twin->now(), sys.now());
+  EXPECT_EQ(chk::Snapshotter::state_digest(*twin),
+            chk::Snapshotter::state_digest(sys));
+  // Re-serializing the twin at the current version matches the original's
+  // current-version blob bit for bit.
+  EXPECT_EQ(chk::Snapshotter::snapshot(*twin), chk::Snapshotter::snapshot(sys));
+  // A version-1 blob is strictly larger: it spends one record per page
+  // where the extent encoding spends one per run.
+  EXPECT_GT(legacy.size(), chk::Snapshotter::snapshot(sys).size());
+}
+
+TEST(ChkCompat, Version1CannotDescribeNonMaterializedBacking) {
+  core::SystemConfig cfg = chk_cfg();
+  cfg.materialize_backing = false;
+  cfg.event_log = false;
+  core::System sys{cfg};
+  core::Buffer b = sys.sys_malloc(1 << 20, "virtual-only");
+  (void)b;
+  // No byte image exists, so the v1 format (unconditional VMA bytes) must
+  // refuse rather than serialize garbage...
+  EXPECT_THROW((void)chk::Snapshotter::snapshot(sys, /*version=*/1),
+               StatusError);
+  // ...while the current format round-trips the data-less VMA.
+  const chk::Blob blob = chk::Snapshotter::snapshot(sys);
+  std::unique_ptr<core::System> twin = chk::Snapshotter::restore(blob);
+  EXPECT_EQ(chk::Snapshotter::state_digest(*twin),
+            chk::Snapshotter::state_digest(sys));
+}
+
+TEST(ChkCompat, UnwritableVersionsAreRejected) {
+  core::System sys{chk_cfg()};
+  EXPECT_THROW((void)chk::Snapshotter::snapshot(sys, 0), StatusError);
+  EXPECT_THROW((void)chk::Snapshotter::snapshot(sys, chk::kFormatVersion + 1),
+               StatusError);
+}
+
+TEST(ChkRoundTrip, MaximallyFragmentedAddressSpaceRoundTrips) {
+  core::System sys{chk_cfg()};
+  runtime::Runtime rt{sys};
+  const std::uint64_t page = sys.config().system_page_size;
+  core::Buffer b = rt.malloc_system(32 * page, "frag");
+  ASSERT_EQ(sys.host_register(b), Status::kSuccess);
+  // Alternate every other page to the GPU: worst-case fragmentation, one
+  // extent per page across the whole allocation.
+  for (std::uint64_t off = 0; off < b.bytes; off += 2 * page) {
+    sys.prefetch(b, off, page, mem::Node::kGpu);
+  }
+  ASSERT_GE(sys.machine().system_pt().run_count(), 31u);
+
+  const chk::Blob blob = chk::Snapshotter::snapshot(sys);
+  std::unique_ptr<core::System> twin = chk::Snapshotter::restore(blob);
+  EXPECT_EQ(chk::Snapshotter::state_digest(*twin),
+            chk::Snapshotter::state_digest(sys));
+  EXPECT_EQ(twin->machine().system_pt().run_count(),
+            sys.machine().system_pt().run_count());
+  EXPECT_EQ(chk::Snapshotter::snapshot(*twin), blob);
+  // The legacy encoding agrees on the same machine even at maximal
+  // fragmentation (every run is a single page).
+  std::unique_ptr<core::System> legacy_twin =
+      chk::Snapshotter::restore(chk::Snapshotter::snapshot(sys, /*version=*/1));
+  EXPECT_EQ(chk::Snapshotter::state_digest(*legacy_twin),
+            chk::Snapshotter::state_digest(sys));
+  rt.free(b);
+}
+
 TEST(ChkValidation, RejectsCorruptTruncatedAndAlienBlobs) {
   core::System sys{chk_cfg()};
   runtime::Runtime rt{sys};
@@ -154,6 +233,17 @@ TEST(ChkValidation, RejectsCorruptTruncatedAndAlienBlobs) {
   chk::Blob alien = blob;
   alien[0] ^= 0xff;
   EXPECT_THROW((void)chk::Snapshotter::restore(alien), StatusError);
+
+  // Unsupported format version. The payload digest does not cover the
+  // header, so this exercises the version check itself (offset 8 is the
+  // version word, io.hpp).
+  for (const std::uint8_t v : {std::uint8_t{0},
+                               std::uint8_t(chk::kFormatVersion + 1)}) {
+    chk::Blob vers = blob;
+    vers[8] = v;
+    EXPECT_THROW((void)chk::Snapshotter::restore(vers), StatusError)
+        << "version " << int{v};
+  }
 }
 
 TEST(ChkValidation, SnapshotInsideOpenKernelThrows) {
@@ -236,6 +326,15 @@ class ChkFuzz : public ::testing::Test {
     sys_ = std::make_unique<core::System>(chk_cfg());
     rt_ = std::make_unique<runtime::Runtime>(*sys_);
     probe_ = rt_->malloc_managed(256 << 10);
+    // Fragment the system page table (alternate pages CPU/GPU) so the
+    // fuzzed payload contains a multi-run extent section — flips and
+    // truncations land inside the run records too.
+    const std::uint64_t page = sys_->config().system_page_size;
+    frag_ = rt_->malloc_system(8 * page, "frag");
+    ASSERT_EQ(sys_->host_register(frag_), Status::kSuccess);
+    for (std::uint64_t off = 0; off < frag_.bytes; off += 2 * page) {
+      sys_->prefetch(frag_, off, page, mem::Node::kGpu);
+    }
     blob_ = chk::Snapshotter::snapshot(*sys_);
     ASSERT_GT(blob_.size(), 28u);
   }
@@ -243,6 +342,7 @@ class ChkFuzz : public ::testing::Test {
   std::unique_ptr<core::System> sys_;
   std::unique_ptr<runtime::Runtime> rt_;
   core::Buffer probe_;
+  core::Buffer frag_;
   chk::Blob blob_;
 };
 
@@ -272,6 +372,28 @@ TEST_F(ChkFuzz, EverySingleByteFlipIsRejected) {
           << pos;
     }
   }
+}
+
+TEST_F(ChkFuzz, LegacyVersionBlobCorruptionIsRejectedToo) {
+  // The version-1 compat loader gets the same treatment: strided flips and
+  // truncations of a legacy blob must always surface StatusError.
+  const chk::Blob legacy = chk::Snapshotter::snapshot(*sys_, /*version=*/1);
+  for (std::size_t pos = 0; pos < legacy.size(); pos += 157) {
+    chk::Blob flipped = legacy;
+    flipped[pos] ^= 0xff;
+    EXPECT_THROW((void)chk::Snapshotter::restore(flipped), StatusError)
+        << "flip at byte " << pos;
+  }
+  for (std::size_t len = 0; len < legacy.size();
+       len += (len < 64 ? 1 : 211)) {
+    chk::Blob t{legacy.begin(), legacy.begin() + static_cast<std::ptrdiff_t>(len)};
+    EXPECT_THROW((void)chk::Snapshotter::restore(t), StatusError)
+        << "truncated to " << len;
+  }
+  // Pristine, it restores bit-identically.
+  std::unique_ptr<core::System> twin = chk::Snapshotter::restore(legacy);
+  EXPECT_EQ(chk::Snapshotter::state_digest(*twin),
+            chk::Snapshotter::state_digest(*sys_));
 }
 
 TEST_F(ChkFuzz, FailedRestoreLeavesTheDonorIntact) {

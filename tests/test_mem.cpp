@@ -70,6 +70,55 @@ TEST(FrameAllocator, BaselineOverCapacityThrows) {
   EXPECT_THROW(fa.reserve_baseline(11), std::runtime_error);
 }
 
+TEST(FrameAllocator, RetireWhileNearFullKeepsUsedWithinCapacity) {
+  FrameAllocator fa{Node::kGpu, 1000};
+  EXPECT_TRUE(fa.allocate(990));
+  // Only the 10 free bytes are retirable; used_ <= capacity_ must survive.
+  EXPECT_EQ(fa.retire(500), 10u);
+  EXPECT_EQ(fa.capacity(), 990u);
+  EXPECT_EQ(fa.used(), 990u);
+  EXPECT_EQ(fa.free_bytes(), 0u);
+  EXPECT_LE(fa.used(), fa.capacity());
+  EXPECT_LE(fa.peak_used(), fa.capacity());
+}
+
+TEST(FrameAllocator, RetireThenAllocateRespectsShrunkenCapacity) {
+  FrameAllocator fa{Node::kGpu, 1000};
+  EXPECT_TRUE(fa.allocate(600));
+  EXPECT_EQ(fa.retire(300), 300u);
+  EXPECT_EQ(fa.capacity(), 700u);
+  // Exactly the remaining 100 free bytes allocate; one more byte fails.
+  EXPECT_FALSE(fa.allocate(101));
+  EXPECT_TRUE(fa.allocate(100));
+  EXPECT_EQ(fa.used(), 700u);
+  EXPECT_FALSE(fa.allocate(1));
+  fa.release(700);
+  EXPECT_EQ(fa.free_bytes(), 700u);
+}
+
+TEST(FrameAllocator, RetireEverythingThenPeakStaysBounded) {
+  FrameAllocator fa{Node::kCpu, 100};
+  EXPECT_TRUE(fa.allocate(80));
+  EXPECT_EQ(fa.peak_used(), 80u);
+  fa.release(80);
+  // Retiring below the historical peak re-clamps it (utilization <= 1).
+  EXPECT_EQ(fa.retire(70), 70u);
+  EXPECT_EQ(fa.capacity(), 30u);
+  EXPECT_LE(fa.peak_used(), fa.capacity());
+  EXPECT_FALSE(fa.allocate(31));
+  EXPECT_TRUE(fa.allocate(30));
+}
+
+TEST(FrameAllocator, OversizeAllocateDoesNotOverflow) {
+  FrameAllocator fa{Node::kGpu, 100};
+  EXPECT_TRUE(fa.allocate(50));
+  // bytes > capacity - used must fail cleanly even when bytes + used_
+  // would wrap uint64.
+  EXPECT_FALSE(fa.allocate(~0ull));
+  EXPECT_EQ(fa.used(), 50u);
+  EXPECT_LE(fa.used(), fa.capacity());
+}
+
 TEST(NvlinkC2C, AsymmetricPaperBandwidths) {
   interconnect::NvlinkC2C link;
   // Section 2.1: 375 GB/s H2D, 297 GB/s D2H via Comm|Scope.

@@ -69,6 +69,130 @@ TEST(PageTable, ResidentRunEndScansContiguousResidency) {
   EXPECT_EQ(pt.resident_run_end(0x4000, mem::Node::kCpu, limit, 256), 0x6000u);
 }
 
+TEST(PageTable, AdjacentRunsMergeOnSetNode) {
+  PageTable pt{kSystemPage4K};
+  // Per-page maps of identical PTEs coalesce into a single extent.
+  for (std::uint64_t p = 0; p < 6; ++p) {
+    pt.map(p * 0x1000, Pte{.node = mem::Node::kCpu});
+  }
+  EXPECT_EQ(pt.run_count(), 1u);
+  // Moving the middle pages splits the extent in three...
+  pt.set_node(0x2000, mem::Node::kGpu);
+  pt.set_node(0x3000, mem::Node::kGpu);
+  EXPECT_EQ(pt.run_count(), 3u);
+  EXPECT_EQ(pt.resident_pages(mem::Node::kGpu), 2u);
+  // ...and moving them back re-merges everything into one run.
+  pt.set_node(0x2000, mem::Node::kCpu);
+  pt.set_node(0x3000, mem::Node::kCpu);
+  EXPECT_EQ(pt.run_count(), 1u);
+  EXPECT_EQ(pt.resident_pages(mem::Node::kCpu), 6u);
+}
+
+TEST(PageTable, MidRunUnmapSplitsExtent) {
+  PageTable pt{kSystemPage4K};
+  pt.map_range(0x0000, 10, Pte{.node = mem::Node::kCpu});
+  EXPECT_EQ(pt.run_count(), 1u);
+  EXPECT_TRUE(pt.unmap(0x4000));
+  EXPECT_EQ(pt.run_count(), 2u);
+  EXPECT_EQ(pt.mapped_pages(), 9u);
+  EXPECT_EQ(pt.lookup(0x4000), nullptr);
+  ASSERT_NE(pt.lookup(0x3000), nullptr);
+  ASSERT_NE(pt.lookup(0x5000), nullptr);
+  // Remapping the hole with the same attributes heals the single extent.
+  pt.map(0x4000, Pte{.node = mem::Node::kCpu});
+  EXPECT_EQ(pt.run_count(), 1u);
+  EXPECT_EQ(pt.mapped_pages(), 10u);
+}
+
+TEST(PageTable, BulkRangeOpsSpliceWholeExtents) {
+  PageTable pt{kSystemPage4K};
+  pt.map_range(0x0000, 8, Pte{.node = mem::Node::kCpu});
+  // Partial node change reports only the pages that actually moved.
+  EXPECT_EQ(pt.set_node_range(0x2000, 4, mem::Node::kGpu), 4u);
+  EXPECT_EQ(pt.set_node_range(0x2000, 4, mem::Node::kGpu), 0u);
+  EXPECT_EQ(pt.run_count(), 3u);
+  // map_range overwrites: re-mapping the whole range back to one PTE value
+  // collapses the fragmentation.
+  pt.map_range(0x0000, 8, Pte{.node = mem::Node::kCpu});
+  EXPECT_EQ(pt.run_count(), 1u);
+  // unmap_range over a partially mapped window counts only mapped pages.
+  EXPECT_EQ(pt.unmap_range(0x6000, 4), 2u);
+  EXPECT_EQ(pt.mapped_pages(), 6u);
+}
+
+TEST(PageTable, RunsStraddlingRangeBoundariesAreClipped) {
+  PageTable pt{kSystemPage4K};
+  pt.map_range(0x0000, 12, Pte{.node = mem::Node::kGpu});
+  // Queries over a window inside the run see exactly the window.
+  EXPECT_EQ(pt.resident_pages_in_range(0x3000, 4), 4u);
+  std::uint64_t seen_pages = 0;
+  std::uint64_t first = 0;
+  pt.for_each_run_in_range(0x3000, 4,
+                           [&](std::uint64_t vpn, std::uint64_t pages, const Pte&) {
+                             first = vpn;
+                             seen_pages += pages;
+                           });
+  EXPECT_EQ(first, 3u);
+  EXPECT_EQ(seen_pages, 4u);
+  // A bulk unmap clipped to the window splits the straddling run in two.
+  EXPECT_EQ(pt.unmap_range(0x3000, 4), 4u);
+  EXPECT_EQ(pt.run_count(), 2u);
+  EXPECT_EQ(pt.mapped_pages(), 8u);
+}
+
+TEST(PageTable, WritableMismatchTerminatesResidentRun) {
+  PageTable pt{kSystemPage4K};
+  pt.map_range(0x0000, 6, Pte{.node = mem::Node::kCpu, .writable = true});
+  pt.map(0x3000, Pte{.node = mem::Node::kCpu, .writable = false});
+  // Same node throughout, but extents are attribute-maximal: the
+  // permission boundary ends the batched run at page 3.
+  EXPECT_EQ(pt.run_count(), 3u);
+  EXPECT_EQ(pt.resident_run_end(0x0000, mem::Node::kCpu, 0x10000, 256),
+            0x3000u);
+  // Restoring write permission re-merges the extent and the run again
+  // spans all six pages.
+  pt.map(0x3000, Pte{.node = mem::Node::kCpu, .writable = true});
+  EXPECT_EQ(pt.run_count(), 1u);
+  EXPECT_EQ(pt.resident_run_end(0x0000, mem::Node::kCpu, 0x10000, 256),
+            0x6000u);
+}
+
+TEST(PageTable, NumaGenerationSplitsAndRemerges) {
+  PageTable pt{kSystemPage4K};
+  pt.map_range(0x0000, 4, Pte{.node = mem::Node::kCpu});
+  // A hint fault bumps one page's generation: the run splits around it.
+  pt.set_numa_generation(0x1000, 1);
+  EXPECT_EQ(pt.run_count(), 3u);
+  EXPECT_EQ(pt.resident_run_end(0x0000, mem::Node::kCpu, 0x10000, 256),
+            0x1000u);
+  // Once the scanner catches the neighbours up, the extent re-coalesces.
+  pt.set_numa_generation(0x0000, 1);
+  pt.set_numa_generation(0x2000, 1);
+  pt.set_numa_generation(0x3000, 1);
+  EXPECT_EQ(pt.run_count(), 1u);
+  EXPECT_THROW(pt.set_numa_generation(0x9000, 1), std::logic_error);
+}
+
+TEST(PageTable, SamplingDoesNotScanTheMap) {
+  PageTable pt{kSystemPage64K};
+  pt.map_range(0, 1u << 16, Pte{.node = mem::Node::kCpu});
+  pt.set_node_range(0x100000, 16, mem::Node::kGpu);
+  const std::uint64_t steps_before = pt.scan_steps();
+  // Everything the profiler/report sampling path reads per tick must be
+  // O(1) or O(log runs) — never a walk over the run map.
+  (void)pt.resident_pages(mem::Node::kCpu);
+  (void)pt.resident_pages(mem::Node::kGpu);
+  (void)pt.resident_bytes(mem::Node::kGpu);
+  (void)pt.mapped_pages();
+  (void)pt.run_count();
+  (void)pt.lookup(0x200000);
+  (void)pt.resident_run_end(0x200000, mem::Node::kCpu, ~0ull, 4096);
+  EXPECT_EQ(pt.scan_steps(), steps_before);
+  // Linear walks do advance the counter (that is what it measures).
+  pt.for_each_run([](std::uint64_t, std::uint64_t, const Pte&) {});
+  EXPECT_GT(pt.scan_steps(), steps_before);
+}
+
 TEST(PageTable, GraceSupportedPageSizes) {
   // Section 2.1.3: system pages are 4 KiB or 64 KiB; GPU pages are 2 MiB.
   EXPECT_EQ(kSystemPage4K, 4096u);

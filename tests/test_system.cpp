@@ -254,6 +254,45 @@ TEST(System, AutoNumaHintFaultsChargedOncePerScanGeneration) {
   EXPECT_EQ(sys.stats().get("os.numa_hint_faults"), f0 + 1);
 }
 
+TEST(System, HintFaultedPageSplitsBatchedRunBitIdentically) {
+  // A hint fault bumps one page's AutoNUMA generation, which must split
+  // the extent it lived in — the batched run may not coast over a page the
+  // legacy path would hint-fault on. Both paths must stay bit-identical.
+  auto run = [](bool batched) {
+    core::SystemConfig cfg = sys_config();
+    cfg.autonuma_balancing = true;
+    cfg.autonuma_scan_period = sim::milliseconds(1);
+    cfg.batched_access = batched;
+    core::System sys{cfg};
+    core::Buffer b = sys.sys_malloc(1 << 20);
+    const std::uint64_t page = cfg.system_page_size;
+    for (std::uint64_t off = 0; off < b.bytes; off += page) {
+      (void)sys.resolve(b.va + off, mem::Node::kCpu);
+    }
+    const auto& pt = sys.machine().system_pt();
+    EXPECT_EQ(pt.run_count(), 1u);  // uniform generation => one extent
+    // Next scan window: hint-fault only the middle page.
+    sys.advance(sim::milliseconds(2));
+    (void)sys.resolve(b.va + 7 * page, mem::Node::kCpu);
+    EXPECT_EQ(pt.run_count(), 3u);
+    // The batched run from the base stops at the hint-faulted page even
+    // though node and permissions match across the whole allocation.
+    EXPECT_EQ(pt.resident_run_end(b.va, mem::Node::kCpu, b.va + b.bytes, 4096),
+              b.va + 7 * page);
+    // Touching the rest of the window catches the generations up and the
+    // extent heals.
+    for (std::uint64_t off = 0; off < b.bytes; off += page) {
+      (void)sys.resolve(b.va + off, mem::Node::kCpu);
+    }
+    EXPECT_EQ(pt.run_count(), 1u);
+    return std::pair{sys.now(), sys.events().digest(sys.now())};
+  };
+  const auto legacy = run(false);
+  const auto fast = run(true);
+  EXPECT_EQ(legacy.first, fast.first);
+  EXPECT_EQ(legacy.second, fast.second);
+}
+
 TEST(System, AutoNumaDisabledByDefaultLikeThePaperTestbed) {
   core::System sys{sys_config()};
   core::Buffer b = sys.sys_malloc(1 << 20);
