@@ -30,6 +30,8 @@
 
 #include "benchsupport/report.hpp"
 #include "benchsupport/scenarios.hpp"
+#include "net/fabric.hpp"
+#include "net/halo.hpp"
 #include "obs/json_check.hpp"
 #include "profile/trace_export.hpp"
 #include "profile/tracer.hpp"
@@ -382,6 +384,100 @@ std::vector<std::string> recovery_corun(bs::Scale scale) {
   return failures;
 }
 
+/// The inter-node network co-run: a fabric wired to a metrics registry
+/// carries hand-picked messages through all four protocol regimes, both
+/// memory types and a flap window, then a 4-node hotspot halo exchange on
+/// the same fabric. Every ghum_net_* instrument is cross-checked against
+/// the fabric's independent FabricTotals tally at NONZERO values — the
+/// same dead-vs-unused distinction the recovery co-run makes.
+std::vector<std::string> net_corun(bs::Scale scale) {
+  std::vector<std::string> failures;
+  obs::MetricsRegistry reg;
+  const net::NetSpec spec;
+  net::Fabric fab{spec, 4, &reg};
+
+  // One message per protocol regime, on both memory types (64 B is
+  // eager-short, 4 KiB eager-bcopy, 16 KiB zcopy, 1 MiB rendezvous with
+  // the default cost model).
+  for (const std::uint64_t b : {64ull, 4096ull, 16384ull, 1ull << 20}) {
+    (void)fab.transfer(0, 1, b, net::MemType::kHost, 0);
+    (void)fab.transfer(2, 3, b, net::MemType::kCudaManaged, 0);
+  }
+
+  // A real multi-node workload sharing the instrumented fabric.
+  net::MultiNodeConfig mc;
+  mc.nodes = 4;
+  mc.mode = apps::MemMode::kManaged;
+  mc.node_config = bs::rodinia_config(pagetable::kSystemPage64K, false);
+  mc.node_config.event_log = true;
+  apps::HotspotConfig hs = bs::hotspot_config(scale);
+  if (scale == bs::Scale::kSmall) hs.iterations = 4;
+  const net::MultiNodeResult halo = net::run_hotspot_halo(mc, hs, &fab);
+
+  const net::FabricTotals& tot = fab.totals();
+  check_eq(failures, "net.halo_totals_view", halo.net.total_msgs(),
+           tot.total_msgs());
+  for (std::size_t p = 0; p < net::kProtocols; ++p) {
+    const auto proto = static_cast<net::Protocol>(p);
+    const std::vector<obs::Label> lbl{
+        {"proto", std::string{to_string(proto)}}};
+    const std::string name{to_string(proto)};
+    if (tot.msgs[p] == 0) {
+      failures.push_back("net: protocol " + name + " never exercised");
+      continue;
+    }
+    check_eq(failures, ("net_msgs{" + name + "}").c_str(),
+             reg.counter("ghum_net_msgs_total", lbl).value(), tot.msgs[p]);
+    check_eq(failures, ("net_bytes{" + name + "}").c_str(),
+             reg.counter("ghum_net_bytes_total", lbl).value(), tot.bytes[p]);
+    check_eq(failures, ("net_proto_selected{" + name + "}").c_str(),
+             reg.counter("ghum_net_proto_selected_total", lbl).value(),
+             tot.msgs[p]);
+  }
+  // The rendezvous handshake histogram records exactly one sample per
+  // rendezvous message; the latency histogram one per message of any kind.
+  check_eq(failures, "net_rndv_handshake_ns.count",
+           reg.histogram("ghum_net_rndv_handshake_ns").count(),
+           tot.rndv_handshakes);
+  check_eq(failures, "net_rndv_handshakes==rndv_msgs", tot.rndv_handshakes,
+           tot.msgs[static_cast<std::size_t>(net::Protocol::kRendezvous)]);
+  if (reg.histogram("ghum_net_rndv_handshake_ns").sum() == 0) {
+    failures.emplace_back("net: rendezvous handshake histogram sums to zero");
+  }
+  check_eq(failures, "net_msg_latency_ns.count",
+           reg.histogram("ghum_net_msg_latency_ns").count(), tot.total_msgs());
+  // Per-link byte counters over the 4-endpoint fabric must re-sum to the
+  // per-protocol byte total.
+  std::uint64_t link_sum = 0;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    for (std::uint32_t d = 0; d < 4; ++d) {
+      if (s == d) continue;
+      link_sum += reg.counter("ghum_net_link_bytes_total",
+                              {{"link", std::to_string(s) + "-" +
+                                            std::to_string(d)}})
+                      .value();
+    }
+  }
+  check_eq(failures, "net_link_bytes.sum", link_sum, tot.total_bytes());
+  check_eq(failures, "net_flapped(quiet)",
+           reg.counter("ghum_net_flapped_msgs_total").value(), 0);
+
+  // Flap instrument at a nonzero value, on its own registry (a second
+  // fabric must not double-count into the first one's instruments).
+  obs::MetricsRegistry flap_reg;
+  fault::LinkFlapWindow w;
+  w.start = 0;
+  w.duration = sim::microseconds(100);
+  w.node_a = 0;
+  net::Fabric flap_fab{spec, 2, &flap_reg, {w}};
+  (void)flap_fab.transfer(0, 1, 4096, net::MemType::kHost, 0);
+  check_eq(failures, "net_flapped(open window)",
+           flap_reg.counter("ghum_net_flapped_msgs_total").value(), 1);
+  check_eq(failures, "net_flapped_totals",
+           flap_fab.totals().flapped_msgs, 1);
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -458,6 +554,13 @@ int main(int argc, char** argv) {
   total_failures += recovery.size();
   std::printf("recovery co-run: %zu check failures\n", recovery.size());
 
+  const std::vector<std::string> netf = net_corun(scale);
+  for (const auto& f : netf) {
+    std::fprintf(stderr, "  [net] %s\n", f.c_str());
+  }
+  total_failures += netf.size();
+  std::printf("net co-run: %zu check failures\n", netf.size());
+
   if (!trace_path.empty()) {
     if (std::FILE* f = std::fopen(trace_path.c_str(), "w")) {
       std::fwrite(tenancy.trace.data(), 1, tenancy.trace.size(), f);
@@ -484,6 +587,7 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"tenancy_failures\": %zu,\n", tenancy.failures.size());
     std::fprintf(f, "  \"recovery_failures\": %zu,\n", recovery.size());
+    std::fprintf(f, "  \"net_failures\": %zu,\n", netf.size());
     std::fprintf(f, "  \"total_failures\": %zu,\n", total_failures);
     std::fprintf(f, "  \"ok\": %s\n", total_failures == 0 ? "true" : "false");
     std::fprintf(f, "}\n");

@@ -34,11 +34,13 @@ ctest --test-dir build-asan --output-on-failure 2>&1 | tee test_output_asan.txt
 # uninterrupted twin or a crash scenario ends in the wrong state,
 # bench_fleet if the node-kill storm is non-reproducible, a surviving
 # job's checksum diverges from its solo run, or the top SLO class takes
-# any violation. Every bench that declares a JSON artifact must have
-# produced it.
+# any violation, bench_netscope if fewer than three network protocol
+# regimes appear, protocol selection is non-monotone in message size, or
+# any 2/4/8-node halo cell fails bit-for-bit reproduction. Every bench
+# that declares a JSON artifact must have produced it.
 for artifact in BENCH_selfperf.json BENCH_tenancy.json \
                 BENCH_observability.json BENCH_recovery.json \
-                BENCH_fleet.json; do
+                BENCH_fleet.json BENCH_netscope.json; do
   test -f "$artifact" || { echo "missing artifact: $artifact" >&2; exit 1; }
 done
 

@@ -39,10 +39,31 @@ struct NodeDegradeEvent {
   std::uint32_t slow_factor = 4;  ///< >= 1; 1 degrades placement only
 };
 
+/// A window of degraded inter-node fabric service — the fleet-level mirror
+/// of the intra-node NVLink-C2C LinkDegradeWindow (fault_config.hpp): a
+/// flapping NIC, a congested spine, a link renegotiating down a lane. For
+/// the window's duration, every fabric message whose path touches the
+/// named link has its modeled bandwidth divided and its fixed latencies
+/// multiplied by the given factors. Windows are keyed to deterministic
+/// fleet-time points, so dilation is exactly reproducible run to run.
+struct LinkFlapWindow {
+  sim::Picos start = 0;
+  sim::Picos duration = 0;
+  std::uint32_t node_a = 0;
+  /// Second endpoint; kAllPeers degrades every link touching node_a (the
+  /// single-NIC flap), a concrete id degrades just the {a, b} pair.
+  std::uint32_t node_b = kAllPeers;
+  double bandwidth_factor = 2.0;  ///< divide fabric bandwidths by this (>= 1)
+  double latency_factor = 2.0;    ///< multiply fixed overheads by this (>= 1)
+
+  static constexpr std::uint32_t kAllPeers = ~0u;
+};
+
 /// Deterministic fleet-level fault schedule consumed by fleet::Controller.
 struct FleetFaultConfig {
   std::vector<NodeLossEvent> node_loss;
   std::vector<NodeDegradeEvent> node_degrade;
+  std::vector<LinkFlapWindow> link_flap;
 
   /// Drain-and-migrate degraded nodes: the whole machine is serialized via
   /// chk::Snapshotter, charged at the fleet's inter-node transfer cost,

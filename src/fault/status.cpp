@@ -15,6 +15,7 @@ std::string_view to_string(Status s) noexcept {
     case Status::kErrorTimeout: return "watchdog timeout";
     case Status::kErrorNodeLost: return "node lost";
     case Status::kErrorDeadlineExceeded: return "deadline exceeded";
+    case Status::kErrorNetConfig: return "malformed network spec";
   }
   return "unknown";
 }

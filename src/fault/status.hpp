@@ -53,6 +53,11 @@ enum class Status : std::uint8_t {
   /// finished late, sat queued past its deadline, or was shed by admission
   /// control when fleet capacity dropped below demand.
   kErrorDeadlineExceeded,
+  /// Malformed inter-node network specification: a net::NetSpec with a
+  /// zero/negative/non-finite bandwidth, a negative latency or overhead,
+  /// or an unordered/partial protocol-threshold ladder. Raised at
+  /// net::Fabric construction, before any message can be charged.
+  kErrorNetConfig,
 };
 
 [[nodiscard]] std::string_view to_string(Status s) noexcept;

@@ -35,6 +35,13 @@ std::vector<obs::Label> class_label(std::uint32_t cls) {
   return {{"class", std::to_string(cls)}};
 }
 
+/// Control-plane message sizes on the fabric: an arrival notification
+/// (request descriptor) and a placement command (job spec reference).
+/// Both sit in the eager regime — they exist so the control plane has a
+/// modeled, flappable cost, not to move bulk data.
+constexpr std::uint64_t kArrivalMsgBytes = 512;
+constexpr std::uint64_t kPlacementMsgBytes = 256;
+
 }  // namespace
 
 Controller::Controller(FleetConfig cfg, std::vector<JobTemplate> templates)
@@ -54,6 +61,23 @@ Controller::Controller(FleetConfig cfg, std::vector<JobTemplate> templates)
       throw StatusError{Status::kErrorInvalidValue,
                         "fleet: malformed node-degrade event"};
     }
+  }
+  const std::uint32_t machines = cfg_.nodes + cfg_.spares;
+  for (const auto& w : cfg_.faults.link_flap) {
+    const bool a_ok = w.node_a < machines;
+    const bool b_ok =
+        w.node_b == fault::LinkFlapWindow::kAllPeers || w.node_b < machines;
+    if (!a_ok || !b_ok) {
+      throw StatusError{Status::kErrorInvalidValue,
+                        "fleet: link-flap window names a node outside the fleet"};
+    }
+  }
+  if (!cfg_.legacy_transfer_cost) {
+    // nodes + spares machine endpoints, plus the external arrival source
+    // and the control plane. Throws kErrorNetConfig on a malformed spec
+    // and kErrorInvalidValue on a malformed flap window.
+    fabric_ = std::make_unique<net::Fabric>(cfg_.net, machines + 2, &reg_,
+                                            cfg_.faults.link_flap);
   }
 
   nodes_.resize(cfg_.nodes + cfg_.spares);
@@ -319,7 +343,17 @@ bool Controller::place(FleetJob& j, sim::Picos now) {
     const NodeId nid = pick_node(j.footprint, exclude);
     if (nid == kNoNode) break;
     Node& n = nodes_[nid];
-    if (n.sys->now() < now) n.sys->advance(now - n.sys->now());
+    // The placement command travels control plane -> node; the node can
+    // only start the job once it has been delivered, so an idle node's
+    // clock advances to the delivery instant (idle time is real time).
+    sim::Picos start_at = now;
+    if (fabric_ != nullptr) {
+      start_at = fabric_
+                     ->transfer(ep_control(), nid, kPlacementMsgBytes,
+                                net::MemType::kHost, now)
+                     .end;
+    }
+    if (n.sys->now() < start_at) n.sys->advance(start_at - n.sys->now());
 
     tenant::JobSpec spec;
     spec.name = tmpl.name;
@@ -480,10 +514,22 @@ void Controller::evacuate(Node& n) {
   // app-held host pointers survive, and re-point the scheduler. Every
   // resident job continues mid-flight (replay equivalence, PR 5).
   chk::Blob blob = chk::Snapshotter::snapshot(*n.sys);
+  const sim::Picos ship_start = n.sys->now();
   spare->sys = chk::Snapshotter::restore(blob, n.sys.get());
   spare->sched = std::move(n.sched);
   spare->sched->rebind(*spare->sys);
-  spare->sys->advance(transfer_cost(blob.size()));
+  if (fabric_ != nullptr) {
+    // The machine image ships donor -> spare as one bulk fabric message
+    // (deep in the rendezvous regime for any real blob); the spare resumes
+    // at delivery time.
+    const net::Transfer t = fabric_->transfer(
+        n.id, spare->id, blob.size(), net::MemType::kHost, ship_start);
+    if (spare->sys->now() < t.end) {
+      spare->sys->advance(t.end - spare->sys->now());
+    }
+  } else {
+    spare->sys->advance(transfer_cost(blob.size()));
+  }
   spare->state = NodeState::kAlive;
   spare->slow_factor = 1;
   spare->placed_bytes = n.placed_bytes;
@@ -583,6 +629,13 @@ Status Controller::run(const std::vector<JobRequest>& requests) {
       }
     } else {
       arrivals_->inc();
+      if (fabric_ != nullptr) {
+        // The request descriptor reaches the control plane from outside
+        // the fleet; charged for cost/metering (the open-loop arrival
+        // instant itself is the generator's, not the fabric's).
+        (void)fabric_->transfer(ep_external(), ep_control(), kArrivalMsgBytes,
+                                net::MemType::kHost, t);
+      }
       ++ai;
     }
     try_place_pending(t);
@@ -683,6 +736,7 @@ std::uint64_t Controller::digest() {
     mix(h, (j.slo_violation ? 1u : 0u) | (j.migrated ? 2u : 0u) |
                (j.replayed_after_loss ? 4u : 0u));
   }
+  if (fabric_ != nullptr) mix(h, fabric_->digest());
   mix_bytes(h, reg_.to_json());
   return h;
 }

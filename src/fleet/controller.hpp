@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fleet/fleet_config.hpp"
+#include "net/fabric.hpp"
 #include "obs/metrics.hpp"
 
 /// \file controller.hpp
@@ -175,6 +176,21 @@ class Controller {
 
   [[nodiscard]] const FleetConfig& config() const noexcept { return cfg_; }
 
+  /// The inter-node fabric (null under cfg.legacy_transfer_cost). Its
+  /// ghum_net_* instruments live in metrics(); its endpoint space is
+  /// nodes + spares + 2, the last two being the external arrival source
+  /// and the control plane.
+  [[nodiscard]] net::Fabric* fabric() noexcept { return fabric_.get(); }
+
+  /// Endpoint id of the external request source on the fabric.
+  [[nodiscard]] std::uint32_t ep_external() const noexcept {
+    return cfg_.nodes + cfg_.spares;
+  }
+  /// Endpoint id of the fleet control plane on the fabric.
+  [[nodiscard]] std::uint32_t ep_control() const noexcept {
+    return cfg_.nodes + cfg_.spares + 1;
+  }
+
  private:
   struct Node {
     NodeId id = kNoNode;
@@ -226,6 +242,7 @@ class Controller {
 
   FleetConfig cfg_;
   std::vector<JobTemplate> templates_;
+  std::unique_ptr<net::Fabric> fabric_;  ///< null in legacy-cost mode
   std::vector<Node> nodes_;  ///< actives then spares; index == NodeId
   std::vector<FleetJob> jobs_;
   std::vector<Retry> retries_;  ///< kept sorted by (due, job) ascending

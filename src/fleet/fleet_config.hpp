@@ -9,6 +9,7 @@
 #include "apps/app_common.hpp"
 #include "core/system_config.hpp"
 #include "fault/fleet_fault.hpp"
+#include "net/net_spec.hpp"
 #include "tenant/scheduler.hpp"
 
 /// \file fleet_config.hpp
@@ -106,8 +107,22 @@ struct FleetConfig {
   tenant::SchedulerConfig scheduler;
   PlacementPolicy placement = PlacementPolicy::kLoadBalance;
 
-  /// Inter-node state-transfer cost (checkpoint blob shipping, the
-  /// ETH data-movement study's latency + size/bandwidth shape).
+  /// Inter-node fabric cost model (DESIGN.md Section 12). The controller
+  /// builds a net::Fabric with nodes + spares + 2 endpoints (the two extra
+  /// are the external arrival source and the control plane) and charges
+  /// live-migration blobs, arrival notifications and placement commands
+  /// through it with full UCX-style protocol selection. Rejected at
+  /// construction with Status::kErrorNetConfig if malformed.
+  net::NetSpec net;
+  /// Compatibility switch: model every inter-node transfer with the flat
+  /// transfer_latency + size/bandwidth cost below instead of the fabric
+  /// (pre-PR-8 behavior, bit-for-bit). Control messages are free in this
+  /// mode, as they were then.
+  bool legacy_transfer_cost = false;
+
+  /// Flat inter-node state-transfer cost (checkpoint blob shipping, the
+  /// ETH data-movement study's latency + size/bandwidth shape) — used only
+  /// under legacy_transfer_cost.
   sim::Picos transfer_latency = sim::microseconds(10);
   double transfer_bandwidth_Bps = 25e9;  ///< conservative inter-node fabric
 

@@ -1,0 +1,243 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace ghum::net {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// transfer_time at a bandwidth divided by \p bw_factor.
+sim::Picos wire_time(std::uint64_t bytes, double bw, double bw_factor) {
+  return sim::transfer_time(bytes, bw / bw_factor);
+}
+
+std::vector<obs::Label> proto_label(Protocol p) {
+  return {{"proto", std::string{to_string(p)}}};
+}
+
+}  // namespace
+
+Fabric::Fabric(NetSpec spec, std::uint32_t endpoints, obs::MetricsRegistry* reg,
+               std::vector<fault::LinkFlapWindow> flaps)
+    : spec_(spec), endpoints_(endpoints), flaps_(std::move(flaps)), reg_(reg) {
+  if (const Status s = spec_.validate(); s != Status::kSuccess) {
+    throw StatusError{s, "net: NetSpec failed validation"};
+  }
+  if (endpoints_ == 0) {
+    throw StatusError{Status::kErrorNetConfig, "net: fabric needs endpoints"};
+  }
+  for (const fault::LinkFlapWindow& w : flaps_) {
+    const bool nodes_ok =
+        w.node_a < endpoints_ &&
+        (w.node_b == fault::LinkFlapWindow::kAllPeers || w.node_b < endpoints_);
+    if (!nodes_ok || w.duration < 0 || w.bandwidth_factor < 1.0 ||
+        w.latency_factor < 1.0) {
+      throw StatusError{Status::kErrorInvalidValue,
+                        "net: malformed link-flap window"};
+    }
+  }
+  std::sort(flaps_.begin(), flaps_.end(),
+            [](const fault::LinkFlapWindow& a, const fault::LinkFlapWindow& b) {
+              return a.start != b.start ? a.start < b.start
+                                        : a.node_a < b.node_a;
+            });
+  if (reg_ != nullptr) {
+    for (std::size_t p = 0; p < kProtocols; ++p) {
+      const auto lbl = proto_label(static_cast<Protocol>(p));
+      msgs_[p] = &reg_->counter("ghum_net_msgs_total", lbl);
+      bytes_[p] = &reg_->counter("ghum_net_bytes_total", lbl);
+      selected_[p] = &reg_->counter("ghum_net_proto_selected_total", lbl);
+    }
+    handshake_ns_ = &reg_->histogram("ghum_net_rndv_handshake_ns");
+    latency_ns_ = &reg_->histogram("ghum_net_msg_latency_ns");
+    flapped_ = &reg_->counter("ghum_net_flapped_msgs_total");
+  }
+}
+
+void Fabric::mix(std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    digest_ ^= (v >> (8 * i)) & 0xff;
+    digest_ *= kFnvPrime;
+  }
+}
+
+Fabric::Dilation Fabric::dilation(std::uint32_t src, std::uint32_t dst,
+                                  sim::Picos at) const noexcept {
+  Dilation d;
+  for (const fault::LinkFlapWindow& w : flaps_) {
+    if (w.start > at) break;  // sorted by start
+    if (at >= w.start + w.duration) continue;
+    const bool touches =
+        w.node_b == fault::LinkFlapWindow::kAllPeers
+            ? (src == w.node_a || dst == w.node_a)
+            : ((src == w.node_a && dst == w.node_b) ||
+               (src == w.node_b && dst == w.node_a));
+    if (!touches) continue;
+    // Overlapping windows compound, mirroring how the intra-node link
+    // degradation model treats nested degradation causes.
+    d.bandwidth_factor *= w.bandwidth_factor;
+    d.latency_factor *= w.latency_factor;
+    d.flapped = true;
+  }
+  return d;
+}
+
+sim::Picos Fabric::dilated_cost(Protocol proto, std::uint64_t bytes,
+                                MemType mem, const Dilation& d,
+                                sim::Picos* handshake) const {
+  const NetSpec& s = spec_;
+  const auto lat = [&](sim::Picos t) {
+    return static_cast<sim::Picos>(static_cast<double>(t) * d.latency_factor);
+  };
+  const double bf = d.bandwidth_factor;
+  if (handshake != nullptr) *handshake = 0;
+
+  // Wire serialization; cuda-managed zero-copy paths are additionally
+  // capped by the dedicated gdrcopy get/put engines (GPUDirect staging).
+  double wire_bw = s.wire_bandwidth_Bps;
+  const bool cuda = mem == MemType::kCudaManaged;
+  if (cuda && (proto == Protocol::kZcopy || proto == Protocol::kRendezvous)) {
+    wire_bw = std::min(wire_bw, std::min(s.gdr_get_bandwidth_Bps,
+                                         s.gdr_put_bandwidth_Bps));
+  }
+  const sim::Picos t_wire = wire_time(bytes, wire_bw, bf);
+  const sim::Picos t_bcopy = wire_time(bytes, s.bcopy_bandwidth_Bps, bf);
+
+  // Cuda-managed eager payloads are staged through gdrcopy on both ends
+  // (get on the sender, put on the receiver); zero-copy paths instead pay
+  // the remote-key + gdr registration-cache cost once per side.
+  sim::Picos mem_extra = 0;
+  if (cuda) {
+    if (proto == Protocol::kEagerShort || proto == Protocol::kEagerBcopy) {
+      mem_extra = 2 * lat(s.gdr_latency + s.gdr_rcache_overhead) +
+                  wire_time(bytes, s.gdr_get_bandwidth_Bps, bf) +
+                  wire_time(bytes, s.gdr_put_bandwidth_Bps, bf);
+    } else {
+      mem_extra = lat(s.rkey_ptr) + 2 * lat(s.gdr_rcache_overhead);
+    }
+  }
+
+  switch (proto) {
+    case Protocol::kEagerShort:
+      // Inlined payload: single-fragment protocol dispatch, a short active
+      // message on each side, the payload drained at the NIC-to-sysmem
+      // distance bandwidth.
+      return lat(s.proto_single) + 2 * lat(s.am_short) + lat(s.wire_latency) +
+             t_wire + wire_time(bytes, s.distance_bandwidth_Bps, bf) +
+             mem_extra;
+    case Protocol::kEagerBcopy:
+      // Copy-in on the sender and copy-out on the receiver through bounce
+      // buffers, both at UCX_BCOPY_BW.
+      return lat(s.proto_single) + 2 * lat(s.am_bcopy) + lat(s.send_bcopy) +
+             lat(s.wire_latency) + t_wire + 2 * t_bcopy + mem_extra;
+    case Protocol::kZcopy:
+      // Registered send buffer (rcache hit path) and the full IB send
+      // pipeline; the receiver still copies out of its eager buffer.
+      return lat(s.proto_multi) + lat(s.rcache_overhead) + lat(s.send_db) +
+             lat(s.send_wqe_fetch) + lat(s.send_wqe_post) + lat(s.send_cqe) +
+             lat(s.wire_latency) + t_wire + t_bcopy + mem_extra;
+    case Protocol::kRendezvous: {
+      // RTS over, RTR back, then a true zero-copy bulk transfer with both
+      // sides registered. The handshake is what the latency histograms
+      // (and the protocol crossover) are made of.
+      const sim::Picos hs = lat(s.rndv_rts) + lat(s.rndv_rtr) +
+                            lat(s.rndv_offload) + 2 * lat(s.wire_latency);
+      if (handshake != nullptr) *handshake = hs;
+      return hs + 2 * lat(s.rcache_overhead) + lat(s.send_db) +
+             lat(s.send_wqe_fetch) + lat(s.send_wqe_post) + lat(s.send_cqe) +
+             lat(s.wire_latency) + t_wire + mem_extra;
+    }
+  }
+  return 0;
+}
+
+sim::Picos Fabric::cost(Protocol proto, std::uint64_t bytes, MemType mem) const {
+  return dilated_cost(proto, bytes, mem, Dilation{}, nullptr);
+}
+
+Protocol Fabric::select(std::uint64_t bytes, MemType mem) const {
+  if (spec_.bcopy_max != 0) {
+    // Explicit threshold ladder (the tunable policy axis).
+    if (bytes <= spec_.eager_short_max) return Protocol::kEagerShort;
+    if (bytes <= spec_.bcopy_max) return Protocol::kEagerBcopy;
+    if (bytes <= spec_.zcopy_max) return Protocol::kZcopy;
+    return Protocol::kRendezvous;
+  }
+  // UCX estimator rule: cheapest modeled cost among eligible protocols,
+  // ties to the simpler protocol. Eager-short is capacity-limited.
+  Protocol best = Protocol::kEagerBcopy;
+  sim::Picos best_cost = cost(best, bytes, mem);
+  if (bytes <= spec_.eager_short_max) {
+    const sim::Picos c = cost(Protocol::kEagerShort, bytes, mem);
+    if (c < best_cost) {
+      best = Protocol::kEagerShort;
+      best_cost = c;
+    }
+  }
+  for (const Protocol p : {Protocol::kZcopy, Protocol::kRendezvous}) {
+    const sim::Picos c = cost(p, bytes, mem);
+    if (c < best_cost) {
+      best = p;
+      best_cost = c;
+    }
+  }
+  return best;
+}
+
+Transfer Fabric::transfer(std::uint32_t src, std::uint32_t dst,
+                          std::uint64_t bytes, MemType mem, sim::Picos now) {
+  if (src >= endpoints_ || dst >= endpoints_ || src == dst) {
+    throw StatusError{Status::kErrorInvalidValue,
+                      "net: transfer endpoints out of range"};
+  }
+  const std::uint64_t link = std::uint64_t{src} * endpoints_ + dst;
+  sim::Picos& busy = busy_until_[link];
+  Transfer t;
+  t.start = std::max(now, busy);
+  t.queued = t.start - now;
+
+  const Dilation d = dilation(src, dst, t.start);
+  t.proto = select(bytes, mem);
+  t.end = t.start + dilated_cost(t.proto, bytes, mem, d, &t.handshake);
+  busy = t.end;
+
+  const auto p = static_cast<std::size_t>(t.proto);
+  ++totals_.msgs[p];
+  totals_.bytes[p] += bytes;
+  if (t.proto == Protocol::kRendezvous) ++totals_.rndv_handshakes;
+  if (d.flapped) ++totals_.flapped_msgs;
+
+  if (reg_ != nullptr) {
+    msgs_[p]->inc();
+    bytes_[p]->inc(bytes);
+    selected_[p]->inc();
+    latency_ns_->observe(
+        static_cast<std::uint64_t>((t.end - t.start) / sim::kPicosPerNano));
+    if (t.proto == Protocol::kRendezvous) {
+      handshake_ns_->observe(
+          static_cast<std::uint64_t>(t.handshake / sim::kPicosPerNano));
+    }
+    if (d.flapped) flapped_->inc();
+    obs::Counter*& lc = link_bytes_[link];
+    if (lc == nullptr) {
+      lc = &reg_->counter("ghum_net_link_bytes_total",
+                          {{"link", std::to_string(src) + "-" +
+                                        std::to_string(dst)}});
+    }
+    lc->inc(bytes);
+  }
+
+  mix(src);
+  mix(dst);
+  mix(bytes);
+  mix(static_cast<std::uint64_t>(mem));
+  mix(static_cast<std::uint64_t>(t.proto));
+  mix(static_cast<std::uint64_t>(t.start));
+  mix(static_cast<std::uint64_t>(t.end));
+  return t;
+}
+
+}  // namespace ghum::net

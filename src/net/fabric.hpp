@@ -1,0 +1,134 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fault/fleet_fault.hpp"
+#include "net/net_spec.hpp"
+#include "obs/metrics.hpp"
+#include "sim/time.hpp"
+
+/// \file fabric.hpp
+/// net::Fabric — a deterministic inter-superchip network (DESIGN.md
+/// Section 12). Endpoints are numbered 0..N-1; every ordered pair is a
+/// directed link with its own serialization horizon, so concurrent
+/// transfers on one link queue behind each other deterministically (the
+/// fabric's congestion model: full serialization per directed link, the
+/// same discipline the NVLink-C2C model uses per direction). Each message
+/// is charged one of the four UCX protocols selected per NetSpec, with
+/// cuda-managed payloads paying the gdrcopy/rkey_ptr staging costs of the
+/// Grace Hopper ucx.conf section. fault::LinkFlapWindow schedules dilate
+/// the costs of affected links while the window is open — the fleet-level
+/// mirror of NVLink degradation windows.
+///
+/// Everything is replayable: same spec + same transfer sequence => the
+/// same per-message costs, the same serialization order and the same
+/// history digest (tests/test_net.cpp and bench_netscope gate this).
+
+namespace ghum::net {
+
+/// Outcome of one charged message.
+struct Transfer {
+  Protocol proto = Protocol::kEagerShort;
+  sim::Picos start = 0;      ///< when the link accepted it (>= requested time)
+  sim::Picos end = 0;        ///< delivery completion at the receiver
+  sim::Picos queued = 0;     ///< start - requested time (link serialization)
+  sim::Picos handshake = 0;  ///< rendezvous rts/rtr round trip (0 otherwise)
+};
+
+/// Fabric-side tally kept independently of the metrics registry, so
+/// bench_observability can cross-check registry counters against it the
+/// way it checks MemSysMetrics against the Tracer.
+struct FabricTotals {
+  std::array<std::uint64_t, kProtocols> msgs{};
+  std::array<std::uint64_t, kProtocols> bytes{};
+  std::uint64_t rndv_handshakes = 0;
+  std::uint64_t flapped_msgs = 0;  ///< messages dilated by an open flap window
+
+  [[nodiscard]] std::uint64_t total_msgs() const noexcept {
+    std::uint64_t n = 0;
+    for (const std::uint64_t m : msgs) n += m;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    std::uint64_t n = 0;
+    for (const std::uint64_t b : bytes) n += b;
+    return n;
+  }
+};
+
+class Fabric {
+ public:
+  /// Throws StatusError{kErrorNetConfig} if \p spec fails validation or
+  /// \p endpoints is zero, and StatusError{kErrorInvalidValue} if a flap
+  /// window names an endpoint outside the fabric or has a factor < 1.
+  /// When \p reg is non-null, per-protocol and per-link instruments are
+  /// registered there (ghum_net_*) and incremented on every transfer.
+  explicit Fabric(NetSpec spec, std::uint32_t endpoints,
+                  obs::MetricsRegistry* reg = nullptr,
+                  std::vector<fault::LinkFlapWindow> flaps = {});
+
+  /// Charges one \p bytes-sized message src -> dst starting no earlier
+  /// than \p now. Selects the protocol, applies any open flap window,
+  /// queues behind in-flight traffic on the same directed link, advances
+  /// the link horizon and records history. Throws
+  /// StatusError{kErrorInvalidValue} on src == dst or out-of-range ids.
+  Transfer transfer(std::uint32_t src, std::uint32_t dst, std::uint64_t bytes,
+                    MemType mem, sim::Picos now);
+
+  /// Protocol the spec selects for a message (no link or flap state).
+  [[nodiscard]] Protocol select(std::uint64_t bytes, MemType mem) const;
+
+  /// Undilated one-message cost of \p proto (link-idle, no flap): the
+  /// pure cost model, exposed so tests can verify crossovers exactly.
+  [[nodiscard]] sim::Picos cost(Protocol proto, std::uint64_t bytes,
+                                MemType mem) const;
+
+  [[nodiscard]] const NetSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::uint32_t endpoints() const noexcept { return endpoints_; }
+  [[nodiscard]] const FabricTotals& totals() const noexcept { return totals_; }
+
+  /// FNV-1a over the complete transfer history (src, dst, bytes, memtype,
+  /// protocol, start, end). Two identical transfer sequences => identical
+  /// digests; any cost or ordering divergence changes it.
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+
+ private:
+  struct Dilation {
+    double bandwidth_factor = 1.0;
+    double latency_factor = 1.0;
+    bool flapped = false;
+  };
+
+  [[nodiscard]] Dilation dilation(std::uint32_t src, std::uint32_t dst,
+                                  sim::Picos at) const noexcept;
+  [[nodiscard]] sim::Picos dilated_cost(Protocol proto, std::uint64_t bytes,
+                                        MemType mem, const Dilation& d,
+                                        sim::Picos* handshake) const;
+  void mix(std::uint64_t v) noexcept;
+
+  NetSpec spec_;
+  std::uint32_t endpoints_ = 0;
+  std::vector<fault::LinkFlapWindow> flaps_;
+  /// Directed-link serialization horizons, keyed src * endpoints + dst.
+  /// Sparse map: fleets are small but a full N^2 array would still be
+  /// wasteful for the mostly-idle control links.
+  std::map<std::uint64_t, sim::Picos> busy_until_;
+
+  FabricTotals totals_;
+  std::uint64_t digest_ = 0xcbf29ce484222325ull;
+
+  // Instruments (null when no registry was given).
+  std::array<obs::Counter*, kProtocols> msgs_{};
+  std::array<obs::Counter*, kProtocols> bytes_{};
+  std::array<obs::Counter*, kProtocols> selected_{};
+  obs::Histogram* handshake_ns_ = nullptr;
+  obs::Histogram* latency_ns_ = nullptr;
+  obs::Counter* flapped_ = nullptr;
+  obs::MetricsRegistry* reg_ = nullptr;
+  std::map<std::uint64_t, obs::Counter*> link_bytes_;
+};
+
+}  // namespace ghum::net

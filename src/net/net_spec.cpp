@@ -1,0 +1,34 @@
+#include "net/net_spec.hpp"
+
+#include <cmath>
+
+namespace ghum::net {
+
+Status NetSpec::validate() const noexcept {
+  const double bws[] = {wire_bandwidth_Bps, bcopy_bandwidth_Bps,
+                        gdr_get_bandwidth_Bps, gdr_put_bandwidth_Bps,
+                        distance_bandwidth_Bps};
+  for (const double bw : bws) {
+    if (!(bw > 0.0) || !std::isfinite(bw)) return Status::kErrorNetConfig;
+  }
+  const sim::Picos lats[] = {wire_latency,  proto_single,  proto_multi,
+                             rndv_offload,  rndv_rtr,      rndv_rts,
+                             proto_sw,      rkey_ptr,      send_bcopy,
+                             send_cqe,      send_db,       send_wqe_fetch,
+                             send_wqe_post, am_short,      am_bcopy,
+                             rcache_overhead, gdr_latency, gdr_rcache_overhead};
+  for (const sim::Picos t : lats) {
+    if (t < 0) return Status::kErrorNetConfig;
+  }
+  // Thresholds are a policy axis: either fully automatic (both zero) or
+  // fully explicit and ordered. A partial or inverted ladder would make
+  // some message size select no protocol (or two).
+  if ((bcopy_max == 0) != (zcopy_max == 0)) return Status::kErrorNetConfig;
+  if (bcopy_max != 0 &&
+      (eager_short_max > bcopy_max || bcopy_max > zcopy_max)) {
+    return Status::kErrorNetConfig;
+  }
+  return Status::kSuccess;
+}
+
+}  // namespace ghum::net

@@ -431,5 +431,102 @@ TEST(FleetAdmission, PendingPastDeadlineExpiresInsteadOfStalling) {
   EXPECT_EQ(s.violations, 1u);
 }
 
+// --- inter-node fabric -------------------------------------------------------
+
+TEST(FleetNet, DefaultModeChargesControlAndDataThroughFabric) {
+  auto f = small_fleet(2, 1);
+  f.faults.node_degrade = {{.time = solo().end / 2, .node = 0, .slow_factor = 4}};
+  fleet::Controller ctl{f, catalog()};
+  ASSERT_NE(ctl.fabric(), nullptr);
+  ASSERT_EQ(ctl.run({make_req(0, 0), make_req(1, 0)}), Status::kSuccess);
+
+  const net::FabricTotals& tot = ctl.fabric()->totals();
+  // 2 arrival notifications + 2 placement commands, eager-sized; plus one
+  // evacuation blob, rendezvous-sized.
+  EXPECT_GE(tot.total_msgs(), 5u);
+  EXPECT_EQ(tot.msgs[static_cast<std::size_t>(net::Protocol::kRendezvous)], 1u);
+  EXPECT_EQ(tot.rndv_handshakes, 1u);
+  // The fabric's instruments live in the fleet registry.
+  EXPECT_EQ(ctl.metrics()
+                .counter("ghum_net_msgs_total", {{"proto", "rendezvous"}})
+                .value(),
+            1u);
+}
+
+TEST(FleetNet, LegacyModeKeepsFlatCostAndNoFabric) {
+  auto f = small_fleet(1);
+  f.legacy_transfer_cost = true;
+  fleet::Controller ctl{f, catalog()};
+  EXPECT_EQ(ctl.fabric(), nullptr);
+  ASSERT_EQ(ctl.run({make_req(0, 0)}), Status::kSuccess);
+  EXPECT_EQ(ctl.jobs()[0].state, fleet::FleetJobState::kFinished);
+  EXPECT_EQ(ctl.jobs()[0].checksum, solo().checksum);
+}
+
+TEST(FleetNet, BothModesAreDeterministic) {
+  for (const bool legacy : {false, true}) {
+    auto f = small_fleet(2);
+    f.legacy_transfer_cost = legacy;
+    const std::vector<fleet::JobRequest> reqs = {
+        make_req(0, 0), make_req(1, sim::microseconds(5)),
+        make_req(2, sim::microseconds(9))};
+    fleet::Controller a{f, catalog()};
+    fleet::Controller b{f, catalog()};
+    (void)a.run(reqs);
+    (void)b.run(reqs);
+    EXPECT_EQ(a.digest(), b.digest()) << "legacy=" << legacy;
+  }
+}
+
+TEST(FleetNet, ConstructorRejectsBadNetSpecAndFlapWindows) {
+  auto bad_spec = small_fleet(1);
+  bad_spec.net.wire_bandwidth_Bps = -1.0;
+  try {
+    fleet::Controller ctl{bad_spec, catalog()};
+    FAIL() << "malformed net spec must throw";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status(), Status::kErrorNetConfig);
+  }
+
+  auto bad_flap = small_fleet(2, 1);
+  fault::LinkFlapWindow w;
+  w.node_a = 7;  // 2 nodes + 1 spare: machine ids are 0..2
+  bad_flap.faults.link_flap = {w};
+  try {
+    fleet::Controller ctl{bad_flap, catalog()};
+    FAIL() << "flap window outside the fleet must throw";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status(), Status::kErrorInvalidValue);
+  }
+
+  // The flap schedule is part of the fault config, not the fabric, so
+  // legacy mode rejects malformed windows too.
+  auto legacy_flap = bad_flap;
+  legacy_flap.legacy_transfer_cost = true;
+  EXPECT_THROW((fleet::Controller{legacy_flap, catalog()}), StatusError);
+}
+
+TEST(FleetNet, LinkFlapDelaysPlacementDelivery) {
+  // A flap window open over the control link at t=0 dilates the placement
+  // command, so the job starts (and finishes) later than without it.
+  const auto makespan = [&](std::vector<fault::LinkFlapWindow> flaps) {
+    auto f = small_fleet(1);
+    f.faults.link_flap = std::move(flaps);
+    fleet::Controller ctl{f, catalog()};
+    (void)ctl.run({make_req(0, 0)});
+    return ctl.jobs()[0].finished_at;
+  };
+  fault::LinkFlapWindow w;
+  w.start = 0;
+  w.duration = sim::milliseconds(1000);
+  w.node_a = 0;  // everything touching node 0, incl. control -> node 0
+  w.bandwidth_factor = 8.0;
+  w.latency_factor = 8.0;
+  const sim::Picos quiet = makespan({});
+  const sim::Picos flapped = makespan({w});
+  EXPECT_GT(flapped, quiet);
+  EXPECT_EQ(makespan({w}), flapped);  // and deterministically so
+}
+
 }  // namespace
 }  // namespace ghum

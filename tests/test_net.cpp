@@ -1,0 +1,426 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "apps/hotspot.hpp"
+#include "apps/qvsim.hpp"
+#include "apps/srad.hpp"
+#include "net/fabric.hpp"
+#include "net/halo.hpp"
+#include "obs/metrics.hpp"
+
+/// Inter-node network-model tests (DESIGN.md Section 12): NetSpec
+/// validation, protocol selection at the exact crossover boundaries,
+/// link-flap dilation, per-link serialization, history-digest determinism
+/// and the multi-node halo workloads.
+
+namespace ghum {
+namespace {
+
+core::SystemConfig node_cfg() {
+  core::SystemConfig cfg;
+  cfg.system_page_size = pagetable::kSystemPage64K;
+  cfg.hbm_capacity = 16ull << 20;
+  cfg.ddr_capacity = 256ull << 20;
+  cfg.gpu_driver_baseline = 1ull << 20;
+  cfg.event_log = true;
+  return cfg;
+}
+
+apps::HotspotConfig small_hotspot() {
+  apps::HotspotConfig h;
+  h.rows = 64;
+  h.cols = 64;
+  h.iterations = 3;
+  return h;
+}
+
+// --- NetSpec validation ------------------------------------------------------
+
+TEST(NetSpec, DefaultSpecValidates) {
+  EXPECT_EQ(net::NetSpec{}.validate(), Status::kSuccess);
+}
+
+TEST(NetSpec, RejectsNonPositiveBandwidths) {
+  for (auto field : {&net::NetSpec::wire_bandwidth_Bps,
+                     &net::NetSpec::bcopy_bandwidth_Bps,
+                     &net::NetSpec::gdr_get_bandwidth_Bps,
+                     &net::NetSpec::gdr_put_bandwidth_Bps,
+                     &net::NetSpec::distance_bandwidth_Bps}) {
+    net::NetSpec s;
+    s.*field = 0.0;
+    EXPECT_EQ(s.validate(), Status::kErrorNetConfig);
+    s.*field = -1.0;
+    EXPECT_EQ(s.validate(), Status::kErrorNetConfig);
+  }
+}
+
+TEST(NetSpec, RejectsNegativeLatencies) {
+  for (auto field :
+       {&net::NetSpec::wire_latency, &net::NetSpec::rndv_rts,
+        &net::NetSpec::send_db, &net::NetSpec::am_bcopy,
+        &net::NetSpec::rcache_overhead, &net::NetSpec::gdr_latency}) {
+    net::NetSpec s;
+    s.*field = -1;
+    EXPECT_EQ(s.validate(), Status::kErrorNetConfig);
+  }
+}
+
+TEST(NetSpec, RejectsPartialOrUnorderedThresholds) {
+  net::NetSpec s;
+  s.bcopy_max = 8192;  // zcopy_max still 0: partial ladder
+  EXPECT_EQ(s.validate(), Status::kErrorNetConfig);
+
+  s.zcopy_max = 4096;  // zcopy_max < bcopy_max: unordered
+  EXPECT_EQ(s.validate(), Status::kErrorNetConfig);
+
+  s.zcopy_max = 65536;  // ordered: eager_short_max <= bcopy_max <= zcopy_max
+  EXPECT_EQ(s.validate(), Status::kSuccess);
+
+  s.bcopy_max = 100;  // below eager_short_max (208)
+  EXPECT_EQ(s.validate(), Status::kErrorNetConfig);
+}
+
+TEST(NetSpec, FabricConstructionThrowsNetConfig) {
+  net::NetSpec bad;
+  bad.wire_bandwidth_Bps = 0.0;
+  try {
+    net::Fabric f{bad, 2};
+    FAIL() << "malformed spec must throw";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status(), Status::kErrorNetConfig);
+  }
+  try {
+    net::Fabric f{net::NetSpec{}, 0};
+    FAIL() << "zero endpoints must throw";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status(), Status::kErrorNetConfig);
+  }
+}
+
+TEST(NetSpec, FlapWindowValidation) {
+  fault::LinkFlapWindow bad_node;
+  bad_node.node_a = 9;  // outside a 2-endpoint fabric
+  try {
+    net::Fabric f{net::NetSpec{}, 2, nullptr, {bad_node}};
+    FAIL() << "out-of-range flap endpoint must throw";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status(), Status::kErrorInvalidValue);
+  }
+  fault::LinkFlapWindow bad_factor;
+  bad_factor.bandwidth_factor = 0.5;  // factors dilate, never accelerate
+  try {
+    net::Fabric f{net::NetSpec{}, 2, nullptr, {bad_factor}};
+    FAIL() << "factor < 1 must throw";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status(), Status::kErrorInvalidValue);
+  }
+}
+
+TEST(NetSpec, StatusToStringRoundTrip) {
+  // The new code has a distinct, stable message...
+  EXPECT_EQ(to_string(Status::kErrorNetConfig), "malformed network spec");
+  // ...and collides with no other status string.
+  std::set<std::string_view> seen;
+  for (const Status s :
+       {Status::kSuccess, Status::kErrorMemoryAllocation,
+        Status::kErrorOutOfMemory, Status::kErrorInvalidValue,
+        Status::kErrorDoubleFree, Status::kErrorEccUncorrectable,
+        Status::kErrorGpuReset, Status::kErrorUnrecoverable,
+        Status::kErrorTimeout, Status::kErrorNodeLost,
+        Status::kErrorDeadlineExceeded, Status::kErrorNetConfig}) {
+    EXPECT_TRUE(seen.insert(to_string(s)).second)
+        << "duplicate status string: " << to_string(s);
+  }
+}
+
+TEST(NetSpec, ProtocolAndMemTypeNames) {
+  EXPECT_EQ(to_string(net::Protocol::kEagerShort), "eager-short");
+  EXPECT_EQ(to_string(net::Protocol::kEagerBcopy), "eager-bcopy");
+  EXPECT_EQ(to_string(net::Protocol::kZcopy), "zcopy");
+  EXPECT_EQ(to_string(net::Protocol::kRendezvous), "rendezvous");
+  EXPECT_EQ(to_string(net::MemType::kHost), "host");
+  EXPECT_EQ(to_string(net::MemType::kCudaManaged), "cuda-managed");
+}
+
+// --- protocol selection ------------------------------------------------------
+
+/// Smallest size in (lo, hi] whose selected protocol differs from lo's.
+std::uint64_t boundary_after(const net::Fabric& f, net::MemType mem,
+                             std::uint64_t lo, std::uint64_t hi) {
+  const net::Protocol base = f.select(lo, mem);
+  while (lo + 1 < hi) {
+    const std::uint64_t m = lo + (hi - lo) / 2;
+    if (f.select(m, mem) == base) {
+      lo = m;
+    } else {
+      hi = m;
+    }
+  }
+  return hi;
+}
+
+TEST(Protocol, CrossoversLandOnCheaperProtocolBothSides) {
+  const net::Fabric f{net::NetSpec{}, 2};
+  for (const net::MemType mem :
+       {net::MemType::kHost, net::MemType::kCudaManaged}) {
+    std::uint64_t at = 8;
+    std::vector<net::Protocol> order{f.select(at, mem)};
+    // Walk every crossover up to 16 MiB.
+    while (at < (16ull << 20)) {
+      if (f.select(16ull << 20, mem) == f.select(at, mem)) break;
+      const std::uint64_t b = boundary_after(f, mem, at, 16ull << 20);
+      const net::Protocol before = f.select(b - 1, mem);
+      const net::Protocol after = f.select(b, mem);
+      ASSERT_NE(before, after);
+      order.push_back(after);
+
+      // One byte below the threshold, the old protocol is genuinely no
+      // worse; at the threshold, the new one is strictly cheaper. The
+      // short->bcopy boundary is eligibility-driven (the inline capacity),
+      // so the cost comparison applies from bcopy onward.
+      if (before != net::Protocol::kEagerShort) {
+        EXPECT_LE(f.cost(before, b - 1, mem), f.cost(after, b - 1, mem))
+            << "below boundary " << b << " mem " << to_string(mem);
+        EXPECT_LT(f.cost(after, b, mem), f.cost(before, b, mem))
+            << "at boundary " << b << " mem " << to_string(mem);
+      } else {
+        EXPECT_EQ(b, net::NetSpec{}.eager_short_max + 1);
+      }
+      at = b;
+    }
+    // All four regimes appear, in ladder order.
+    ASSERT_EQ(order.size(), 4u) << "mem " << to_string(mem);
+    EXPECT_EQ(order[0], net::Protocol::kEagerShort);
+    EXPECT_EQ(order[1], net::Protocol::kEagerBcopy);
+    EXPECT_EQ(order[2], net::Protocol::kZcopy);
+    EXPECT_EQ(order[3], net::Protocol::kRendezvous);
+  }
+}
+
+TEST(Protocol, ExplicitThresholdLadderIsHonoredExactly) {
+  net::NetSpec s;
+  s.bcopy_max = 4096;
+  s.zcopy_max = 65536;
+  const net::Fabric f{s, 2};
+  const auto mem = net::MemType::kHost;
+  EXPECT_EQ(f.select(s.eager_short_max, mem), net::Protocol::kEagerShort);
+  EXPECT_EQ(f.select(s.eager_short_max + 1, mem), net::Protocol::kEagerBcopy);
+  EXPECT_EQ(f.select(4096, mem), net::Protocol::kEagerBcopy);
+  EXPECT_EQ(f.select(4097, mem), net::Protocol::kZcopy);
+  EXPECT_EQ(f.select(65536, mem), net::Protocol::kZcopy);
+  EXPECT_EQ(f.select(65537, mem), net::Protocol::kRendezvous);
+}
+
+TEST(Protocol, CudaManagedCostsExceedHost) {
+  const net::Fabric f{net::NetSpec{}, 2};
+  for (const std::uint64_t b : {64ull, 4096ull, 32768ull, 1ull << 20}) {
+    const net::Protocol p = f.select(b, net::MemType::kCudaManaged);
+    EXPECT_GT(f.cost(p, b, net::MemType::kCudaManaged),
+              f.cost(p, b, net::MemType::kHost))
+        << b;
+  }
+}
+
+// --- transfers, serialization, flaps ----------------------------------------
+
+TEST(Fabric, DirectedLinkSerializes) {
+  net::Fabric f{net::NetSpec{}, 3};
+  const auto mem = net::MemType::kHost;
+  const net::Transfer a = f.transfer(0, 1, 1 << 20, mem, 0);
+  EXPECT_EQ(a.queued, 0);
+  // Same directed link, same request time: queues behind a.
+  const net::Transfer b = f.transfer(0, 1, 1 << 20, mem, 0);
+  EXPECT_EQ(b.start, a.end);
+  EXPECT_EQ(b.queued, a.end);
+  // Reverse direction and unrelated links are independent.
+  EXPECT_EQ(f.transfer(1, 0, 1 << 20, mem, 0).queued, 0);
+  EXPECT_EQ(f.transfer(0, 2, 1 << 20, mem, 0).queued, 0);
+}
+
+TEST(Fabric, TransferEndpointValidation) {
+  net::Fabric f{net::NetSpec{}, 2};
+  EXPECT_THROW((void)f.transfer(0, 0, 64, net::MemType::kHost, 0), StatusError);
+  EXPECT_THROW((void)f.transfer(0, 7, 64, net::MemType::kHost, 0), StatusError);
+}
+
+TEST(Fabric, FlapWindowDilatesDeterministically) {
+  fault::LinkFlapWindow w;
+  w.start = sim::microseconds(10);
+  w.duration = sim::microseconds(10);
+  w.node_a = 0;  // node_b = kAllPeers: every link touching node 0
+  w.bandwidth_factor = 4.0;
+  w.latency_factor = 2.0;
+
+  const auto run = [&] {
+    net::Fabric f{net::NetSpec{}, 3, nullptr, {w}};
+    const auto mem = net::MemType::kHost;
+    struct Out {
+      sim::Picos before, inside, inside_untouched, after;
+      std::uint64_t flapped;
+      std::uint64_t digest;
+    } o{};
+    o.before = f.transfer(0, 1, 1 << 20, mem, 0).end - 0;
+    const sim::Picos t1 = sim::microseconds(12);
+    const net::Transfer in = f.transfer(0, 2, 1 << 20, mem, t1);
+    o.inside = in.end - in.start;
+    // Link 1->2 does not touch node 0: unaffected even inside the window.
+    const net::Transfer un = f.transfer(1, 2, 1 << 20, mem, t1);
+    o.inside_untouched = un.end - un.start;
+    const sim::Picos t2 = sim::microseconds(50);
+    const net::Transfer af = f.transfer(2, 0, 1 << 20, mem, t2);
+    o.after = af.end - af.start;
+    o.flapped = f.totals().flapped_msgs;
+    o.digest = f.digest();
+    return o;
+  };
+
+  const auto a = run();
+  EXPECT_GT(a.inside, a.before);          // dilated while the window is open
+  EXPECT_EQ(a.inside_untouched, a.before);  // untouched link, same cost
+  EXPECT_EQ(a.after, a.before);           // window closed, cost restored
+  EXPECT_EQ(a.flapped, 1u);
+
+  const auto b = run();  // bit-for-bit deterministic
+  EXPECT_EQ(a.inside, b.inside);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(Fabric, OverlappingFlapWindowsCompound) {
+  fault::LinkFlapWindow w1;
+  w1.start = 0;
+  w1.duration = sim::microseconds(100);
+  w1.node_a = 0;
+  w1.bandwidth_factor = 2.0;
+  w1.latency_factor = 1.0;
+  fault::LinkFlapWindow w2 = w1;
+
+  net::Fabric one{net::NetSpec{}, 2, nullptr, {w1}};
+  net::Fabric two{net::NetSpec{}, 2, nullptr, {w1, w2}};
+  const auto mem = net::MemType::kHost;
+  const sim::Picos c1 = one.transfer(0, 1, 1 << 20, mem, 0).end;
+  const sim::Picos c2 = two.transfer(0, 1, 1 << 20, mem, 0).end;
+  EXPECT_GT(c2, c1);  // 4x bandwidth cut beats 2x
+}
+
+TEST(Fabric, DigestTracksHistoryExactly) {
+  const auto drive = [](std::uint64_t third_size) {
+    net::Fabric f{net::NetSpec{}, 2};
+    (void)f.transfer(0, 1, 64, net::MemType::kHost, 0);
+    (void)f.transfer(1, 0, 4096, net::MemType::kCudaManaged, 100);
+    (void)f.transfer(0, 1, third_size, net::MemType::kHost, 200);
+    return f.digest();
+  };
+  EXPECT_EQ(drive(1 << 20), drive(1 << 20));
+  EXPECT_NE(drive(1 << 20), drive((1 << 20) + 1));
+}
+
+// --- multi-node workloads ----------------------------------------------------
+
+TEST(Halo, HotspotRunsAndReproduces) {
+  net::MultiNodeConfig mc;
+  mc.nodes = 3;
+  mc.mode = apps::MemMode::kManaged;
+  mc.node_config = node_cfg();
+
+  const net::MultiNodeResult a = net::run_hotspot_halo(mc, small_hotspot());
+  const net::MultiNodeResult b = net::run_hotspot_halo(mc, small_hotspot());
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.nodes, 3u);
+  EXPECT_EQ(a.exchanges, small_hotspot().iterations);
+  // 3 nodes: ends send 1 halo each, the middle sends 2 — per iteration.
+  EXPECT_EQ(a.net.total_msgs(), 4ull * small_hotspot().iterations);
+  EXPECT_GT(a.net_wait, 0);
+  EXPECT_EQ(a.node_end.size(), 3u);
+  EXPECT_GT(a.makespan, 0);
+}
+
+TEST(Halo, SradMovesTwoFieldsPerNeighbor) {
+  net::MultiNodeConfig mc;
+  mc.nodes = 2;
+  mc.mode = apps::MemMode::kManaged;
+  mc.node_config = node_cfg();
+  apps::SradConfig s;
+  s.rows = 64;
+  s.cols = 64;
+  s.iterations = 3;
+  const net::MultiNodeResult r = net::run_srad_halo(mc, s);
+  EXPECT_EQ(r.net.total_msgs(), 2ull * s.iterations);
+  EXPECT_EQ(r.net.total_bytes(),
+            2ull * s.iterations * 2ull * s.cols * sizeof(float));
+}
+
+TEST(Halo, QvChunkExchange) {
+  net::MultiNodeConfig mc;
+  mc.nodes = 4;
+  mc.mode = apps::MemMode::kManaged;
+  mc.node_config = node_cfg();
+  apps::QvConfig q;
+  q.qubits = 8;
+  q.depth = 2;
+  const net::MultiNodeResult a = net::run_qv_chunks(mc, q);
+  const net::MultiNodeResult b = net::run_qv_chunks(mc, q);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_GT(a.exchanges, 0u);
+  // Every node swaps half its 2^(8-2)-amplitude chunk every gate round.
+  apps::QvConfig local = q;
+  local.qubits = 6;
+  const std::uint64_t gates = apps::qv_circuit(local).size();
+  EXPECT_EQ(a.net.total_msgs(), 4ull * gates);
+  EXPECT_EQ(a.net.total_bytes(), 4ull * gates * ((16ull << 6) / 2));
+}
+
+TEST(Halo, RejectsBadShapes) {
+  net::MultiNodeConfig mc;
+  mc.node_config = node_cfg();
+  mc.nodes = 1;
+  EXPECT_THROW((void)net::run_hotspot_halo(mc, small_hotspot()), StatusError);
+  mc.nodes = 9;
+  EXPECT_THROW((void)net::run_hotspot_halo(mc, small_hotspot()), StatusError);
+
+  mc.nodes = 3;  // not a power of two
+  EXPECT_THROW((void)net::run_qv_chunks(mc, apps::QvConfig{}), StatusError);
+
+  mc.nodes = 4;
+  mc.mode = apps::MemMode::kExplicit;  // chunked path: different yields
+  EXPECT_THROW((void)net::run_qv_chunks(mc, apps::QvConfig{}), StatusError);
+
+  mc.mode = apps::MemMode::kManaged;
+  apps::QvConfig tiny;
+  tiny.qubits = 3;  // 4 nodes need >= k+2 = 4 qubits
+  EXPECT_THROW((void)net::run_qv_chunks(mc, tiny), StatusError);
+
+  apps::HotspotConfig thin = small_hotspot();
+  thin.rows = 4;  // 8 nodes cannot all get a row band
+  mc.nodes = 8;
+  mc.mode = apps::MemMode::kManaged;
+  EXPECT_THROW((void)net::run_hotspot_halo(mc, thin), StatusError);
+}
+
+TEST(Halo, SharedFabricAccumulates) {
+  obs::MetricsRegistry reg;
+  net::Fabric fab{net::NetSpec{}, 4, &reg};
+  net::MultiNodeConfig mc;
+  mc.nodes = 2;
+  mc.mode = apps::MemMode::kManaged;
+  mc.node_config = node_cfg();
+  const net::MultiNodeResult a = net::run_hotspot_halo(mc, small_hotspot(), &fab);
+  const std::uint64_t after_one = fab.totals().total_msgs();
+  EXPECT_EQ(after_one, a.net.total_msgs());
+  (void)net::run_hotspot_halo(mc, small_hotspot(), &fab);
+  EXPECT_EQ(fab.totals().total_msgs(), 2 * after_one);
+  // Registry sees the shared fabric's traffic.
+  std::uint64_t reg_msgs = 0;
+  for (std::size_t p = 0; p < net::kProtocols; ++p) {
+    reg_msgs += reg.counter("ghum_net_msgs_total",
+                            {{"proto", std::string{to_string(
+                                           static_cast<net::Protocol>(p))}}})
+                    .value();
+  }
+  EXPECT_EQ(reg_msgs, fab.totals().total_msgs());
+}
+
+}  // namespace
+}  // namespace ghum
