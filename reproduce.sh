@@ -36,11 +36,15 @@ ctest --test-dir build-asan --output-on-failure 2>&1 | tee test_output_asan.txt
 # job's checksum diverges from its solo run, or the top SLO class takes
 # any violation, bench_netscope if fewer than three network protocol
 # regimes appear, protocol selection is non-monotone in message size, or
-# any 2/4/8-node halo cell fails bit-for-bit reproduction. Every bench
+# any 2/4/8-node halo cell fails bit-for-bit reproduction,
+# bench_fleetscope if alert firings are not bit-for-bit identical across
+# two observed storms, the federated registry disagrees with the
+# per-node sums, or no root span crosses a node boundary. Every bench
 # that declares a JSON artifact must have produced it.
 for artifact in BENCH_selfperf.json BENCH_tenancy.json \
                 BENCH_observability.json BENCH_recovery.json \
-                BENCH_fleet.json BENCH_netscope.json; do
+                BENCH_fleet.json BENCH_netscope.json \
+                BENCH_fleetscope.json; do
   test -f "$artifact" || { echo "missing artifact: $artifact" >&2; exit 1; }
 done
 
@@ -63,6 +67,13 @@ test -f BENCH_selfperf_fullscale.json || {
   > /dev/null
 test -s trace_hotspot_managed.json || {
   echo "missing artifact: trace_hotspot_managed.json" >&2; exit 1;
+}
+
+# Fleet trace (README "Fleet-wide observability"): written by the
+# bench_fleetscope run in the loop above — node process lanes, flow
+# arrows crossing machines, link-flap duration events.
+test -s trace_fleetscope.json || {
+  echo "missing artifact: trace_fleetscope.json" >&2; exit 1;
 }
 
 for e in quickstart all_apps quantum_volume oversubscription_survival \

@@ -796,6 +796,13 @@ void Snapshotter::load_state(core::System& sys, Reader& r,
     fi.next_ecc_ = std::max(fi.next_ecc_, donor->fi_.next_ecc_);
     fi.next_reset_ = std::max(fi.next_reset_, donor->fi_.next_reset_);
   }
+
+  // [19] Link monitor. Its window series is observation-only and restarts
+  // empty, but the monitor was started at construction (time 0, zero byte
+  // baselines) and the clock/C2C totals were restored without an advance:
+  // realign it so the first post-restore window opens at the cut instead
+  // of swallowing the entire pre-checkpoint transfer history.
+  if (sys.link_monitor().running()) sys.link_monitor().rebase();
 }
 
 // --- public API -------------------------------------------------------------

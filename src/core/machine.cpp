@@ -21,7 +21,7 @@ void Machine::sync_obs_gauges() {
       .set(i64(c2c_.bytes_moved(interconnect::Direction::kCpuToGpu)));
   obs_.gauge("ghum_c2c_bytes", {{"dir", "d2h"}})
       .set(i64(c2c_.bytes_moved(interconnect::Direction::kGpuToCpu)));
-  obs_.gauge("ghum_c2c_atomics").set(i64(c2c_.atomics_issued()));
+  obs_.gauge("ghum_c2c_atomics_count").set(i64(c2c_.atomics_issued()));
   // O(1) reads of the extent maps' cached counters — sampling the gauges
   // must never scan residency state (see PageTable::scan_steps).
   obs_.gauge("ghum_pt_runs", {{"pt", "system"}}).set(i64(system_pt_.run_count()));
@@ -45,8 +45,8 @@ void Machine::sync_obs_gauges() {
     obs_.gauge("ghum_tenant_resident_bytes", with("node", "gpu"))
         .set(u.resident_gpu_bytes);
     obs_.gauge("ghum_tenant_peak_gpu_bytes", lt).set(i64(u.peak_gpu_bytes));
-    obs_.gauge("ghum_tenant_faults", with("origin", "cpu")).set(i64(u.cpu_faults));
-    obs_.gauge("ghum_tenant_faults", with("origin", "gpu")).set(i64(u.gpu_faults));
+    obs_.gauge("ghum_tenant_faults_count", with("origin", "cpu")).set(i64(u.cpu_faults));
+    obs_.gauge("ghum_tenant_faults_count", with("origin", "gpu")).set(i64(u.gpu_faults));
     obs_.gauge("ghum_tenant_migrated_bytes", with("dir", "h2d"))
         .set(i64(u.migrated_h2d_bytes));
     obs_.gauge("ghum_tenant_migrated_bytes", with("dir", "d2h"))
@@ -55,9 +55,9 @@ void Machine::sync_obs_gauges() {
         .set(i64(u.c2c_h2d_bytes));
     obs_.gauge("ghum_tenant_c2c_bytes", with("dir", "d2h"))
         .set(i64(u.c2c_d2h_bytes));
-    obs_.gauge("ghum_tenant_evictions", with("role", "suffered"))
+    obs_.gauge("ghum_tenant_evictions_count", with("role", "suffered"))
         .set(i64(u.evictions_suffered));
-    obs_.gauge("ghum_tenant_evictions", with("role", "caused"))
+    obs_.gauge("ghum_tenant_evictions_count", with("role", "caused"))
         .set(i64(u.evictions_caused));
   }
 }

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "chk/snapshot.hpp"
+#include "core/machine.hpp"
 #include "core/system.hpp"
 #include "fault/status.hpp"
 #include "tenant/scheduler.hpp"
@@ -96,6 +97,8 @@ Controller::Controller(FleetConfig cfg, std::vector<JobTemplate> templates)
   migrated_jobs_ = &reg_.counter("ghum_fleet_migrated_jobs_total");
   migrated_bytes_ = &reg_.counter("ghum_fleet_migrated_bytes_total");
   replace_retries_ = &reg_.counter("ghum_fleet_replacement_retries_total");
+  alerts_opened_ = &reg_.counter("ghum_fleet_alerts_opened_total");
+  alerts_closed_ = &reg_.counter("ghum_fleet_alerts_closed_total");
 }
 
 void Controller::activate(Node& n) {
@@ -131,6 +134,168 @@ void Controller::ensure_classes(std::uint32_t classes) {
     wait_by_class_.push_back(
         &reg_.histogram("ghum_fleet_queue_wait_us", class_label(c)));
   }
+}
+
+// --- observability -----------------------------------------------------------
+
+void Controller::trace(obs::FleetTraceEvent e) {
+  if (obs_on() && cfg_.obs.record_trace) trace_.push_back(std::move(e));
+}
+
+void Controller::setup_obs() {
+  if (!obs_on()) return;
+  ts_ = std::make_unique<obs::TimeSeries>(cfg_.obs.cadence,
+                                          cfg_.obs.ring_capacity);
+  // Per-node vitals. Node structs are stable for the controller's life
+  // (the vector is sized once at construction), so the samplers capture
+  // plain pointers.
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    Node* n = &nodes_[i];
+    const std::string p = "node" + std::to_string(i) + ".";
+    ts_->add(p + "placed_bytes", [n] {
+      return static_cast<std::int64_t>(n->placed_bytes);
+    });
+    ts_->add(p + "live_jobs", [n] {
+      return static_cast<std::int64_t>(n->live.size());
+    });
+    ts_->add(p + "queue_depth", [n] {
+      return n->sched == nullptr
+                 ? 0
+                 : static_cast<std::int64_t>(n->sched->queue_depth());
+    });
+    ts_->add(p + "gpu_used_bytes", [n] {
+      return n->sys == nullptr
+                 ? 0
+                 : static_cast<std::int64_t>(n->sys->machine().gpu_used_bytes());
+    });
+  }
+  ts_->add("fleet.pending_jobs", [this] {
+    std::int64_t c = 0;
+    for (const FleetJob& j : jobs_) {
+      if (j.state == FleetJobState::kPending) ++c;
+    }
+    return c;
+  });
+  // Per-class SLO attainment: on-time finishes per terminal job, in
+  // permille. 1000 while a class has no terminal jobs yet.
+  for (std::uint32_t c = 0;
+       c < static_cast<std::uint32_t>(latency_by_class_.size()); ++c) {
+    ts_->add("class" + std::to_string(c) + ".slo_attainment_permille",
+             [this, c] {
+               std::int64_t term = 0;
+               std::int64_t ok = 0;
+               for (const FleetJob& j : jobs_) {
+                 if (j.req.priority != c || !j.terminal()) continue;
+                 ++term;
+                 if (!j.slo_violation) ++ok;
+               }
+               return term == 0 ? 1000 : ok * 1000 / term;
+             });
+  }
+  if (cfg_.obs.track_links && fabric_ != nullptr) {
+    ts_->add("fabric.total_bytes", [this] {
+      return static_cast<std::int64_t>(fabric_->totals().total_bytes());
+    });
+    // Per-directed-link cumulative bytes — every machine pair plus the
+    // external-source and control-plane endpoints. Bounded to small
+    // fleets; a 480-node fleet keeps just the total above.
+    const std::uint32_t eps = fabric_->endpoints();
+    if (eps <= 16) {
+      for (std::uint32_t s = 0; s < eps; ++s) {
+        for (std::uint32_t d = 0; d < eps; ++d) {
+          if (s == d) continue;
+          ts_->add("link." + std::to_string(s) + "-" + std::to_string(d) +
+                       ".bytes",
+                   [this, s, d] {
+                     return static_cast<std::int64_t>(
+                         fabric_->link_bytes_moved(s, d));
+                   });
+        }
+      }
+    }
+  }
+  if (fabric_ != nullptr && cfg_.obs.record_trace) {
+    fabric_->set_log_enabled(true);
+  }
+  alert_engine_ = std::make_unique<obs::AlertEngine>(*ts_, cfg_.obs.alerts);
+}
+
+void Controller::obs_tick(sim::Picos t) {
+  if (ts_ == nullptr) return;
+  ts_->advance(t);
+  if (alert_engine_ == nullptr) return;
+  alert_engine_->evaluate();
+  const std::vector<obs::AlertEvent>& evs = alert_engine_->events();
+  for (; alert_seen_ < evs.size(); ++alert_seen_) {
+    const obs::AlertEvent& ae = evs[alert_seen_];
+    const obs::AlertRule& r = alert_engine_->rules()[ae.rule];
+    (ae.open ? alerts_opened_ : alerts_closed_)->inc();
+    obs::FleetTraceEvent e;
+    e.time = ae.time;
+    e.kind = ae.open ? obs::FleetTraceKind::kAlertOpen
+                     : obs::FleetTraceKind::kAlertClose;
+    e.bytes = 0;
+    e.label = r.name + " [" + std::string{obs::to_string(r.severity)} + "]";
+    trace(std::move(e));
+  }
+}
+
+obs::MetricsRegistry Controller::federated_metrics() {
+  obs::MetricsRegistry out;
+  out.merge_from(reg_, {{"node", "fleet"}});
+  for (Node& n : nodes_) {
+    if (n.sys == nullptr) continue;
+    n.sys->machine().sync_obs_gauges();
+    out.merge_from(n.sys->machine().obs(), {{"node", std::to_string(n.id)}});
+  }
+  return out;
+}
+
+std::string Controller::metrics_prometheus() {
+  return federated_metrics().to_prometheus();
+}
+
+std::string Controller::metrics_json() { return federated_metrics().to_json(); }
+
+const obs::MetricsRegistry* Controller::node_metrics(NodeId id) {
+  if (id >= nodes_.size() || nodes_[id].sys == nullptr) return nullptr;
+  nodes_[id].sys->machine().sync_obs_gauges();
+  return &nodes_[id].sys->machine().obs();
+}
+
+std::string Controller::chrome_trace() const {
+  std::vector<obs::FleetTraceEvent> evs = trace_;
+  if (fabric_ != nullptr) {
+    // Traced fabric messages (placement commands, evacuation images)
+    // become duration events on the fabric lane and members of their root
+    // span's flow chain — the visible wire hop between node lanes.
+    for (const net::TransferRecord& r : fabric_->log()) {
+      if (!r.ctx.traced()) continue;
+      obs::FleetTraceEvent e;
+      e.time = r.start;
+      e.duration = r.end - r.start;
+      e.kind = obs::FleetTraceKind::kTransfer;
+      e.node = r.src;
+      e.peer = r.dst;
+      e.bytes = r.bytes;
+      e.ctx = r.ctx;
+      e.label = std::string{net::to_string(r.proto)};
+      evs.push_back(std::move(e));
+    }
+  }
+  for (const fault::LinkFlapWindow& w : cfg_.faults.link_flap) {
+    obs::FleetTraceEvent e;
+    e.time = w.start;
+    e.duration = w.duration;
+    e.kind = obs::FleetTraceKind::kLinkFlap;
+    e.node = w.node_a;
+    if (w.node_b != fault::LinkFlapWindow::kAllPeers) e.peer = w.node_b;
+    e.label = w.node_b == fault::LinkFlapWindow::kAllPeers
+                  ? std::to_string(w.node_a) + "-*"
+                  : std::to_string(w.node_a) + "-" + std::to_string(w.node_b);
+    evs.push_back(std::move(e));
+  }
+  return obs::export_fleet_trace(evs, cfg_.nodes + cfg_.spares);
 }
 
 // --- event loop --------------------------------------------------------------
@@ -209,7 +374,16 @@ bool Controller::harvest(Node& n) {
     if (j.terminal()) continue;  // late redundant replica; nothing more to do
 
     if (tj.state == tenant::JobState::kFinished) {
+      j.completion_node = n.id;
       finish_job(j, tj);
+      obs::FleetTraceEvent te;
+      te.time = j.finished_at;
+      te.kind = obs::FleetTraceKind::kJobFinish;
+      te.node = n.id;
+      te.tenant = tid;
+      te.job = j.req.id;
+      te.ctx = j.ctx;
+      trace(std::move(te));
     } else if (j.replicas.empty()) {
       // Last live replica failed on-node (crash-recovery exhaustion or an
       // unrecoverable app fault): the fleet job fails with that cause.
@@ -252,6 +426,13 @@ void Controller::fail_job(FleetJob& j, Status why, sim::Picos now) {
   j.slo_violation = true;
   failed_by_class_[j.req.priority]->inc();
   violations_by_class_[j.req.priority]->inc();
+  obs::FleetTraceEvent te;
+  te.time = now;
+  te.kind = obs::FleetTraceKind::kJobFail;
+  te.job = j.req.id;
+  te.ctx = j.ctx;
+  te.label = std::string{to_string(why)};
+  trace(std::move(te));
   record(why);
 }
 
@@ -348,9 +529,11 @@ bool Controller::place(FleetJob& j, sim::Picos now) {
     // clock advances to the delivery instant (idle time is real time).
     sim::Picos start_at = now;
     if (fabric_ != nullptr) {
+      // The command carries the job's trace context onto the node: the
+      // causal chain's hop across the machine boundary.
       start_at = fabric_
                      ->transfer(ep_control(), nid, kPlacementMsgBytes,
-                                net::MemType::kHost, now)
+                                net::MemType::kHost, now, &j.ctx)
                      .end;
     }
     if (n.sys->now() < start_at) n.sys->advance(start_at - n.sys->now());
@@ -372,6 +555,15 @@ bool Controller::place(FleetJob& j, sim::Picos now) {
     exclude.push_back(nid);
     ++placed;
     placements_->inc();
+    obs::FleetTraceEvent te;
+    te.time = start_at;
+    te.kind = obs::FleetTraceKind::kPlacement;
+    te.node = nid;
+    te.tenant = tid;
+    te.job = j.req.id;
+    te.ctx = j.ctx;
+    te.label = tmpl.name;
+    trace(std::move(te));
   }
   if (placed == 0) return false;
   j.placements += placed;
@@ -415,6 +607,20 @@ void Controller::on_node_loss(const fault::NodeLossEvent& e) {
   if (n.state != NodeState::kAlive && n.state != NodeState::kDegraded) return;
   node_losses_->inc();
 
+  // The loss re-roots every re-driven victim's causal chain at the dying
+  // node: retries and the eventual re-placement elsewhere all carry it.
+  obs::TraceContext fault_ctx;
+  if (obs_on()) {
+    fault_ctx.root_span = next_span_++;
+    fault_ctx.origin_node = e.node;
+    obs::FleetTraceEvent te;
+    te.time = e.time;
+    te.kind = obs::FleetTraceKind::kNodeLoss;
+    te.node = e.node;
+    te.ctx = fault_ctx;
+    trace(std::move(te));
+  }
+
   const std::vector<std::pair<tenant::TenantId, std::uint64_t>> victims =
       std::move(n.live);
   n.live.clear();
@@ -437,6 +643,7 @@ void Controller::on_node_loss(const fault::NodeLossEvent& e) {
     // Replay elsewhere under the bounded backoff budget.
     j.state = FleetJobState::kPending;
     j.replayed_after_loss = true;
+    if (obs_on()) j.ctx = fault_ctx;
     if (j.loss_attempts >= cfg_.replace_max_retries) {
       fail_job(j, Status::kErrorNodeLost, e.time);
       continue;
@@ -447,6 +654,12 @@ void Controller::on_node_loss(const fault::NodeLossEvent& e) {
                      (sim::Picos{1} << (j.loss_attempts - 1));
     retries_.push_back({j.not_before, jidx});
     replace_retries_->inc();
+    obs::FleetTraceEvent te;
+    te.time = e.time;
+    te.kind = obs::FleetTraceKind::kReplacementRetry;
+    te.job = j.req.id;
+    te.ctx = j.ctx;
+    trace(std::move(te));
   }
   std::sort(retries_.begin(), retries_.end(), [](const Retry& a, const Retry& b) {
     return a.due != b.due ? a.due < b.due : a.job < b.job;
@@ -485,6 +698,12 @@ void Controller::shed_to_capacity(sim::Picos now) {
     }
     if (victim == nullptr) break;
     pending -= std::min(pending, victim->footprint);
+    obs::FleetTraceEvent te;
+    te.time = now;
+    te.kind = obs::FleetTraceKind::kShed;
+    te.job = victim->req.id;
+    te.ctx = victim->ctx;
+    trace(std::move(te));
     fail_job(*victim, Status::kErrorNodeLost, now);
     shed_->inc();
   }
@@ -496,10 +715,23 @@ void Controller::on_node_degrade(const fault::NodeDegradeEvent& e) {
   node_degrades_->inc();
   n.state = NodeState::kDegraded;
   n.slow_factor = std::max(n.slow_factor, e.slow_factor);
-  if (cfg_.faults.evacuate_degraded) evacuate(n);
+
+  obs::TraceContext fault_ctx;
+  if (obs_on()) {
+    fault_ctx.root_span = next_span_++;
+    fault_ctx.origin_node = e.node;
+    obs::FleetTraceEvent te;
+    te.time = e.time;
+    te.kind = obs::FleetTraceKind::kNodeDegrade;
+    te.node = e.node;
+    te.ctx = fault_ctx;
+    te.label = "x" + std::to_string(e.slow_factor);
+    trace(std::move(te));
+  }
+  if (cfg_.faults.evacuate_degraded) evacuate(n, fault_ctx);
 }
 
-void Controller::evacuate(Node& n) {
+void Controller::evacuate(Node& n, const obs::TraceContext& ctx) {
   Node* spare = nullptr;
   for (Node& s : nodes_) {
     if (s.state == NodeState::kSpare) {
@@ -518,17 +750,21 @@ void Controller::evacuate(Node& n) {
   spare->sys = chk::Snapshotter::restore(blob, n.sys.get());
   spare->sched = std::move(n.sched);
   spare->sched->rebind(*spare->sys);
+  sim::Picos ship_end = ship_start;
   if (fabric_ != nullptr) {
     // The machine image ships donor -> spare as one bulk fabric message
-    // (deep in the rendezvous regime for any real blob); the spare resumes
-    // at delivery time.
-    const net::Transfer t = fabric_->transfer(
-        n.id, spare->id, blob.size(), net::MemType::kHost, ship_start);
+    // (deep in the rendezvous regime for any real blob) carrying the
+    // degrade fault's trace context; the spare resumes at delivery time.
+    const net::Transfer t =
+        fabric_->transfer(n.id, spare->id, blob.size(), net::MemType::kHost,
+                          ship_start, &ctx);
+    ship_end = t.end;
     if (spare->sys->now() < t.end) {
       spare->sys->advance(t.end - spare->sys->now());
     }
   } else {
     spare->sys->advance(transfer_cost(blob.size()));
+    ship_end = ship_start + transfer_cost(blob.size());
   }
   spare->state = NodeState::kAlive;
   spare->slow_factor = 1;
@@ -542,6 +778,17 @@ void Controller::evacuate(Node& n) {
 
   evacuations_->inc();
   migrated_bytes_->inc(blob.size());
+  {
+    obs::FleetTraceEvent te;
+    te.time = ship_start;
+    te.duration = ship_end - ship_start;
+    te.kind = obs::FleetTraceKind::kEvacuation;
+    te.node = n.id;
+    te.peer = spare->id;
+    te.bytes = blob.size();
+    te.ctx = ctx;
+    trace(std::move(te));
+  }
   for (const auto& [tid, jidx] : spare->live) {
     FleetJob& j = jobs_[jidx];
     for (FleetJob::Replica& r : j.replicas) {
@@ -549,6 +796,9 @@ void Controller::evacuate(Node& n) {
     }
     if (!j.terminal()) {
       j.migrated = true;
+      // The migrated job continues under the fault's root span: its
+      // finish on the spare closes a chain opened on the donor.
+      if (obs_on()) j.ctx = ctx;
       migrated_jobs_->inc();
     }
   }
@@ -570,10 +820,17 @@ Status Controller::run(const std::vector<JobRequest>& requests) {
     FleetJob j;
     j.req = r;
     j.footprint = templates_[r.tmpl].footprint_bytes;
+    if (obs_on()) {
+      // Every request opens a root span at the external source; fleet
+      // faults that re-drive the job re-root it at the faulted node.
+      j.ctx.root_span = next_span_++;
+      j.ctx.origin_node = obs::TraceContext::kExternal;
+    }
     jobs_.push_back(std::move(j));
     classes = std::max(classes, r.priority + 1);
   }
   ensure_classes(classes);
+  setup_obs();
 
   auto losses = cfg_.faults.node_loss;
   std::sort(losses.begin(), losses.end(),
@@ -600,6 +857,7 @@ Status Controller::run(const std::vector<JobRequest>& requests) {
 
     run_nodes_until(t);
     expire_and_cancel_overdue(t);
+    obs_tick(t);
 
     if (tl == t) {
       on_node_loss(losses[li++]);
@@ -624,17 +882,33 @@ Status Controller::run(const std::vector<JobRequest>& requests) {
                         return a.due != b.due ? a.due < b.due : a.job < b.job;
                       });
             replace_retries_->inc();
+            obs::FleetTraceEvent e;
+            e.time = t;
+            e.kind = obs::FleetTraceKind::kReplacementRetry;
+            e.job = j.req.id;
+            e.ctx = j.ctx;
+            trace(std::move(e));
           }
         }
       }
     } else {
       arrivals_->inc();
+      FleetJob& aj = jobs_[ai];
       if (fabric_ != nullptr) {
         // The request descriptor reaches the control plane from outside
         // the fleet; charged for cost/metering (the open-loop arrival
         // instant itself is the generator's, not the fabric's).
         (void)fabric_->transfer(ep_external(), ep_control(), kArrivalMsgBytes,
-                                net::MemType::kHost, t);
+                                net::MemType::kHost, t, &aj.ctx);
+      }
+      {
+        obs::FleetTraceEvent e;
+        e.time = t;
+        e.kind = obs::FleetTraceKind::kArrival;
+        e.job = aj.req.id;
+        e.ctx = aj.ctx;
+        e.label = templates_[aj.req.tmpl].name;
+        trace(std::move(e));
       }
       ++ai;
     }
@@ -650,6 +924,7 @@ Status Controller::run(const std::vector<JobRequest>& requests) {
       if (n.sys != nullptr) now = std::max(now, n.sys->now());
     }
     expire_and_cancel_overdue(now);
+    obs_tick(now);
     const std::uint64_t placements_before = placements_->value();
     try_place_pending(now);
     bool runnable = placements_->value() != placements_before;
@@ -672,6 +947,7 @@ Status Controller::run(const std::vector<JobRequest>& requests) {
       break;
     }
   }
+  obs_tick(fleet_now());
   return Status::kSuccess;
 }
 
@@ -735,8 +1011,15 @@ std::uint64_t Controller::digest() {
     mix(h, j.loss_attempts);
     mix(h, (j.slo_violation ? 1u : 0u) | (j.migrated ? 2u : 0u) |
                (j.replayed_after_loss ? 4u : 0u));
+    mix(h, (std::uint64_t{j.ctx.origin_node} << 32) | j.ctx.root_span);
+    mix(h, j.completion_node);
   }
   if (fabric_ != nullptr) mix(h, fabric_->digest());
+  // The observability layer is part of the reproducibility contract: the
+  // recorder's sampled history and the alert open/close sequence must be
+  // bit-identical across identical runs, so they mix in too.
+  if (ts_ != nullptr) mix(h, ts_->digest());
+  if (alert_engine_ != nullptr) mix(h, alert_engine_->digest());
   mix_bytes(h, reg_.to_json());
   return h;
 }

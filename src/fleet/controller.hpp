@@ -2,11 +2,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "fleet/fleet_config.hpp"
 #include "net/fabric.hpp"
+#include "obs/alerts.hpp"
+#include "obs/fleet_trace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 
 /// \file controller.hpp
 /// fleet::Controller — N simulated Grace Hopper superchips (each a
@@ -101,6 +105,13 @@ struct FleetJob {
   bool migrated = false;            ///< continued mid-flight after evacuation
   bool replayed_after_loss = false; ///< re-placed after losing its node
 
+  /// Causal identity (FleetObsConfig::enabled only). Opened externally at
+  /// arrival; a node fault that re-drives the job (loss replay, live
+  /// migration) re-roots it at the faulted node, so a job that finishes
+  /// elsewhere demonstrably carried one span across a node boundary.
+  obs::TraceContext ctx;
+  NodeId completion_node = kNoNode;  ///< node whose replica finished
+
   [[nodiscard]] bool terminal() const noexcept {
     return state == FleetJobState::kFinished || state == FleetJobState::kFailed;
   }
@@ -158,6 +169,38 @@ class Controller {
   /// migrations, node losses, shed jobs, SLO violations by class) and the
   /// per-class job-latency/queue-wait histograms.
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return reg_; }
+
+  /// Federated view: every fleet instrument under node="fleet" plus every
+  /// live node's machine registry under node="<id>" (gauges synced
+  /// first). Built fresh per call; counters and gauges add, histograms
+  /// merge, so a label-blind sum over it equals the per-node sum
+  /// (bench_fleetscope's federation gate).
+  [[nodiscard]] obs::MetricsRegistry federated_metrics();
+  /// Prometheus / JSON expositions of federated_metrics().
+  [[nodiscard]] std::string metrics_prometheus();
+  [[nodiscard]] std::string metrics_json();
+
+  /// One node's machine registry (gauges synced first), or null when the
+  /// node no longer holds a machine (dead, retired, spare). This is the
+  /// ground truth the federation equality gate sums against.
+  [[nodiscard]] const obs::MetricsRegistry* node_metrics(NodeId id);
+
+  /// The flight recorder / alert engine / causal trace stream — null or
+  /// empty unless FleetObsConfig::enabled. Populated during run().
+  [[nodiscard]] const obs::TimeSeries* recorder() const noexcept {
+    return ts_.get();
+  }
+  [[nodiscard]] const obs::AlertEngine* alert_engine() const noexcept {
+    return alert_engine_.get();
+  }
+  [[nodiscard]] const std::vector<obs::FleetTraceEvent>& trace_events()
+      const noexcept {
+    return trace_;
+  }
+  /// Fleet-level Chrome trace: per-node process lanes, per-tenant
+  /// threads, traced fabric transfers, link-flap duration events, and
+  /// s/t/f flow arrows crossing node lanes. Validated by obs::json_valid.
+  [[nodiscard]] std::string chrome_trace() const;
 
   /// FNV-1a fingerprint of the complete fleet outcome: every node's state,
   /// local end time and EventLog digest, every job's terminal record, and
@@ -237,8 +280,14 @@ class Controller {
   // Fault domain.
   void on_node_loss(const fault::NodeLossEvent& e);
   void on_node_degrade(const fault::NodeDegradeEvent& e);
-  void evacuate(Node& n);
+  void evacuate(Node& n, const obs::TraceContext& ctx);
   void shed_to_capacity(sim::Picos now);
+
+  // Observability (FleetObsConfig::enabled only).
+  [[nodiscard]] bool obs_on() const noexcept { return cfg_.obs.enabled; }
+  void setup_obs();            ///< recorder series + alert engine, at run()
+  void obs_tick(sim::Picos t); ///< sample edges <= t, evaluate alerts
+  void trace(obs::FleetTraceEvent e);
 
   FleetConfig cfg_;
   std::vector<JobTemplate> templates_;
@@ -265,6 +314,15 @@ class Controller {
   std::vector<obs::Counter*> failed_by_class_;
   std::vector<obs::Histogram*> latency_by_class_;   ///< microseconds
   std::vector<obs::Histogram*> wait_by_class_;      ///< microseconds
+  obs::Counter* alerts_opened_;
+  obs::Counter* alerts_closed_;
+
+  // Fleet observability state (null/empty unless cfg_.obs.enabled).
+  std::unique_ptr<obs::TimeSeries> ts_;
+  std::unique_ptr<obs::AlertEngine> alert_engine_;
+  std::vector<obs::FleetTraceEvent> trace_;
+  std::size_t alert_seen_ = 0;   ///< alert events already folded into trace_
+  std::uint32_t next_span_ = 1;  ///< deterministic root-span allocator
 };
 
 }  // namespace ghum::fleet

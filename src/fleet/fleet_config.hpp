@@ -10,6 +10,7 @@
 #include "core/system_config.hpp"
 #include "fault/fleet_fault.hpp"
 #include "net/net_spec.hpp"
+#include "obs/alerts.hpp"
 #include "tenant/scheduler.hpp"
 
 /// \file fleet_config.hpp
@@ -95,6 +96,27 @@ struct ArrivalConfig {
   std::uint32_t top_replicas = 1;
 };
 
+/// Fleet-wide observability (DESIGN.md Section 13): the deterministic
+/// flight recorder, the SLO alert rules evaluated on it, and the causal
+/// trace stream the Chrome exporter renders.
+struct FleetObsConfig {
+  /// Master switch. Off = no recorder, no alerts, no trace events —
+  /// pre-PR-9 behavior bit-for-bit (digest() then mixes nothing new).
+  bool enabled = false;
+  /// Recorder sampling cadence in fleet time.
+  sim::Picos cadence = sim::milliseconds(1);
+  /// Samples retained per series (ring capacity).
+  std::size_t ring_capacity = 4096;
+  /// Sample per-directed-link fabric byte counters (one series per link
+  /// that ever moved traffic plus the fleet total).
+  bool track_links = true;
+  /// Record FleetTraceEvents (arrivals, placements, faults, evacuations,
+  /// transfers, alerts) for export_fleet_trace().
+  bool record_trace = true;
+  /// Declarative SLO alert rules; instruments name recorder series.
+  std::vector<obs::AlertRule> alerts;
+};
+
 struct FleetConfig {
   /// Active superchips at t=0.
   std::uint32_t nodes = 4;
@@ -144,6 +166,8 @@ struct FleetConfig {
   std::uint64_t node_footprint_budget = 0;
 
   fault::FleetFaultConfig faults;
+
+  FleetObsConfig obs;
 };
 
 }  // namespace ghum::fleet

@@ -188,7 +188,8 @@ Protocol Fabric::select(std::uint64_t bytes, MemType mem) const {
 }
 
 Transfer Fabric::transfer(std::uint32_t src, std::uint32_t dst,
-                          std::uint64_t bytes, MemType mem, sim::Picos now) {
+                          std::uint64_t bytes, MemType mem, sim::Picos now,
+                          const obs::TraceContext* ctx) {
   if (src >= endpoints_ || dst >= endpoints_ || src == dst) {
     throw StatusError{Status::kErrorInvalidValue,
                       "net: transfer endpoints out of range"};
@@ -207,6 +208,19 @@ Transfer Fabric::transfer(std::uint32_t src, std::uint32_t dst,
   const auto p = static_cast<std::size_t>(t.proto);
   ++totals_.msgs[p];
   totals_.bytes[p] += bytes;
+  link_tally_[link] += bytes;
+  if (log_enabled_) {
+    TransferRecord r;
+    r.src = src;
+    r.dst = dst;
+    r.bytes = bytes;
+    r.mem = mem;
+    r.proto = t.proto;
+    r.start = t.start;
+    r.end = t.end;
+    if (ctx != nullptr) r.ctx = *ctx;
+    log_.push_back(r);
+  }
   if (t.proto == Protocol::kRendezvous) ++totals_.rndv_handshakes;
   if (d.flapped) ++totals_.flapped_msgs;
 

@@ -7,6 +7,7 @@
 
 #include "fault/fleet_fault.hpp"
 #include "net/net_spec.hpp"
+#include "obs/fleet_trace.hpp"
 #include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
@@ -36,6 +37,21 @@ struct Transfer {
   sim::Picos end = 0;        ///< delivery completion at the receiver
   sim::Picos queued = 0;     ///< start - requested time (link serialization)
   sim::Picos handshake = 0;  ///< rendezvous rts/rtr round trip (0 otherwise)
+};
+
+/// One logged transfer (recorded when set_log_enabled(true)): the wire
+/// record plus the causal trace context it carried — what the fleet
+/// trace exporter turns into duration events and cross-node flow-chain
+/// members.
+struct TransferRecord {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t bytes = 0;
+  MemType mem = MemType::kHost;
+  Protocol proto = Protocol::kEagerShort;
+  sim::Picos start = 0;
+  sim::Picos end = 0;
+  obs::TraceContext ctx;
 };
 
 /// Fabric-side tally kept independently of the metrics registry, so
@@ -73,10 +89,29 @@ class Fabric {
   /// Charges one \p bytes-sized message src -> dst starting no earlier
   /// than \p now. Selects the protocol, applies any open flap window,
   /// queues behind in-flight traffic on the same directed link, advances
-  /// the link horizon and records history. Throws
-  /// StatusError{kErrorInvalidValue} on src == dst or out-of-range ids.
+  /// the link horizon and records history. \p ctx is the causal trace
+  /// context the message carries across the node boundary (null =
+  /// untraced); it does not affect cost or digest, only the transfer log.
+  /// Throws StatusError{kErrorInvalidValue} on src == dst or out-of-range
+  /// ids.
   Transfer transfer(std::uint32_t src, std::uint32_t dst, std::uint64_t bytes,
-                    MemType mem, sim::Picos now);
+                    MemType mem, sim::Picos now,
+                    const obs::TraceContext* ctx = nullptr);
+
+  /// When enabled, every transfer appends a TransferRecord to log().
+  void set_log_enabled(bool on) noexcept { log_enabled_ = on; }
+  [[nodiscard]] const std::vector<TransferRecord>& log() const noexcept {
+    return log_;
+  }
+
+  /// Total bytes charged on the directed link src -> dst so far — the
+  /// per-link utilization source the flight recorder samples (always
+  /// maintained, registry or not).
+  [[nodiscard]] std::uint64_t link_bytes_moved(std::uint32_t src,
+                                               std::uint32_t dst) const noexcept {
+    const auto it = link_tally_.find(std::uint64_t{src} * endpoints_ + dst);
+    return it == link_tally_.end() ? 0 : it->second;
+  }
 
   /// Protocol the spec selects for a message (no link or flap state).
   [[nodiscard]] Protocol select(std::uint64_t bytes, MemType mem) const;
@@ -119,6 +154,9 @@ class Fabric {
 
   FabricTotals totals_;
   std::uint64_t digest_ = 0xcbf29ce484222325ull;
+  std::map<std::uint64_t, std::uint64_t> link_tally_;  ///< bytes per link
+  bool log_enabled_ = false;
+  std::vector<TransferRecord> log_;
 
   // Instruments (null when no registry was given).
   std::array<obs::Counter*, kProtocols> msgs_{};

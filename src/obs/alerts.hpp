@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+#include "sim/time.hpp"
+
+/// \file alerts.hpp
+/// obs::AlertEngine — declarative SLO alerting on the flight recorder
+/// (DESIGN.md Section 13). Rules name a recorder series, a predicate
+/// (above/below a threshold), a for-duration (how long the breach must
+/// hold before the alert opens — the Prometheus "for:" clause), and an
+/// optional burn window (evaluate the trailing-window average instead of
+/// the instantaneous sample — burn-rate semantics). evaluate() consumes
+/// recorder edges in order at deterministic fleet-time instants, so the
+/// open/close event sequence is bit-for-bit reproducible and mixes into
+/// the fleet digest.
+
+namespace ghum::obs {
+
+enum class AlertPredicate : std::uint8_t {
+  kAbove,  ///< breach while value > threshold
+  kBelow,  ///< breach while value < threshold
+};
+
+enum class AlertSeverity : std::uint8_t { kInfo, kWarning, kCritical };
+
+[[nodiscard]] constexpr std::string_view to_string(AlertPredicate p) noexcept {
+  switch (p) {
+    case AlertPredicate::kAbove: return "above";
+    case AlertPredicate::kBelow: return "below";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(AlertSeverity s) noexcept {
+  switch (s) {
+    case AlertSeverity::kInfo: return "info";
+    case AlertSeverity::kWarning: return "warning";
+    case AlertSeverity::kCritical: return "critical";
+  }
+  return "?";
+}
+
+/// One declarative rule. \p instrument names a recorder series (resolved
+/// at attach time; unknown names are reported, not silently dropped).
+struct AlertRule {
+  std::string name;        ///< alert identity in events and exports
+  std::string instrument;  ///< recorder series to evaluate
+  AlertPredicate predicate = AlertPredicate::kAbove;
+  std::int64_t threshold = 0;
+  /// Breach must hold this long (>= this many consecutive breaching
+  /// edges' span) before the alert opens. 0 = open on the first edge.
+  sim::Picos for_duration = 0;
+  /// 0 = evaluate the instantaneous sample. > 0 = evaluate the average of
+  /// samples in (edge - burn_window, edge] — burn-rate smoothing that
+  /// ignores single-edge spikes.
+  sim::Picos burn_window = 0;
+  AlertSeverity severity = AlertSeverity::kWarning;
+};
+
+/// One open/close transition in the alert stream.
+struct AlertEvent {
+  sim::Picos time = 0;
+  std::uint32_t rule = 0;  ///< index into rules()
+  bool open = false;       ///< true = fired, false = resolved
+  std::int64_t value = 0;  ///< evaluated value at the transition edge
+};
+
+class AlertEngine {
+ public:
+  /// Binds the engine to \p ts (not owned; must outlive the engine).
+  /// Rules naming a series that does not exist in \p ts at attach time
+  /// land in unresolved() and never fire.
+  AlertEngine(const TimeSeries& ts, std::vector<AlertRule> rules);
+
+  /// Evaluates every recorder edge not yet consumed, in order. Alert
+  /// transitions append to events(); the return value is how many new
+  /// transitions this call produced.
+  std::size_t evaluate();
+
+  [[nodiscard]] const std::vector<AlertRule>& rules() const noexcept {
+    return rules_;
+  }
+  [[nodiscard]] const std::vector<AlertEvent>& events() const noexcept {
+    return events_;
+  }
+  /// Rule indexes whose instrument did not resolve to a recorder series.
+  [[nodiscard]] const std::vector<std::uint32_t>& unresolved() const noexcept {
+    return unresolved_;
+  }
+  [[nodiscard]] bool is_open(std::uint32_t rule) const noexcept {
+    return rule < state_.size() && state_[rule].open;
+  }
+  [[nodiscard]] std::size_t open_count() const noexcept {
+    std::size_t n = 0;
+    for (const RuleState& s : state_) n += s.open ? 1 : 0;
+    return n;
+  }
+
+  /// FNV-1a over the full transition sequence (time, rule, edge, value) —
+  /// identical runs produce identical alert digests (bench_fleetscope's
+  /// bit-for-bit gate).
+  [[nodiscard]] std::uint64_t digest() const noexcept;
+
+ private:
+  struct RuleState {
+    std::size_t series = TimeSeries::kNoSeries;
+    bool open = false;
+    sim::Picos breach_since = -1;  ///< first edge of the current breach run
+  };
+
+  [[nodiscard]] std::int64_t evaluated_value(const AlertRule& r,
+                                             const RuleState& s,
+                                             sim::Picos edge,
+                                             std::int64_t sample) const;
+
+  const TimeSeries* ts_;
+  std::vector<AlertRule> rules_;
+  std::vector<RuleState> state_;
+  std::vector<AlertEvent> events_;
+  std::vector<std::uint32_t> unresolved_;
+  sim::Picos consumed_edge_ = -1;  ///< last recorder edge evaluated
+};
+
+}  // namespace ghum::obs

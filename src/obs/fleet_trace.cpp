@@ -1,0 +1,209 @@
+#include "obs/fleet_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace ghum::obs {
+
+namespace {
+
+/// Microsecond timestamp with fixed nanosecond precision — ostream
+/// default formatting flips to scientific notation on long traces, which
+/// Chrome's JSON parser rejects inside ts/dur.
+std::string us(sim::Picos t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", sim::to_microseconds(t));
+  return buf;
+}
+
+/// RFC 8259 string escaping. Labels carry user-supplied job names, so
+/// this is load-bearing: quotes, backslashes and control characters must
+/// not break the document (the hostile-name tests feed exactly those).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::ostringstream& out) : out_(&out) {}
+
+  std::ostringstream& next() {
+    if (!first_) *out_ << ",\n";
+    first_ = false;
+    return *out_;
+  }
+
+ private:
+  std::ostringstream* out_;
+  bool first_ = true;
+};
+
+/// Lane assignment. The control plane is pid 1 (admission / alerts /
+/// fabric threads); node i is pid 10+i with thread 0 for node-level
+/// events and one thread per tenant.
+struct Lane {
+  int pid = 1;
+  int tid = 1;
+};
+
+constexpr int kControlPid = 1;
+constexpr int kAdmissionTid = 1;
+constexpr int kAlertTid = 2;
+constexpr int kFabricTid = 3;
+constexpr int kNodePidBase = 10;
+
+Lane lane_of(const FleetTraceEvent& e, const FleetTraceOptions& opts) {
+  if (e.kind == FleetTraceKind::kTransfer ||
+      e.kind == FleetTraceKind::kLinkFlap) {
+    return {kControlPid, kFabricTid};
+  }
+  if (e.kind == FleetTraceKind::kAlertOpen ||
+      e.kind == FleetTraceKind::kAlertClose) {
+    return {kControlPid, kAlertTid};
+  }
+  if (e.node == FleetTraceEvent::kControlLane) {
+    return {kControlPid, kAdmissionTid};
+  }
+  const int pid = kNodePidBase + static_cast<int>(e.node);
+  const int tid = (opts.tenant_lanes && e.tenant != 0)
+                      ? static_cast<int>(e.tenant)
+                      : 0;
+  return {pid, tid};
+}
+
+void append_metadata(TraceWriter& w, std::uint32_t machines,
+                     const std::vector<FleetTraceEvent>& events,
+                     const FleetTraceOptions& opts) {
+  w.next() << R"({"name":"process_name","ph":"M","pid":1,"args":{"name":"fleet control"}})";
+  w.next() << R"({"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"admission"}})";
+  w.next() << R"({"name":"thread_name","ph":"M","pid":1,"tid":2,"args":{"name":"alerts"}})";
+  w.next() << R"({"name":"thread_name","ph":"M","pid":1,"tid":3,"args":{"name":"fabric"}})";
+  for (std::uint32_t n = 0; n < machines; ++n) {
+    w.next() << R"({"name":"process_name","ph":"M","pid":)"
+             << (kNodePidBase + n) << R"(,"args":{"name":"node )" << n
+             << R"("}})";
+    w.next() << R"({"name":"thread_name","ph":"M","pid":)"
+             << (kNodePidBase + n)
+             << R"(,"tid":0,"args":{"name":"node events"}})";
+  }
+  if (opts.tenant_lanes) {
+    std::set<std::pair<std::uint32_t, std::uint32_t>> lanes;
+    for (const FleetTraceEvent& e : events) {
+      if (e.node != FleetTraceEvent::kControlLane && e.tenant != 0 &&
+          e.node < machines) {
+        lanes.emplace(e.node, e.tenant);
+      }
+    }
+    for (const auto& [node, tenant] : lanes) {
+      w.next() << R"({"name":"thread_name","ph":"M","pid":)"
+               << (kNodePidBase + node) << R"(,"tid":)" << tenant
+               << R"(,"args":{"name":"tenant )" << tenant << R"("}})";
+    }
+  }
+}
+
+void append_event(TraceWriter& w, const FleetTraceEvent& e, const Lane& lane) {
+  std::string name{to_string(e.kind)};
+  if (!e.label.empty()) {
+    name += ' ';
+    name += e.label;
+  }
+  auto& out = w.next();
+  out << R"({"name":")" << json_escape(name) << R"(","ph":")"
+      << (e.duration > 0 ? 'X' : 'i') << '"';
+  if (e.duration <= 0) out << R"(,"s":"g")";
+  out << R"(,"pid":)" << lane.pid << R"(,"tid":)" << lane.tid << R"(,"ts":)"
+      << us(e.time);
+  if (e.duration > 0) out << R"(,"dur":)" << us(e.duration);
+  out << R"(,"args":{"span":)" << e.ctx.root_span << R"(,"origin":)"
+      << static_cast<std::int64_t>(
+             e.ctx.origin_node == TraceContext::kExternal
+                 ? -1
+                 : static_cast<std::int64_t>(e.ctx.origin_node))
+      << R"(,"bytes":)" << e.bytes;
+  if (e.job != ~0ull) out << R"(,"job":)" << e.job;
+  if (e.peer != FleetTraceEvent::kControlLane) out << R"(,"peer":)" << e.peer;
+  out << "}}";
+}
+
+/// s/t/f flow chains, one per root span with >= 2 member events. The
+/// chain id is the (origin, span) pair's dense index — spans from
+/// different origin nodes never collide even when their node-local ids
+/// do. Members on different node lanes render as arrows crossing pid
+/// boundaries: the cross-node causality the tentpole is about.
+void append_flows(TraceWriter& w, const std::vector<const FleetTraceEvent*>& ordered,
+                  const FleetTraceOptions& opts) {
+  std::map<std::pair<std::uint32_t, std::uint32_t>,
+           std::vector<const FleetTraceEvent*>>
+      chains;
+  for (const FleetTraceEvent* e : ordered) {
+    if (e->ctx.traced()) {
+      chains[{e->ctx.origin_node, e->ctx.root_span}].push_back(e);
+    }
+  }
+  std::uint64_t id = 0;
+  for (const auto& [key, members] : chains) {
+    ++id;
+    if (members.size() < 2) continue;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const FleetTraceEvent& e = *members[i];
+      const Lane lane = lane_of(e, opts);
+      const bool last = i + 1 == members.size();
+      const char* ph = i == 0 ? "s" : (last ? "f" : "t");
+      w.next() << R"({"name":"span","cat":"causal","ph":")" << ph
+               << R"(","id":)" << id << R"(,"pid":)" << lane.pid
+               << R"(,"tid":)" << lane.tid << R"(,"ts":)" << us(e.time)
+               << (last ? R"(,"bp":"e"})" : "}");
+    }
+  }
+}
+
+}  // namespace
+
+std::string export_fleet_trace(const std::vector<FleetTraceEvent>& events,
+                               std::uint32_t machines,
+                               const FleetTraceOptions& opts) {
+  // Stable order by time: equal-time events keep their recording order,
+  // which is itself deterministic.
+  std::vector<const FleetTraceEvent*> ordered;
+  ordered.reserve(events.size());
+  for (const FleetTraceEvent& e : events) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const FleetTraceEvent* a, const FleetTraceEvent* b) {
+                     return a->time < b->time;
+                   });
+
+  std::ostringstream out;
+  out << R"({"displayTimeUnit":"ms","traceEvents":[)" << "\n";
+  TraceWriter w{out};
+  append_metadata(w, machines, events, opts);
+  for (const FleetTraceEvent* e : ordered) append_event(w, *e, lane_of(*e, opts));
+  if (opts.flow_events) append_flows(w, ordered, opts);
+  out << "\n]}\n";
+  return out.str();
+}
+
+}  // namespace ghum::obs

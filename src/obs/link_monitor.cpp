@@ -41,6 +41,14 @@ void LinkMonitor::stop() {
   running_ = false;
 }
 
+void LinkMonitor::rebase() {
+  if (!running_) return;
+  win_start_ = m_->clock().now();
+  next_boundary_ = win_start_ + window_;
+  last_h2d_ = m_->c2c().bytes_moved(interconnect::Direction::kCpuToGpu);
+  last_d2h_ = m_->c2c().bytes_moved(interconnect::Direction::kGpuToCpu);
+}
+
 void LinkMonitor::clear() {
   samples_.clear();
   peak_h2d_ = 0;

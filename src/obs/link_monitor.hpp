@@ -41,6 +41,12 @@ class LinkMonitor {
   /// Detaches; a final partial window [win_start, now) is emitted when any
   /// time passed since the last boundary.
   void stop();
+  /// Re-anchors a running monitor at the machine's *current* clock and
+  /// byte totals without emitting a sample. Checkpoint restore jumps both
+  /// without an observer-visible advance (chk::Snapshotter sets the clock
+  /// directly), so without this the first post-restore window would open
+  /// at t=0 and be charged the whole pre-checkpoint transfer history.
+  void rebase();
   [[nodiscard]] bool running() const noexcept { return running_; }
 
   [[nodiscard]] sim::Picos window() const noexcept { return window_; }

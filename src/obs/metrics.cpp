@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
@@ -8,9 +9,28 @@ namespace ghum::obs {
 
 namespace {
 
-/// Escapes a string for a Prometheus label value or a JSON string (the
-/// shared subset: backslash, double quote, newline-class control chars).
-std::string escape(std::string_view s) {
+/// Prometheus label-value escaping. The exposition format defines exactly
+/// three escapes — backslash, double quote, newline — and anything else
+/// escaped (e.g. "\t") is a literal backslash-t to a spec-compliant
+/// parser, breaking round-trips for user-supplied tenant/job names.
+std::string prom_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+/// JSON string escaping (RFC 8259): quote, backslash, and *every* control
+/// character below 0x20 — not just the newline class. A job named with an
+/// embedded 0x01 must still yield a json_valid exposition.
+std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
   for (const char c : s) {
@@ -20,7 +40,14 @@ std::string escape(std::string_view s) {
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
       case '\r': out += "\\r"; break;
-      default: out += c; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   return out;
@@ -35,7 +62,7 @@ std::string canonical_key(std::string_view name, const std::vector<Label>& label
     first = false;
     key += l.key;
     key += "=\"";
-    key += escape(l.value);
+    key += prom_escape(l.value);  // injective (backslash is escaped)
     key += '"';
   }
   key += '}';
@@ -95,6 +122,25 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   return histograms_[slot(name, labels, Kind::kHistogram).index];
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& src,
+                                 const std::vector<Label>& extra) {
+  for (const auto& [key, s] : src.slots_) {
+    std::vector<Label> labels = s.labels;
+    labels.insert(labels.end(), extra.begin(), extra.end());
+    switch (s.kind) {
+      case Kind::kCounter:
+        counter(s.name, labels).inc(src.counters_[s.index].value());
+        break;
+      case Kind::kGauge:
+        gauge(s.name, labels).add(src.gauges_[s.index].value());
+        break;
+      case Kind::kHistogram:
+        histogram(s.name, labels).merge(src.histograms_[s.index]);
+        break;
+    }
+  }
+}
+
 std::string MetricsRegistry::to_prometheus() const {
   std::ostringstream out;
   std::string last_family;
@@ -115,7 +161,7 @@ std::string MetricsRegistry::to_prometheus() const {
         first = false;
         l += lab.key;
         l += "=\"";
-        l += escape(lab.value);
+        l += prom_escape(lab.value);
         l += '"';
       }
       if (!extra_key.empty()) {
@@ -167,12 +213,13 @@ std::string MetricsRegistry::to_json() const {
   for (const auto& [key, s] : slots_) {
     if (!first) out << ",";
     first = false;
-    out << "\n{\"name\":\"" << escape(s.name) << "\",\"labels\":{";
+    out << "\n{\"name\":\"" << json_escape(s.name) << "\",\"labels\":{";
     bool fl = true;
     for (const Label& l : s.labels) {
       if (!fl) out << ',';
       fl = false;
-      out << '"' << escape(l.key) << "\":\"" << escape(l.value) << '"';
+      out << '"' << json_escape(l.key) << "\":\"" << json_escape(l.value)
+          << '"';
     }
     out << "},";
     switch (s.kind) {
@@ -253,7 +300,7 @@ MemSysMetrics bind_memsys_metrics(MetricsRegistry& reg) {
 
   m.migration_retries = &reg.counter("ghum_migration_retries_total");
   m.migration_aborts = &reg.counter("ghum_migration_aborts_total");
-  m.migration_retry_depth = &reg.histogram("ghum_migration_retry_depth");
+  m.migration_retry_depth = &reg.histogram("ghum_migration_retry_attempts");
   m.alloc_denials = &reg.counter("ghum_alloc_denials_total");
   m.ecc_retirements = &reg.counter("ghum_ecc_retirements_total");
   m.ecc_retired_bytes = &reg.counter("ghum_ecc_retired_bytes_total");

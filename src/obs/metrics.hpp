@@ -86,6 +86,18 @@ class Histogram {
     return i >= 64 ? ~0ull : (1ull << i) - 1;
   }
 
+  /// Adds \p o's observations to this histogram. Exact: bucket counts,
+  /// count and sum add; min/max widen. The federation primitive — a
+  /// merged histogram equals one that saw both observation streams.
+  void merge(const Histogram& o) noexcept {
+    if (o.count_ == 0) return;
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+    if (count_ == 0 || o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+    count_ += o.count_;
+    sum_ += o.sum_;
+  }
+
   /// Upper bound of the bucket holding the \p percentile-th observation
   /// (0..100) — the SLO-latency readout of the fleet layer. Integer-exact
   /// and deterministic; with power-of-two buckets this is a bound, not an
@@ -135,6 +147,40 @@ class MetricsRegistry {
   [[nodiscard]] std::string to_json() const;
 
   [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+  /// Read-only view of one registered instrument: exactly one of the
+  /// three instrument pointers is non-null.
+  struct InstrumentView {
+    std::string_view name;
+    const std::vector<Label>* labels = nullptr;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+
+  /// Visits every instrument in deterministic (lexicographic key) order —
+  /// the naming-convention audit and the federation equality gates walk
+  /// registries through this instead of parsing expositions.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [key, s] : slots_) {
+      InstrumentView v;
+      v.name = s.name;
+      v.labels = &s.labels;
+      switch (s.kind) {
+        case Kind::kCounter: v.counter = &counters_[s.index]; break;
+        case Kind::kGauge: v.gauge = &gauges_[s.index]; break;
+        case Kind::kHistogram: v.histogram = &histograms_[s.index]; break;
+      }
+      fn(v);
+    }
+  }
+
+  /// Folds every instrument of \p src into this registry under src's
+  /// labels plus \p extra (the federation `node` label): counters and
+  /// gauges add, histograms merge. Same name+labels from two sources
+  /// accumulate — which is exactly what a label-less fleet sum wants.
+  void merge_from(const MetricsRegistry& src, const std::vector<Label>& extra);
 
  private:
   enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };

@@ -41,6 +41,14 @@ constexpr double to_microseconds(Picos t) {
   return static_cast<double>(t) / static_cast<double>(kPicosPerMicro);
 }
 
+/// Smallest multiple of \p step that is >= \p t (step > 0, t >= 0). The
+/// sampling-edge arithmetic of the flight recorder: cadence edges are
+/// exact multiples of the cadence, so two runs that reach the same fleet
+/// time have sampled at exactly the same instants.
+constexpr Picos align_up(Picos t, Picos step) {
+  return step <= 0 ? t : ((t + step - 1) / step) * step;
+}
+
 /// Duration of moving \p bytes at \p bytes_per_second, rounded up to 1 ps
 /// for any non-zero transfer so that time is strictly monotone.
 constexpr Picos transfer_time(std::uint64_t bytes, double bytes_per_second) {

@@ -116,6 +116,15 @@ class Scheduler {
   [[nodiscard]] std::size_t waiting_count() const noexcept {
     return waiting_.size();
   }
+  /// Node-local backlog: admitted-but-unfinished jobs plus the over-budget
+  /// wait queue. What the fleet flight recorder samples as queue depth.
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    std::size_t n = waiting_.size();
+    for (const Job& j : jobs_) {
+      if (j.state == JobState::kRunning) ++n;
+    }
+    return n;
+  }
   /// Non-null when SchedulerConfig::recovery.enabled was set.
   [[nodiscard]] const RecoveryManager* recovery() const noexcept {
     return rm_.get();

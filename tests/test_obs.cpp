@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <regex>
 #include <set>
 
+#include "chk/snapshot.hpp"
 #include "core/system.hpp"
 #include "obs/json_check.hpp"
 #include "obs/link_monitor.hpp"
@@ -102,6 +104,74 @@ TEST(MetricsRegistry, LabelValuesAreEscapedInJson) {
   reg.counter("esc_total", {{"name", "we\"ird\\path\n"}}).inc();
   std::string err;
   EXPECT_TRUE(obs::json_valid(reg.to_json(), &err)) << err;
+}
+
+TEST(MetricsRegistry, PrometheusEscapesExactlyBackslashQuoteNewline) {
+  // The exposition format defines exactly three label-value escapes:
+  // \\ for backslash, \" for quote, \n for newline. Anything else —
+  // including tabs and carriage returns — passes through raw; escaping it
+  // (e.g. "\t") would make scrapers read a literal backslash-t.
+  obs::MetricsRegistry reg;
+  reg.counter("esc_total", {{"p", "a\\b\"c\nd\te\rf"}}).inc(2);
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("esc_total{p=\"a\\\\b\\\"c\\nd\te\rf\"} 2"),
+            std::string::npos)
+      << prom;
+}
+
+TEST(MetricsRegistry, HostileLabelValuesRoundTripBothExpositions) {
+  // Names no scraper should ever see but every exporter must survive:
+  // quotes, backslashes, newlines, tabs, and raw control bytes.
+  const std::vector<std::string> hostile = {
+      "plain", "with \"quotes\"", "back\\slash", "new\nline",
+      "tab\tand\rcr",  std::string{"ctrl\x01\x1f"},
+  };
+  obs::MetricsRegistry reg;
+  for (std::size_t i = 0; i < hostile.size(); ++i) {
+    reg.counter("hostile_total", {{"v", hostile[i]}}).inc(i + 1);
+  }
+  // Distinct hostile values stay distinct series...
+  EXPECT_EQ(reg.size(), hostile.size());
+  for (std::size_t i = 0; i < hostile.size(); ++i) {
+    EXPECT_EQ(reg.counter("hostile_total", {{"v", hostile[i]}}).value(), i + 1);
+  }
+  // ...the JSON snapshot stays strictly parseable (control bytes become
+  // \u00XX, which the validator accepts and raw bytes would fail)...
+  std::string err;
+  ASSERT_TRUE(obs::json_valid(reg.to_json(), &err)) << err;
+  EXPECT_NE(reg.to_json().find("\\u0001"), std::string::npos);
+  // ...and the Prometheus exposition contains each value under its own
+  // escaping rules, with no invalid \t-style escapes introduced.
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("with \\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(prom.find("back\\\\slash"), std::string::npos);
+  EXPECT_NE(prom.find("new\\nline"), std::string::npos);
+  EXPECT_NE(prom.find("tab\tand\rcr"), std::string::npos);
+  EXPECT_EQ(prom.find("\\t"), std::string::npos)
+      << "\\t is not a valid exposition escape";
+}
+
+TEST(Histogram, ExactPowerOfTwoBoundariesLandInTheRightBucket) {
+  // Bucket i holds values of bit width i: an exact power 2^k is the FIRST
+  // value of bucket k+1, and 2^k - 1 is the LAST value of bucket k.
+  for (std::size_t k = 1; k < 63; ++k) {
+    obs::Histogram h;
+    h.observe(1ull << k);
+    h.observe((1ull << k) - 1);
+    EXPECT_EQ(h.bucket(k + 1), 1u) << "2^" << k;
+    EXPECT_EQ(h.bucket(k), 1u) << "2^" << k << " - 1";
+    EXPECT_EQ(obs::Histogram::bucket_bound(k), (1ull << k) - 1);
+  }
+  obs::Histogram edge;
+  edge.observe(~0ull);  // bit width 64: the last bucket
+  EXPECT_EQ(edge.bucket(64), 1u);
+  EXPECT_EQ(edge.max(), ~0ull);
+  // A bucket's inclusive bound observed directly never spills over.
+  obs::Histogram bound;
+  bound.observe(obs::Histogram::bucket_bound(11));  // 2047
+  EXPECT_EQ(bound.bucket(11), 1u);
+  EXPECT_EQ(bound.bucket(12), 0u);
+  EXPECT_EQ(bound.quantile_upper_bound(100), 2047u);
 }
 
 // ---------------------------------------------------------------------------
@@ -209,6 +279,47 @@ TEST(ObsIntegration, SnapshotsAreBitIdenticalAcrossRuns) {
   EXPECT_EQ(a, b);
   std::string err;
   EXPECT_TRUE(obs::json_valid(a, &err)) << err;
+}
+
+// ---------------------------------------------------------------------------
+// Metric catalog naming convention (the DESIGN.md Section 13 audit).
+// ---------------------------------------------------------------------------
+
+TEST(ObsNaming, EveryRegisteredInstrumentMatchesTheConvention) {
+  // The ghum_* catalog convention: lowercase snake_case under the ghum_
+  // prefix; counters end in _total; gauges name their unit (_bytes,
+  // _permille, _runs, _count); histograms name their sample unit (_bytes,
+  // _picos, _ns, _us, _attempts).
+  const std::regex name_re{"ghum_[a-z0-9]+(_[a-z0-9]+)*"};
+  const std::regex counter_re{".*_total"};
+  const std::regex gauge_re{".*_(bytes|permille|runs|count)"};
+  const std::regex histogram_re{".*_(bytes|picos|ns|us|attempts)"};
+  std::size_t audited = 0;
+  const auto audit = [&](const obs::MetricsRegistry& reg) {
+    reg.for_each([&](const obs::MetricsRegistry::InstrumentView& v) {
+      const std::string n{v.name};
+      ++audited;
+      EXPECT_TRUE(std::regex_match(n, name_re)) << n;
+      if (v.counter != nullptr) {
+        EXPECT_TRUE(std::regex_match(n, counter_re))
+            << n << ": counters must end in _total";
+      } else if (v.gauge != nullptr) {
+        EXPECT_TRUE(std::regex_match(n, gauge_re))
+            << n << ": gauges must name their unit";
+      } else if (v.histogram != nullptr) {
+        EXPECT_TRUE(std::regex_match(n, histogram_re))
+            << n << ": histograms must name their sample unit";
+      }
+    });
+  };
+  // A machine registry after a faulting, migrating, evicting run — plus a
+  // checkpoint so the chk_* family registers too.
+  core::System sys{obs_config()};
+  run_oversubscribed_managed(sys);
+  (void)chk::Snapshotter::snapshot(sys);
+  sys.machine().sync_obs_gauges();
+  audit(sys.machine().obs());
+  EXPECT_GT(audited, 40u) << "audit saw suspiciously few instruments";
 }
 
 // ---------------------------------------------------------------------------
@@ -339,6 +450,56 @@ TEST(LinkMonitor, WindowByteSumsMatchInterconnectTotals) {
   EXPECT_EQ(d2h, m.c2c().bytes_moved(interconnect::Direction::kGpuToCpu));
   EXPECT_GT(h2d, 0u);
   EXPECT_GT(sys.link_monitor().peak_h2d_permille(), 0u);
+}
+
+TEST(LinkMonitor, WindowsDoNotStraddleACheckpointRestoreCut) {
+  // Snapshot a machine mid-window, restore it, and keep driving traffic:
+  // the donor's monitor keeps its pre-cut history, and the restored
+  // monitor restarts empty with its first window opening AT the cut — no
+  // window spans the cut, and the pre-cut byte history is not re-counted
+  // into the restored run's first sample.
+  core::SystemConfig cfg = obs_config();
+  cfg.link_monitor = true;
+  cfg.link_monitor_window = sim::microseconds(20);
+  core::System sys{cfg};
+  run_oversubscribed_managed(sys);
+  const sim::Picos cut = sys.now();
+  ASSERT_GT(cut, 0);
+  const chk::Blob blob = chk::Snapshotter::snapshot(sys);
+
+  std::unique_ptr<core::System> twin = chk::Snapshotter::restore(blob, &sys);
+  ASSERT_EQ(twin->now(), cut);
+  ASSERT_TRUE(twin->link_monitor().running());
+  EXPECT_TRUE(twin->link_monitor().samples().empty())
+      << "restored monitor must restart its series empty";
+
+  // Drive fresh traffic on the restored machine.
+  const std::uint64_t h2d_at_cut =
+      twin->machine().c2c().bytes_moved(interconnect::Direction::kCpuToGpu);
+  run_oversubscribed_managed(*twin);
+  twin->link_monitor().stop();
+  const auto& post = twin->link_monitor().samples();
+  ASSERT_FALSE(post.empty());
+  std::uint64_t post_h2d = 0;
+  for (const auto& s : post) {
+    EXPECT_GE(s.t0, cut) << "restored window straddles the cut";
+    EXPECT_LT(s.t0, s.t1);
+    post_h2d += s.h2d_bytes;
+  }
+  EXPECT_EQ(post[0].t0, cut) << "first restored window must open at the cut";
+  EXPECT_EQ(post_h2d,
+            twin->machine().c2c().bytes_moved(
+                interconnect::Direction::kCpuToGpu) -
+                h2d_at_cut)
+      << "restored windows must count exactly the post-cut traffic";
+
+  // The donor side is untouched: stopping it emits a final partial window
+  // that ends at the donor's own clock, never beyond the cut.
+  sys.link_monitor().stop();
+  const auto& pre = sys.link_monitor().samples();
+  ASSERT_FALSE(pre.empty());
+  for (const auto& s : pre) EXPECT_LE(s.t1, cut);
+  EXPECT_EQ(pre.back().t1, cut);
 }
 
 // ---------------------------------------------------------------------------
