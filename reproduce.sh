@@ -39,12 +39,16 @@ ctest --test-dir build-asan --output-on-failure 2>&1 | tee test_output_asan.txt
 # any 2/4/8-node halo cell fails bit-for-bit reproduction,
 # bench_fleetscope if alert firings are not bit-for-bit identical across
 # two observed storms, the federated registry disagrees with the
-# per-node sums, or no root span crosses a node boundary. Every bench
+# per-node sums, or no root span crosses a node boundary,
+# bench_chaosnet if the storm on a lossy fabric is non-reproducible, no
+# retransmission recovered a send, a silent node death goes undetected
+# (or a live node is declared dead), the corrupted evacuation blob is
+# not recovered, or the top SLO class takes a violation. Every bench
 # that declares a JSON artifact must have produced it.
 for artifact in BENCH_selfperf.json BENCH_tenancy.json \
                 BENCH_observability.json BENCH_recovery.json \
                 BENCH_fleet.json BENCH_netscope.json \
-                BENCH_fleetscope.json; do
+                BENCH_fleetscope.json BENCH_chaosnet.json; do
   test -f "$artifact" || { echo "missing artifact: $artifact" >&2; exit 1; }
 done
 

@@ -891,4 +891,20 @@ std::uint64_t Snapshotter::blob_digest(const Blob& blob) {
   }
 }
 
+bool Snapshotter::verify(const Blob& blob) noexcept {
+  Reader header{blob.data(), blob.size()};
+  try {
+    if (header.u64() != kMagic) return false;
+    const std::uint32_t version = header.u32();
+    if (version < kMinFormatVersion || version > kFormatVersion) return false;
+    const std::uint64_t digest = header.u64();
+    const std::uint64_t size = header.u64();
+    if (size != header.remaining()) return false;
+    const std::uint8_t* body = blob.data() + (blob.size() - size);
+    return fnv1a(body, size) == digest;
+  } catch (const std::out_of_range&) {
+    return false;
+  }
+}
+
 }  // namespace ghum::chk

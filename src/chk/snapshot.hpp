@@ -71,6 +71,12 @@ class Snapshotter {
   /// StatusError{kErrorInvalidValue} when the header is malformed.
   [[nodiscard]] static std::uint64_t blob_digest(const Blob& blob);
 
+  /// End-to-end integrity check: recomputes the payload digest and
+  /// compares it to the header stamp. False on any mismatch or malformed
+  /// header — the receiver-side verification a migration target runs
+  /// before restoring a blob that crossed a lossy fabric (never throws).
+  [[nodiscard]] static bool verify(const Blob& blob) noexcept;
+
  private:
   static void save_config(const core::SystemConfig& cfg, Writer& w,
                           std::uint32_t version);

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/status.hpp"
 #include "sim/time.hpp"
 
 /// \file fleet_fault.hpp
@@ -59,11 +60,72 @@ struct LinkFlapWindow {
   static constexpr std::uint32_t kAllPeers = ~0u;
 };
 
+/// Message-level fabric faults: a seeded per-link schedule of
+/// drop/corrupt/duplicate/reorder events applied inside net::Fabric's
+/// datagram path. Every directed link owns an independent RNG stream
+/// derived from (seed, link), so the fate sequence on one link depends
+/// only on that link's own message order — the property that keeps a
+/// chaos storm bit-for-bit reproducible even when traffic interleaves
+/// differently across links. The reliability protocol knobs reuse the
+/// PR 1 retry idiom: a bounded attempt budget whose ack timeout doubles
+/// per retransmission.
+struct MessageFaultConfig {
+  /// Master switch. Off = the fabric never loses a message and the
+  /// reliable send path degrades to one clean attempt (pre-PR-10 costs on
+  /// the raw transfer path, bit-for-bit).
+  bool enabled = false;
+  std::uint64_t seed = 0x10553ull;
+
+  // Per-message fate probabilities, drawn from the link's stream in a
+  // fixed order (drop, corrupt, duplicate, reorder) for every datagram.
+  double drop_prob = 0.0;       ///< lost in flight; never delivered
+  double corrupt_prob = 0.0;    ///< delivered, link-level checksum fails
+  double duplicate_prob = 0.0;  ///< delivered twice; receiver dedups
+  double reorder_prob = 0.0;    ///< delivery delayed past the next message
+  /// Extra delivery delay of a reordered datagram (its out-of-order hold
+  /// in the receive queue).
+  sim::Picos reorder_delay = sim::microseconds(5);
+
+  // Reliable-delivery protocol (net::Fabric::send).
+  std::uint64_t ack_bytes = 64;  ///< ack / NAK wire size on the reverse link
+  /// Base ack timeout; attempt k waits ack_timeout * 2^(k-1) before
+  /// retransmitting (the PR 1 migration retry/backoff idiom).
+  sim::Picos ack_timeout = sim::microseconds(50);
+  /// Retransmissions after the first attempt; exhaustion surfaces
+  /// Status::kErrorRetransmitExhausted.
+  std::uint32_t max_retransmits = 6;
+
+  /// End-to-end corruption of bulk payloads: flips bytes *after* the link
+  /// checksum verified (bounce-buffer / DMA corruption), so only
+  /// receiver-side digest verification of the application payload catches
+  /// it — the evacuation-blob integrity path. Drawn per successful bulk
+  /// send (bytes >= bulk_threshold) from the link stream.
+  double e2e_corrupt_prob = 0.0;
+  /// Deterministic schedule: 0-based indexes (fabric-wide bulk-send
+  /// order) whose payload arrives corrupted regardless of the draw.
+  std::vector<std::uint64_t> e2e_corrupt_bulk;
+  std::uint64_t bulk_threshold = 1ull << 20;
+
+  /// kSuccess, or kErrorNetConfig on a probability outside [0, 1], a
+  /// negative timeout/delay, or a zero ack size / bulk threshold.
+  [[nodiscard]] Status validate() const noexcept {
+    for (const double p :
+         {drop_prob, corrupt_prob, duplicate_prob, reorder_prob,
+          e2e_corrupt_prob}) {
+      if (!(p >= 0.0 && p <= 1.0)) return Status::kErrorNetConfig;
+    }
+    if (reorder_delay < 0 || ack_timeout <= 0) return Status::kErrorNetConfig;
+    if (ack_bytes == 0 || bulk_threshold == 0) return Status::kErrorNetConfig;
+    return Status::kSuccess;
+  }
+};
+
 /// Deterministic fleet-level fault schedule consumed by fleet::Controller.
 struct FleetFaultConfig {
   std::vector<NodeLossEvent> node_loss;
   std::vector<NodeDegradeEvent> node_degrade;
   std::vector<LinkFlapWindow> link_flap;
+  MessageFaultConfig messages;
 
   /// Drain-and-migrate degraded nodes: the whole machine is serialized via
   /// chk::Snapshotter, charged at the fleet's inter-node transfer cost,

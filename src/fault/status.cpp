@@ -16,6 +16,8 @@ std::string_view to_string(Status s) noexcept {
     case Status::kErrorNodeLost: return "node lost";
     case Status::kErrorDeadlineExceeded: return "deadline exceeded";
     case Status::kErrorNetConfig: return "malformed network spec";
+    case Status::kErrorRetransmitExhausted: return "retransmit budget exhausted";
+    case Status::kErrorDataCorruption: return "data corruption detected";
   }
   return "unknown";
 }

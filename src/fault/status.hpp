@@ -55,9 +55,23 @@ enum class Status : std::uint8_t {
   kErrorDeadlineExceeded,
   /// Malformed inter-node network specification: a net::NetSpec with a
   /// zero/negative/non-finite bandwidth, a negative latency or overhead,
-  /// or an unordered/partial protocol-threshold ladder. Raised at
+  /// an unordered/partial protocol-threshold ladder, a malformed link-flap
+  /// schedule (negative start, end preceding start), or a
+  /// MessageFaultConfig with out-of-range probabilities. Raised at
   /// net::Fabric construction, before any message can be charged.
   kErrorNetConfig,
+  /// A reliable fabric send spent its whole bounded retransmission budget
+  /// (drops, lost acks, or link-level corruption on every attempt) without
+  /// a verified delivery. The message is undeliverable as far as the
+  /// control plane can tell — the canonical symptom of sending to a
+  /// silently dead endpoint.
+  kErrorRetransmitExhausted,
+  /// End-to-end data corruption detected by receiver-side digest
+  /// verification — payload bytes that slipped past the link checksum
+  /// (bounce-buffer / DMA corruption) and failed the application-level
+  /// integrity check, e.g. an evacuation blob whose re-request was also
+  /// corrupt.
+  kErrorDataCorruption,
 };
 
 [[nodiscard]] std::string_view to_string(Status s) noexcept;

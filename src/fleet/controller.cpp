@@ -73,12 +73,25 @@ Controller::Controller(FleetConfig cfg, std::vector<JobTemplate> templates)
                         "fleet: link-flap window names a node outside the fleet"};
     }
   }
+  if (cfg_.heartbeat.enabled) {
+    if (cfg_.legacy_transfer_cost) {
+      throw StatusError{Status::kErrorInvalidValue,
+                        "fleet: heartbeat detection needs the fabric"};
+    }
+    if (cfg_.heartbeat.interval <= 0 || cfg_.heartbeat.miss_threshold == 0 ||
+        cfg_.heartbeat.heartbeat_bytes == 0) {
+      throw StatusError{Status::kErrorInvalidValue,
+                        "fleet: malformed heartbeat config"};
+    }
+  }
   if (!cfg_.legacy_transfer_cost) {
     // nodes + spares machine endpoints, plus the external arrival source
-    // and the control plane. Throws kErrorNetConfig on a malformed spec
-    // and kErrorInvalidValue on a malformed flap window.
+    // and the control plane. Throws kErrorNetConfig on a malformed spec,
+    // a malformed flap schedule or a malformed message-fault config, and
+    // kErrorInvalidValue on a flap window with bad endpoints/factors.
     fabric_ = std::make_unique<net::Fabric>(cfg_.net, machines + 2, &reg_,
-                                            cfg_.faults.link_flap);
+                                            cfg_.faults.link_flap,
+                                            cfg_.faults.messages);
   }
 
   nodes_.resize(cfg_.nodes + cfg_.spares);
@@ -99,6 +112,14 @@ Controller::Controller(FleetConfig cfg, std::vector<JobTemplate> templates)
   replace_retries_ = &reg_.counter("ghum_fleet_replacement_retries_total");
   alerts_opened_ = &reg_.counter("ghum_fleet_alerts_opened_total");
   alerts_closed_ = &reg_.counter("ghum_fleet_alerts_closed_total");
+  hb_probes_ = &reg_.counter("ghum_fleet_heartbeat_probes_total");
+  hb_misses_ = &reg_.counter("ghum_fleet_heartbeat_misses_total");
+  hb_suspects_ = &reg_.counter("ghum_fleet_heartbeat_suspects_total");
+  hb_rejoins_ = &reg_.counter("ghum_fleet_heartbeat_rejoins_total");
+  detected_losses_ = &reg_.counter("ghum_fleet_detected_losses_total");
+  evac_corruptions_ = &reg_.counter("ghum_fleet_evac_corruptions_total");
+  evac_rerequests_ = &reg_.counter("ghum_fleet_evac_rerequests_total");
+  evac_replays_ = &reg_.counter("ghum_fleet_evac_replays_total");
 }
 
 void Controller::activate(Node& n) {
@@ -176,6 +197,22 @@ void Controller::setup_obs() {
     }
     return c;
   });
+  // Reliability vitals, only when the features are on — keeping the series
+  // set (and with it the recorder digest) unchanged for existing configs.
+  if (cfg_.heartbeat.enabled) {
+    ts_->add("fleet.suspected_nodes", [this] {
+      std::int64_t c = 0;
+      for (const Node& n : nodes_) {
+        if (n.suspected) ++c;
+      }
+      return c;
+    });
+  }
+  if (fabric_ != nullptr && fabric_->lossy()) {
+    ts_->add("fabric.retransmits", [this] {
+      return static_cast<std::int64_t>(fabric_->reliable_totals().retransmits);
+    });
+  }
   // Per-class SLO attainment: on-time finishes per terminal job, in
   // permille. 1000 while a class has no terminal jobs yet.
   for (std::uint32_t c = 0;
@@ -327,6 +364,10 @@ void Controller::run_nodes_until(sim::Picos t) {
       if (n.state != NodeState::kAlive && n.state != NodeState::kDegraded) {
         continue;
       }
+      // A silently dead node still *believed* alive has no machine to
+      // step; its live list is the controller's stale belief, held in
+      // limbo until the heartbeat detector declares the loss.
+      if (n.sys == nullptr) continue;
       if (parked[n.id] || n.live.empty() || n.sys->now() >= t) continue;
       if (best == nullptr || n.sys->now() < best->sys->now()) best = &n;
     }
@@ -462,7 +503,11 @@ void Controller::expire_and_cancel_overdue(sim::Picos now) {
       // deadline — it can no longer finish in time anywhere.
       bool overdue = !j.replicas.empty();
       for (const FleetJob::Replica& r : j.replicas) {
-        if (nodes_[r.node].sys->now() <= j.req.deadline) overdue = false;
+        // A silently dead node's clock froze at its last observation;
+        // its replicas resolve at detection, not here.
+        const Node& rn = nodes_[r.node];
+        const sim::Picos rnow = rn.sys != nullptr ? rn.sys->now() : rn.known_now;
+        if (rnow <= j.req.deadline) overdue = false;
       }
       if (overdue) fail_job(j, Status::kErrorDeadlineExceeded, now);
     }
@@ -478,7 +523,7 @@ NodeId Controller::pick_node(std::uint64_t footprint,
   std::uint64_t best_fill = 0;       // kBinPack: max placed_bytes that fits
   sim::Picos best_eta = 0;           // kLoadBalance: min predicted completion
   for (const Node& n : nodes_) {
-    if (n.state != NodeState::kAlive) continue;
+    if (n.state != NodeState::kAlive || n.suspected) continue;
     if (std::find(exclude.begin(), exclude.end(), n.id) != exclude.end()) {
       continue;
     }
@@ -489,7 +534,10 @@ NodeId Controller::pick_node(std::uint64_t footprint,
         best_fill = n.placed_bytes;
       }
     } else {
-      sim::Picos eta = n.sys->now();
+      // known_now: an undetected silently dead node is still a candidate
+      // (the controller believes it alive) at its last observed clock —
+      // the placement send to it will exhaust and teach us otherwise.
+      sim::Picos eta = n.sys != nullptr ? n.sys->now() : n.known_now;
       for (const auto& [tid, jidx] : n.live) {
         eta += templates_[jobs_[jidx].req.tmpl].est_cost;
       }
@@ -531,10 +579,28 @@ bool Controller::place(FleetJob& j, sim::Picos now) {
     if (fabric_ != nullptr) {
       // The command carries the job's trace context onto the node: the
       // causal chain's hop across the machine boundary.
-      start_at = fabric_
-                     ->transfer(ep_control(), nid, kPlacementMsgBytes,
-                                net::MemType::kHost, now, &j.ctx)
-                     .end;
+      if (fabric_->lossy() || cfg_.heartbeat.enabled) {
+        // A command must be *confirmed* delivered before the job counts
+        // as placed — an exhausted retransmit budget is how the control
+        // plane first learns a node is unreachable.
+        const net::ReliableTransfer cmd = fabric_->send(
+            ep_control(), nid, kPlacementMsgBytes, net::MemType::kHost, now,
+            &j.ctx);
+        if (cmd.status != Status::kSuccess) {
+          record(cmd.status);
+          if (cfg_.heartbeat.enabled) {
+            mark_suspected(n, cmd.end, "placement send exhausted");
+          }
+          exclude.push_back(nid);
+          continue;
+        }
+        start_at = cmd.delivered_at;
+      } else {
+        start_at = fabric_
+                       ->transfer(ep_control(), nid, kPlacementMsgBytes,
+                                  net::MemType::kHost, now, &j.ctx)
+                       .end;
+      }
     }
     if (n.sys->now() < start_at) n.sys->advance(start_at - n.sys->now());
 
@@ -605,6 +671,25 @@ void Controller::try_place_pending(sim::Picos now) {
 void Controller::on_node_loss(const fault::NodeLossEvent& e) {
   Node& n = nodes_[e.node];
   if (n.state != NodeState::kAlive && n.state != NodeState::kDegraded) return;
+  declare_loss(n, e.time);
+}
+
+void Controller::on_silent_death(const fault::NodeLossEvent& e) {
+  Node& n = nodes_[e.node];
+  if (n.state != NodeState::kAlive && n.state != NodeState::kDegraded) return;
+  if (n.sys == nullptr) return;  // already silently dead
+  // The machine and its fabric endpoint die right now; the controller's
+  // belief (state, live jobs, placed bytes) stays frozen until the
+  // heartbeat detector catches up. The victims sit in limbo — recovery
+  // starts at detection time, not at death time.
+  n.known_now = n.sys->now();
+  n.sched.reset();
+  n.sys.reset();
+  n.silently_dead = true;
+  if (fabric_ != nullptr) fabric_->set_endpoint_down(n.id, true);
+}
+
+void Controller::declare_loss(Node& n, sim::Picos time) {
   node_losses_->inc();
 
   // The loss re-roots every re-driven victim's causal chain at the dying
@@ -612,11 +697,11 @@ void Controller::on_node_loss(const fault::NodeLossEvent& e) {
   obs::TraceContext fault_ctx;
   if (obs_on()) {
     fault_ctx.root_span = next_span_++;
-    fault_ctx.origin_node = e.node;
+    fault_ctx.origin_node = n.id;
     obs::FleetTraceEvent te;
-    te.time = e.time;
+    te.time = time;
     te.kind = obs::FleetTraceKind::kNodeLoss;
-    te.node = e.node;
+    te.node = n.id;
     te.ctx = fault_ctx;
     trace(std::move(te));
   }
@@ -626,16 +711,22 @@ void Controller::on_node_loss(const fault::NodeLossEvent& e) {
   n.live.clear();
   // The machine dies with its in-flight state: scheduler first (owns the
   // coroutines and per-tenant runtimes), then the system they reference.
+  // Under heartbeat detection the machine may already be gone (silent
+  // death) — or still be running (a false positive pushed past the miss
+  // threshold, the declared-dead-while-alive cost of a fallible detector).
   n.sched.reset();
   n.sys.reset();
   n.state = NodeState::kDead;
   n.placed_bytes = 0;
+  n.suspected = false;
+  n.silently_dead = false;
+  if (fabric_ != nullptr) fabric_->set_endpoint_down(n.id, true);
 
   for (const auto& [tid, jidx] : victims) {
     FleetJob& j = jobs_[jidx];
     const auto r = std::find_if(
         j.replicas.begin(), j.replicas.end(),
-        [&](const FleetJob::Replica& rep) { return rep.node == e.node; });
+        [&](const FleetJob::Replica& rep) { return rep.node == n.id; });
     if (r != j.replicas.end()) j.replicas.erase(r);
     if (j.terminal()) continue;
     if (!j.replicas.empty()) continue;  // a live replica elsewhere carries on
@@ -645,17 +736,17 @@ void Controller::on_node_loss(const fault::NodeLossEvent& e) {
     j.replayed_after_loss = true;
     if (obs_on()) j.ctx = fault_ctx;
     if (j.loss_attempts >= cfg_.replace_max_retries) {
-      fail_job(j, Status::kErrorNodeLost, e.time);
+      fail_job(j, Status::kErrorNodeLost, time);
       continue;
     }
     ++j.loss_attempts;
     j.not_before =
-        e.time + cfg_.replace_backoff *
-                     (sim::Picos{1} << (j.loss_attempts - 1));
+        time + cfg_.replace_backoff *
+                   (sim::Picos{1} << (j.loss_attempts - 1));
     retries_.push_back({j.not_before, jidx});
     replace_retries_->inc();
     obs::FleetTraceEvent te;
-    te.time = e.time;
+    te.time = time;
     te.kind = obs::FleetTraceKind::kReplacementRetry;
     te.job = j.req.id;
     te.ctx = j.ctx;
@@ -665,7 +756,80 @@ void Controller::on_node_loss(const fault::NodeLossEvent& e) {
     return a.due != b.due ? a.due < b.due : a.job < b.job;
   });
 
-  shed_to_capacity(e.time);
+  shed_to_capacity(time);
+}
+
+// --- failure detection -------------------------------------------------------
+
+void Controller::mark_suspected(Node& n, sim::Picos t, std::string_view why) {
+  if (n.suspected) return;
+  n.suspected = true;
+  hb_suspects_->inc();
+  obs::FleetTraceEvent te;
+  te.time = t;
+  te.kind = obs::FleetTraceKind::kNodeSuspect;
+  te.node = n.id;
+  te.label = std::string{why};
+  trace(std::move(te));
+}
+
+bool Controller::heartbeat_watch(bool losses_left) const noexcept {
+  if (losses_left) return true;
+  for (const Node& n : nodes_) {
+    if (n.state != NodeState::kAlive && n.state != NodeState::kDegraded) {
+      continue;
+    }
+    if (n.suspected || n.silently_dead) return true;
+  }
+  return false;
+}
+
+void Controller::heartbeat_tick(sim::Picos t) {
+  const HeartbeatConfig& hb = cfg_.heartbeat;
+  for (Node& n : nodes_) {
+    if (n.state != NodeState::kAlive && n.state != NodeState::kDegraded) {
+      continue;
+    }
+    // Probe out, response back — both plain datagrams, both subject to the
+    // message-fault schedule. The edge is met only if the response lands
+    // before the next edge; a dead endpoint, a dropped/corrupt probe or
+    // response, and a response held too long by reordering all look the
+    // same from the control plane: silence.
+    hb_probes_->inc();
+    const net::Datagram probe = fabric_->datagram(
+        ep_control(), n.id, hb.heartbeat_bytes, net::MemType::kHost, t);
+    bool on_time = false;
+    if (probe.delivered && !probe.corrupt && n.sys != nullptr) {
+      const net::Datagram resp =
+          fabric_->datagram(n.id, ep_control(), hb.heartbeat_bytes,
+                            net::MemType::kHost, probe.delivered_at);
+      on_time = resp.delivered && !resp.corrupt &&
+                resp.delivered_at <= t + hb.interval;
+    }
+    if (on_time) {
+      n.hb_misses = 0;
+      if (n.suspected) {
+        // False positive resolved: the node answered in time, so it
+        // rejoins the placement pool exactly as it was — its jobs kept
+        // running throughout, nothing is replayed or double-placed.
+        n.suspected = false;
+        hb_rejoins_->inc();
+        obs::FleetTraceEvent te;
+        te.time = t;
+        te.kind = obs::FleetTraceKind::kNodeRejoin;
+        te.node = n.id;
+        trace(std::move(te));
+      }
+      continue;
+    }
+    ++n.hb_misses;
+    hb_misses_->inc();
+    mark_suspected(n, t, "heartbeat miss");
+    if (n.hb_misses >= hb.miss_threshold) {
+      detected_losses_->inc();
+      declare_loss(n, t);
+    }
+  }
 }
 
 void Controller::shed_to_capacity(sim::Picos now) {
@@ -747,24 +911,99 @@ void Controller::evacuate(Node& n, const obs::TraceContext& ctx) {
   // resident job continues mid-flight (replay equivalence, PR 5).
   chk::Blob blob = chk::Snapshotter::snapshot(*n.sys);
   const sim::Picos ship_start = n.sys->now();
+  sim::Picos ship_end = ship_start;
+  bool blob_ok = true;
+  if (fabric_ != nullptr) {
+    if (fabric_->lossy()) {
+      // On a lossy fabric the image goes through the reliable send path
+      // (bulk enough for the e2e corruption model), and the spare runs
+      // Snapshotter::verify before trusting a byte of it. A corrupted
+      // image is re-requested once; a second corruption falls back to
+      // the replay ladder below.
+      net::ReliableTransfer t = fabric_->send(
+          n.id, spare->id, blob.size(), net::MemType::kHost, ship_start, &ctx);
+      blob_ok = t.status == Status::kSuccess && !t.payload_corrupt &&
+                chk::Snapshotter::verify(blob);
+      ship_end = t.status == Status::kSuccess ? t.delivered_at : t.end;
+      if (!blob_ok) {
+        if (t.payload_corrupt) evac_corruptions_->inc();
+        evac_rerequests_->inc();
+        t = fabric_->send(n.id, spare->id, blob.size(), net::MemType::kHost,
+                          ship_end, &ctx);
+        blob_ok = t.status == Status::kSuccess && !t.payload_corrupt &&
+                  chk::Snapshotter::verify(blob);
+        ship_end = t.status == Status::kSuccess ? t.delivered_at : t.end;
+        if (!blob_ok && t.payload_corrupt) evac_corruptions_->inc();
+      }
+    } else {
+      // The machine image ships donor -> spare as one bulk fabric message
+      // (deep in the rendezvous regime for any real blob) carrying the
+      // degrade fault's trace context; the spare resumes at delivery time.
+      const net::Transfer t =
+          fabric_->transfer(n.id, spare->id, blob.size(), net::MemType::kHost,
+                            ship_start, &ctx);
+      ship_end = t.end;
+    }
+  } else {
+    ship_end = ship_start + transfer_cost(blob.size());
+  }
+
+  if (!blob_ok) {
+    // Both copies of the image arrived corrupt: fall back to the replay
+    // ladder. The spare boots fresh, every donor-resident job replays
+    // from scratch on it (or wherever placement sends it), the donor
+    // retires, and the corruption is surfaced through get_last_error.
+    // Jobs on every other node are untouched.
+    record(Status::kErrorDataCorruption);
+    evac_replays_->inc();
+    const std::vector<std::pair<tenant::TenantId, std::uint64_t>> victims =
+        std::move(n.live);
+    n.live.clear();
+    n.sched.reset();
+    n.sys.reset();
+    n.state = NodeState::kRetired;
+    n.placed_bytes = 0;
+    activate(*spare);
+    if (spare->sys->now() < ship_end) {
+      spare->sys->advance(ship_end - spare->sys->now());
+    }
+    {
+      obs::FleetTraceEvent te;
+      te.time = ship_start;
+      te.duration = ship_end - ship_start;
+      te.kind = obs::FleetTraceKind::kEvacuation;
+      te.node = n.id;
+      te.peer = spare->id;
+      te.bytes = blob.size();
+      te.ctx = ctx;
+      te.label = "image corrupt; replaying from scratch";
+      trace(std::move(te));
+    }
+    for (const auto& [tid, jidx] : victims) {
+      FleetJob& j = jobs_[jidx];
+      const auto r = std::find_if(
+          j.replicas.begin(), j.replicas.end(),
+          [&](const FleetJob::Replica& rep) { return rep.node == n.id; });
+      if (r != j.replicas.end()) j.replicas.erase(r);
+      if (j.terminal() || !j.replicas.empty()) continue;
+      j.state = FleetJobState::kPending;
+      j.replayed_after_loss = true;
+      j.not_before = ship_end;
+      if (obs_on()) j.ctx = ctx;
+      retries_.push_back({ship_end, jidx});
+    }
+    std::sort(retries_.begin(), retries_.end(),
+              [](const Retry& a, const Retry& b) {
+                return a.due != b.due ? a.due < b.due : a.job < b.job;
+              });
+    return;
+  }
+
   spare->sys = chk::Snapshotter::restore(blob, n.sys.get());
   spare->sched = std::move(n.sched);
   spare->sched->rebind(*spare->sys);
-  sim::Picos ship_end = ship_start;
-  if (fabric_ != nullptr) {
-    // The machine image ships donor -> spare as one bulk fabric message
-    // (deep in the rendezvous regime for any real blob) carrying the
-    // degrade fault's trace context; the spare resumes at delivery time.
-    const net::Transfer t =
-        fabric_->transfer(n.id, spare->id, blob.size(), net::MemType::kHost,
-                          ship_start, &ctx);
-    ship_end = t.end;
-    if (spare->sys->now() < t.end) {
-      spare->sys->advance(t.end - spare->sys->now());
-    }
-  } else {
-    spare->sys->advance(transfer_cost(blob.size()));
-    ship_end = ship_start + transfer_cost(blob.size());
+  if (spare->sys->now() < ship_end) {
+    spare->sys->advance(ship_end - spare->sys->now());
   }
   spare->state = NodeState::kAlive;
   spare->slow_factor = 1;
@@ -844,15 +1083,25 @@ Status Controller::run(const std::vector<JobRequest>& requests) {
             });
 
   std::size_t li = 0, di = 0, ai = 0;
+  // Heartbeat edges fire at k * interval while there is anything to watch:
+  // scheduled losses still pending, an undetected silent death, or an open
+  // suspicion. Eliding the probes once the watch clears is what bounds the
+  // final drain — and when the watch re-opens, the edge clock re-aligns to
+  // the grid instead of replaying skipped edges.
+  const bool hb_on = cfg_.heartbeat.enabled && fabric_ != nullptr;
+  sim::Picos next_hb = cfg_.heartbeat.interval;
   constexpr sim::Picos kNever = std::numeric_limits<sim::Picos>::max();
   for (;;) {
     // Next fleet event in deterministic (time, kind) order: loss before
-    // degrade before retry before arrival at equal times.
+    // degrade before heartbeat before retry before arrival at equal times.
     const sim::Picos tl = li < losses.size() ? losses[li].time : kNever;
     const sim::Picos td = di < degrades.size() ? degrades[di].time : kNever;
+    const sim::Picos th =
+        hb_on && heartbeat_watch(li < losses.size()) ? next_hb : kNever;
     const sim::Picos tr = !retries_.empty() ? retries_.front().due : kNever;
     const sim::Picos ta = ai < requests.size() ? requests[ai].arrival : kNever;
-    const sim::Picos t = std::min(std::min(tl, td), std::min(tr, ta));
+    const sim::Picos t =
+        std::min(std::min(std::min(tl, td), th), std::min(tr, ta));
     if (t == kNever) break;
 
     run_nodes_until(t);
@@ -860,9 +1109,18 @@ Status Controller::run(const std::vector<JobRequest>& requests) {
     obs_tick(t);
 
     if (tl == t) {
-      on_node_loss(losses[li++]);
+      // With detection on, a loss is *silent*: the machine dies now, the
+      // controller only learns of it through missed heartbeats.
+      if (hb_on) {
+        on_silent_death(losses[li++]);
+      } else {
+        on_node_loss(losses[li++]);
+      }
     } else if (td == t) {
       on_node_degrade(degrades[di++]);
+    } else if (th == t) {
+      heartbeat_tick(t);
+      next_hb += cfg_.heartbeat.interval;
     } else if (tr == t) {
       const std::uint64_t jidx = retries_.front().job;
       retries_.erase(retries_.begin());
@@ -911,6 +1169,12 @@ Status Controller::run(const std::vector<JobRequest>& requests) {
         trace(std::move(e));
       }
       ++ai;
+    }
+    // Keep the edge grid aligned while the watch is closed, so a watch
+    // that re-opens later (an exhausted control send raising suspicion)
+    // resumes at the next future edge, never one in the past.
+    if (hb_on && th == kNever && next_hb <= t) {
+      next_hb = (t / cfg_.heartbeat.interval + 1) * cfg_.heartbeat.interval;
     }
     try_place_pending(t);
   }
@@ -963,6 +1227,7 @@ std::vector<NodeStatus> Controller::node_status() {
     s.placed_bytes = n.placed_bytes;
     s.live_jobs = static_cast<std::uint32_t>(n.live.size());
     s.slow_factor = n.slow_factor;
+    s.suspected = n.suspected;
     if (n.sys != nullptr) {
       s.local_now = n.sys->now();
       s.events_digest = n.sys->events().digest(s.local_now);
@@ -994,6 +1259,7 @@ std::uint64_t Controller::digest() {
   std::uint64_t h = kFnvOffset;
   for (Node& n : nodes_) {
     mix(h, static_cast<std::uint64_t>(n.state));
+    mix(h, (n.suspected ? 1u : 0u) | (n.silently_dead ? 2u : 0u));
     if (n.sys != nullptr) {
       const sim::Picos now = n.sys->now();
       mix(h, static_cast<std::uint64_t>(now));

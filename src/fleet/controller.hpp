@@ -36,6 +36,15 @@
 ///    obs::MetricsRegistry; percentiles read straight from the histogram
 ///    buckets (obs::Histogram::quantile_upper_bound).
 ///
+///  - failure detection (HeartbeatConfig, DESIGN.md Section 14): with
+///    heartbeats enabled the controller stops being omniscient — a
+///    scheduled node loss becomes a *silent* death (the machine and its
+///    fabric endpoint die; the controller's belief does not change), and
+///    only missed heartbeat edges move the node to suspected (excluded
+///    from placement) and, after the miss threshold, to declared-dead,
+///    which is what triggers the recovery ladder. A suspected-but-alive
+///    node rejoins on its next on-time response without any replay.
+///
 /// Time model: each node's simulated clock is that node's fleet time.
 /// A node idle at placement time is advanced to the placement instant
 /// (idle time is real time); a degraded node's work is dilated by its
@@ -126,6 +135,10 @@ struct NodeStatus {
   std::uint32_t live_jobs = 0;
   std::uint32_t slow_factor = 1;
   std::uint64_t events_digest = 0;  ///< EventLog digest (0 when machine gone)
+  /// Failure-detector overlay: the controller currently suspects this node
+  /// (missed heartbeat or an exhausted control send) and will not place on
+  /// it, but has not yet declared it dead.
+  bool suspected = false;
 };
 
 /// Per-class SLO summary read from the fleet histograms.
@@ -244,6 +257,16 @@ class Controller {
     std::uint64_t placed_bytes = 0;
     /// Live (tenant id on this node's scheduler -> fleet job index).
     std::vector<std::pair<tenant::TenantId, std::uint64_t>> live;
+    /// Failure-detector belief: excluded from placement, still running.
+    bool suspected = false;
+    /// Physically dead (machine and endpoint gone) but not yet detected —
+    /// state/live/placed_bytes above keep the controller's stale belief.
+    bool silently_dead = false;
+    /// Consecutive heartbeat edges missed.
+    std::uint32_t hb_misses = 0;
+    /// Last clock the controller observed before the machine vanished
+    /// (placement ETA and overdue checks can't read a dead node's clock).
+    sim::Picos known_now = 0;
   };
 
   struct Retry {
@@ -279,9 +302,24 @@ class Controller {
 
   // Fault domain.
   void on_node_loss(const fault::NodeLossEvent& e);
+  /// Heartbeat mode: the machine and endpoint die now; belief is untouched.
+  void on_silent_death(const fault::NodeLossEvent& e);
+  /// The recovery ladder (omniscient loss, or heartbeat detection): kill
+  /// whatever machine remains, replay victims under the backoff budget,
+  /// shed to the surviving capacity.
+  void declare_loss(Node& n, sim::Picos time);
   void on_node_degrade(const fault::NodeDegradeEvent& e);
   void evacuate(Node& n, const obs::TraceContext& ctx);
   void shed_to_capacity(sim::Picos now);
+
+  // Failure detection (HeartbeatConfig::enabled only).
+  void heartbeat_tick(sim::Picos t);
+  /// Whether probes still need to fire: scheduled losses remain, a silent
+  /// death is undetected, or a suspicion is open. Once false the probe
+  /// stream ends, bounding the drain (a deliberate model simplification —
+  /// a real detector never stops probing).
+  [[nodiscard]] bool heartbeat_watch(bool losses_left) const noexcept;
+  void mark_suspected(Node& n, sim::Picos t, std::string_view why);
 
   // Observability (FleetObsConfig::enabled only).
   [[nodiscard]] bool obs_on() const noexcept { return cfg_.obs.enabled; }
@@ -316,6 +354,14 @@ class Controller {
   std::vector<obs::Histogram*> wait_by_class_;      ///< microseconds
   obs::Counter* alerts_opened_;
   obs::Counter* alerts_closed_;
+  obs::Counter* hb_probes_;
+  obs::Counter* hb_misses_;
+  obs::Counter* hb_suspects_;
+  obs::Counter* hb_rejoins_;
+  obs::Counter* detected_losses_;
+  obs::Counter* evac_corruptions_;
+  obs::Counter* evac_rerequests_;
+  obs::Counter* evac_replays_;
 
   // Fleet observability state (null/empty unless cfg_.obs.enabled).
   std::unique_ptr<obs::TimeSeries> ts_;

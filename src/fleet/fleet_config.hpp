@@ -117,6 +117,26 @@ struct FleetObsConfig {
   std::vector<obs::AlertRule> alerts;
 };
 
+/// Heartbeat-based failure detection (DESIGN.md Section 14). With it off,
+/// the controller learns of a node loss the instant it happens — the
+/// omniscient pre-PR-10 model. With it on, the controller only believes
+/// what the fabric tells it: every interval it probes each active node and
+/// counts the response; a missed edge (probe or response dropped,
+/// corrupted, late, or the endpoint silently dead) moves the node to
+/// suspected — excluded from new placements but otherwise undisturbed —
+/// and miss_threshold consecutive misses declare it dead and trigger the
+/// node-loss recovery ladder. An on-time response clears suspicion (the
+/// false-positive rejoin path: no replay, no double placement).
+struct HeartbeatConfig {
+  bool enabled = false;
+  /// Probe cadence; the response must land before the *next* edge.
+  sim::Picos interval = sim::microseconds(500);
+  /// Consecutive missed edges before the node is declared dead.
+  std::uint32_t miss_threshold = 3;
+  /// Wire size of one probe and of one response.
+  std::uint64_t heartbeat_bytes = 128;
+};
+
 struct FleetConfig {
   /// Active superchips at t=0.
   std::uint32_t nodes = 4;
@@ -166,6 +186,8 @@ struct FleetConfig {
   std::uint64_t node_footprint_budget = 0;
 
   fault::FleetFaultConfig faults;
+
+  HeartbeatConfig heartbeat;
 
   FleetObsConfig obs;
 };

@@ -7,7 +7,33 @@ namespace ghum::net {
 
 namespace {
 
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
 constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// FNV-1a over the message descriptor — the model's payload checksum,
+/// computed at the sender and recomputed (verified) at the receiver. A
+/// link-level corruption event perturbs the delivered value, so the
+/// receiver's comparison genuinely catches it.
+std::uint64_t payload_checksum(std::uint32_t src, std::uint32_t dst,
+                               std::uint64_t bytes,
+                               std::uint64_t seq) noexcept {
+  std::uint64_t h = kFnvOffset;
+  const auto mix64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= kFnvPrime;
+    }
+  };
+  mix64(src);
+  mix64(dst);
+  mix64(bytes);
+  mix64(seq);
+  return h;
+}
+
+/// The bit pattern a link-level corruption flips into a delivered
+/// checksum (any nonzero pattern breaks the receiver's comparison).
+constexpr std::uint64_t kCorruptFlip = 0x5a5a5a5a5a5a5a5aull;
 
 /// transfer_time at a bandwidth divided by \p bw_factor.
 sim::Picos wire_time(std::uint64_t bytes, double bw, double bw_factor) {
@@ -21,24 +47,40 @@ std::vector<obs::Label> proto_label(Protocol p) {
 }  // namespace
 
 Fabric::Fabric(NetSpec spec, std::uint32_t endpoints, obs::MetricsRegistry* reg,
-               std::vector<fault::LinkFlapWindow> flaps)
-    : spec_(spec), endpoints_(endpoints), flaps_(std::move(flaps)), reg_(reg) {
+               std::vector<fault::LinkFlapWindow> flaps,
+               fault::MessageFaultConfig messages)
+    : spec_(spec),
+      endpoints_(endpoints),
+      flaps_(std::move(flaps)),
+      msg_(std::move(messages)),
+      reg_(reg) {
   if (const Status s = spec_.validate(); s != Status::kSuccess) {
     throw StatusError{s, "net: NetSpec failed validation"};
   }
   if (endpoints_ == 0) {
     throw StatusError{Status::kErrorNetConfig, "net: fabric needs endpoints"};
   }
+  if (const Status s = msg_.validate(); s != Status::kSuccess) {
+    throw StatusError{s, "net: malformed message-fault config"};
+  }
   for (const fault::LinkFlapWindow& w : flaps_) {
+    // Schedule shape (a window that starts before t=0 or whose end
+    // precedes its start) is a config error like any other NetSpec
+    // malformation; endpoint range and factor direction stay
+    // kErrorInvalidValue for compatibility with existing callers.
+    if (w.start < 0 || w.duration < 0) {
+      throw StatusError{Status::kErrorNetConfig,
+                        "net: link-flap window end precedes its start"};
+    }
     const bool nodes_ok =
         w.node_a < endpoints_ &&
         (w.node_b == fault::LinkFlapWindow::kAllPeers || w.node_b < endpoints_);
-    if (!nodes_ok || w.duration < 0 || w.bandwidth_factor < 1.0 ||
-        w.latency_factor < 1.0) {
+    if (!nodes_ok || w.bandwidth_factor < 1.0 || w.latency_factor < 1.0) {
       throw StatusError{Status::kErrorInvalidValue,
                         "net: malformed link-flap window"};
     }
   }
+  down_.assign(endpoints_, 0);
   std::sort(flaps_.begin(), flaps_.end(),
             [](const fault::LinkFlapWindow& a, const fault::LinkFlapWindow& b) {
               return a.start != b.start ? a.start < b.start
@@ -54,7 +96,27 @@ Fabric::Fabric(NetSpec spec, std::uint32_t endpoints, obs::MetricsRegistry* reg,
     handshake_ns_ = &reg_->histogram("ghum_net_rndv_handshake_ns");
     latency_ns_ = &reg_->histogram("ghum_net_msg_latency_ns");
     flapped_ = &reg_->counter("ghum_net_flapped_msgs_total");
+    retransmits_ = &reg_->counter("ghum_net_retransmits_total");
+    recovered_ = &reg_->counter("ghum_net_recovered_sends_total");
+    exhausted_ = &reg_->counter("ghum_net_send_exhausted_total");
+    dropped_ = &reg_->counter("ghum_net_dropped_msgs_total");
+    corrupt_ = &reg_->counter("ghum_net_corrupt_msgs_total");
+    dup_discards_ = &reg_->counter("ghum_net_dup_discards_total");
+    reordered_ = &reg_->counter("ghum_net_reordered_msgs_total");
+    acks_ = &reg_->counter("ghum_net_acks_total");
+    e2e_corrupt_ = &reg_->counter("ghum_net_e2e_corrupt_msgs_total");
   }
+}
+
+sim::Rng& Fabric::link_rng(std::uint64_t link) {
+  const auto it = link_rng_.find(link);
+  if (it != link_rng_.end()) return it->second;
+  // Independent stream per directed link: the fate sequence depends only
+  // on this link's own message order, so cross-link interleaving cannot
+  // perturb it (the per-link reproducibility contract).
+  return link_rng_
+      .emplace(link, sim::Rng{msg_.seed ^ ((link + 1) * 0x9e3779b97f4a7c15ull)})
+      .first->second;
 }
 
 void Fabric::mix(std::uint64_t v) noexcept {
@@ -252,6 +314,172 @@ Transfer Fabric::transfer(std::uint32_t src, std::uint32_t dst,
   mix(static_cast<std::uint64_t>(t.start));
   mix(static_cast<std::uint64_t>(t.end));
   return t;
+}
+
+Datagram Fabric::datagram(std::uint32_t src, std::uint32_t dst,
+                          std::uint64_t bytes, MemType mem, sim::Picos now,
+                          const obs::TraceContext* ctx) {
+  Datagram d;
+  d.wire = transfer(src, dst, bytes, mem, now, ctx);
+  d.delivered_at = d.wire.end;
+  d.delivered = !endpoint_down(dst);
+
+  if (msg_.enabled) {
+    // Always draw all four fates in fixed order so the stream position
+    // depends only on how many messages this link has carried, never on
+    // earlier outcomes.
+    sim::Rng& rng = link_rng(std::uint64_t{src} * endpoints_ + dst);
+    const bool f_drop = rng.next_double() < msg_.drop_prob;
+    const bool f_corrupt = rng.next_double() < msg_.corrupt_prob;
+    const bool f_dup = rng.next_double() < msg_.duplicate_prob;
+    const bool f_reorder = rng.next_double() < msg_.reorder_prob;
+    if (f_drop) {
+      // Lost in flight: the wire was occupied but nothing arrives. Drop
+      // trumps every other fate.
+      d.delivered = false;
+      ++rtotals_.drops;
+      if (dropped_ != nullptr) dropped_->inc();
+    } else if (d.delivered) {
+      if (f_corrupt) {
+        d.corrupt = true;
+        ++rtotals_.corruptions;
+        if (corrupt_ != nullptr) corrupt_->inc();
+      }
+      if (f_dup) {
+        // The link delivers a second copy: charged on the wire like any
+        // message, discarded by receive-side dedup.
+        d.duplicated = true;
+        transfer(src, dst, bytes, mem, d.wire.end, ctx);
+      }
+      if (f_reorder) {
+        d.reordered = true;
+        d.delivered_at += msg_.reorder_delay;
+        ++rtotals_.reorders;
+        if (reordered_ != nullptr) reordered_->inc();
+      }
+    }
+  }
+
+  // Fold the fate into the history digest so two chaos runs only match
+  // when every message met the same end.
+  mix(static_cast<std::uint64_t>(d.delivered) |
+      (static_cast<std::uint64_t>(d.corrupt) << 1) |
+      (static_cast<std::uint64_t>(d.duplicated) << 2) |
+      (static_cast<std::uint64_t>(d.reordered) << 3));
+  return d;
+}
+
+ReliableTransfer Fabric::send(std::uint32_t src, std::uint32_t dst,
+                              std::uint64_t bytes, MemType mem, sim::Picos now,
+                              const obs::TraceContext* ctx) {
+  const std::uint64_t link = std::uint64_t{src} * endpoints_ + dst;
+  ReliableTransfer r;
+  ++rtotals_.sends;
+
+  // The payload checksum travels with every attempt of this sequence
+  // number; a link-level corruption perturbs the delivered value.
+  const std::uint64_t seq = next_seq_[link]++;
+  const std::uint64_t sent_sum = payload_checksum(src, dst, bytes, seq);
+  const std::uint32_t budget = msg_.enabled ? msg_.max_retransmits : 0;
+
+  bool receiver_has = false;  // payload accepted at the receiver (dedup floor)
+  sim::Picos clock = now;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const Datagram d = datagram(src, dst, bytes, mem, clock, ctx);
+    bool acked = false;
+    sim::Picos ack_at = 0;
+    sim::Picos nak_at = 0;
+    if (d.delivered) {
+      const std::uint64_t recv_sum =
+          d.corrupt ? (sent_sum ^ kCorruptFlip) : sent_sum;
+      if (recv_sum == sent_sum) {
+        if (receiver_has) {
+          // Retransmission of a payload whose ack was lost: dedup
+          // discards the body, but the receiver still re-acks.
+          ++rtotals_.dup_discards;
+          if (dup_discards_ != nullptr) dup_discards_->inc();
+        } else {
+          receiver_has = true;
+          r.wire = d.wire;
+          r.delivered_at = d.delivered_at;
+          if (d.reordered) r.reordered = true;
+        }
+        if (d.duplicated) {
+          // The link's extra copy is always redundant by now.
+          ++rtotals_.dup_discards;
+          if (dup_discards_ != nullptr) dup_discards_->inc();
+        }
+        const Datagram ack =
+            datagram(dst, src, msg_.ack_bytes, MemType::kHost, d.delivered_at);
+        ++rtotals_.acks;
+        if (acks_ != nullptr) acks_->inc();
+        if (ack.delivered && !ack.corrupt) {
+          acked = true;
+          ack_at = ack.delivered_at;
+        }
+      } else {
+        // Checksum failure at the receiver: NAK back; a delivered NAK
+        // lets the sender retransmit before its timeout would fire.
+        const Datagram nak =
+            datagram(dst, src, msg_.ack_bytes, MemType::kHost, d.delivered_at);
+        ++rtotals_.acks;
+        if (acks_ != nullptr) acks_->inc();
+        if (nak.delivered && !nak.corrupt) nak_at = nak.delivered_at;
+      }
+    }
+
+    if (acked) {
+      r.end = ack_at;
+      r.status = Status::kSuccess;
+      if (attempt > 0) {
+        ++rtotals_.recovered_sends;
+        if (recovered_ != nullptr) recovered_->inc();
+      }
+      break;
+    }
+    const sim::Picos timeout = msg_.ack_timeout * (sim::Picos{1} << attempt);
+    if (attempt >= budget) {
+      r.status = Status::kErrorRetransmitExhausted;
+      r.end = d.wire.end + timeout;
+      ++rtotals_.exhausted;
+      if (exhausted_ != nullptr) exhausted_->inc();
+      break;
+    }
+    // Retransmit at the exponential-backoff timeout, or as soon as a NAK
+    // told us the payload arrived mangled — whichever comes first.
+    clock = d.wire.end + timeout;
+    if (nak_at != 0 && nak_at < clock) clock = nak_at;
+    ++r.attempts;
+    ++r.retransmits;
+    ++rtotals_.retransmits;
+    if (retransmits_ != nullptr) retransmits_->inc();
+  }
+
+  // End-to-end corruption of bulk payloads: past the link checksum, so it
+  // only exists on *verified-delivered* sends and only the caller's own
+  // digest check can catch it.
+  if (msg_.enabled && r.status == Status::kSuccess &&
+      bytes >= msg_.bulk_threshold) {
+    const std::uint64_t bulk_index = bulk_sends_++;
+    bool scheduled = false;
+    for (const std::uint64_t i : msg_.e2e_corrupt_bulk) {
+      if (i == bulk_index) {
+        scheduled = true;
+        break;
+      }
+    }
+    if (scheduled || link_rng(link).next_double() < msg_.e2e_corrupt_prob) {
+      r.payload_corrupt = true;
+      ++rtotals_.e2e_corruptions;
+      if (e2e_corrupt_ != nullptr) e2e_corrupt_->inc();
+    }
+  }
+
+  mix(static_cast<std::uint64_t>(r.status) |
+      (static_cast<std::uint64_t>(r.payload_corrupt) << 8) |
+      (std::uint64_t{r.attempts} << 16));
+  mix(static_cast<std::uint64_t>(r.end));
+  return r;
 }
 
 }  // namespace ghum::net

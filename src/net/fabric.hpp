@@ -9,6 +9,7 @@
 #include "net/net_spec.hpp"
 #include "obs/fleet_trace.hpp"
 #include "obs/metrics.hpp"
+#include "sim/rng.hpp"
 #include "sim/time.hpp"
 
 /// \file fabric.hpp
@@ -54,6 +55,54 @@ struct TransferRecord {
   obs::TraceContext ctx;
 };
 
+/// One unreliable wire attempt under the message-fault schedule: the raw
+/// transfer plus the fate the link's seeded RNG stream dealt it. A
+/// dropped datagram still occupied the wire (it was transmitted); a
+/// corrupt one arrives but fails the receiver's checksum; a duplicated
+/// one was delivered twice (the copy charged on the link, discarded by
+/// receive-side dedup); a reordered one is held past its successor in
+/// the receive queue before delivery.
+struct Datagram {
+  Transfer wire;
+  sim::Picos delivered_at = 0;  ///< wire.end plus any reorder hold
+  bool delivered = false;       ///< false: dropped, or the endpoint is down
+  bool corrupt = false;         ///< link-level checksum fails at receive
+  bool duplicated = false;
+  bool reordered = false;
+};
+
+/// Outcome of one reliable end-to-end send (Fabric::send): checksummed
+/// payload, ack/timeout with bounded exponential-backoff retransmission,
+/// receive-side dedup. status is kSuccess or kErrorRetransmitExhausted.
+struct ReliableTransfer {
+  Transfer wire;                ///< the attempt whose payload was accepted
+  sim::Picos delivered_at = 0;  ///< payload verified at the receiver
+  sim::Picos end = 0;           ///< sender completion (ack, or final timeout)
+  std::uint32_t attempts = 1;   ///< payload transmissions performed
+  std::uint32_t retransmits = 0;
+  bool reordered = false;
+  /// End-to-end corruption of a bulk payload that slipped past the link
+  /// checksum (caught only by application-level digest verification —
+  /// the evacuation-blob integrity path).
+  bool payload_corrupt = false;
+  Status status = Status::kSuccess;
+};
+
+/// Reliability-protocol tally, kept independently of the registry the
+/// same way FabricTotals is.
+struct ReliableTotals {
+  std::uint64_t sends = 0;            ///< reliable send() calls
+  std::uint64_t retransmits = 0;      ///< payload re-transmissions
+  std::uint64_t recovered_sends = 0;  ///< succeeded after >= 1 retransmit
+  std::uint64_t exhausted = 0;        ///< retry budget spent; send failed
+  std::uint64_t drops = 0;            ///< datagrams lost in flight
+  std::uint64_t corruptions = 0;      ///< link-level checksum failures
+  std::uint64_t dup_discards = 0;     ///< deliveries discarded by dedup
+  std::uint64_t reorders = 0;         ///< deliveries held out of order
+  std::uint64_t acks = 0;             ///< ack/NAK messages charged
+  std::uint64_t e2e_corruptions = 0;  ///< bulk payloads corrupted end-to-end
+};
+
 /// Fabric-side tally kept independently of the metrics registry, so
 /// bench_observability can cross-check registry counters against it the
 /// way it checks MemSysMetrics against the Tracer.
@@ -77,14 +126,18 @@ struct FabricTotals {
 
 class Fabric {
  public:
-  /// Throws StatusError{kErrorNetConfig} if \p spec fails validation or
-  /// \p endpoints is zero, and StatusError{kErrorInvalidValue} if a flap
-  /// window names an endpoint outside the fabric or has a factor < 1.
-  /// When \p reg is non-null, per-protocol and per-link instruments are
-  /// registered there (ghum_net_*) and incremented on every transfer.
+  /// Throws StatusError{kErrorNetConfig} if \p spec fails validation,
+  /// \p endpoints is zero, a flap window's schedule is malformed (negative
+  /// start or a window whose end precedes its start, i.e. negative
+  /// duration), or \p messages fails its validation; and
+  /// StatusError{kErrorInvalidValue} if a flap window names an endpoint
+  /// outside the fabric or has a factor < 1. When \p reg is non-null,
+  /// per-protocol, per-link and reliability instruments are registered
+  /// there (ghum_net_*) and incremented on every transfer.
   explicit Fabric(NetSpec spec, std::uint32_t endpoints,
                   obs::MetricsRegistry* reg = nullptr,
-                  std::vector<fault::LinkFlapWindow> flaps = {});
+                  std::vector<fault::LinkFlapWindow> flaps = {},
+                  fault::MessageFaultConfig messages = {});
 
   /// Charges one \p bytes-sized message src -> dst starting no earlier
   /// than \p now. Selects the protocol, applies any open flap window,
@@ -97,6 +150,53 @@ class Fabric {
   Transfer transfer(std::uint32_t src, std::uint32_t dst, std::uint64_t bytes,
                     MemType mem, sim::Picos now,
                     const obs::TraceContext* ctx = nullptr);
+
+  /// One unreliable datagram under the message-fault schedule: charges a
+  /// transfer() (plus a second copy when the link duplicates it) and
+  /// draws the message's fate from the directed link's seeded RNG stream.
+  /// With messages disabled the fate is always clean delivery. A datagram
+  /// to a down endpoint is charged but never delivered. Heartbeat probes
+  /// ride this path — an unacked message whose loss the sender cannot
+  /// distinguish from a dead peer.
+  Datagram datagram(std::uint32_t src, std::uint32_t dst, std::uint64_t bytes,
+                    MemType mem, sim::Picos now,
+                    const obs::TraceContext* ctx = nullptr);
+
+  /// Reliable end-to-end send: per-transfer FNV-1a payload checksum
+  /// verified at receive, ack (or NAK, on a checksum failure) on the
+  /// reverse link, receive-side dedup of duplicated deliveries, and
+  /// bounded retransmission — attempt k waits ack_timeout * 2^(k-1)
+  /// before retrying, up to max_retransmits retries. Exhaustion returns
+  /// status kErrorRetransmitExhausted (to a down endpoint this is the
+  /// guaranteed outcome — nothing acks). Bulk payloads (bytes >=
+  /// bulk_threshold) may additionally arrive corrupted end-to-end
+  /// (payload_corrupt): past the link checksum, caught only by the
+  /// caller's own digest verification.
+  ReliableTransfer send(std::uint32_t src, std::uint32_t dst,
+                        std::uint64_t bytes, MemType mem, sim::Picos now,
+                        const obs::TraceContext* ctx = nullptr);
+
+  /// True when a message-fault schedule is active on this fabric.
+  [[nodiscard]] bool lossy() const noexcept { return msg_.enabled; }
+
+  /// Physical endpoint liveness. A down endpoint receives nothing and
+  /// acks nothing — the fabric-level truth of a silently dead node, which
+  /// callers can only observe through missed heartbeats and exhausted
+  /// retransmit budgets. Out-of-range ids are ignored.
+  void set_endpoint_down(std::uint32_t ep, bool down) noexcept {
+    if (ep < endpoints_) down_[ep] = down;
+  }
+  [[nodiscard]] bool endpoint_down(std::uint32_t ep) const noexcept {
+    return ep < endpoints_ && down_[ep] != 0;
+  }
+
+  [[nodiscard]] const ReliableTotals& reliable_totals() const noexcept {
+    return rtotals_;
+  }
+  [[nodiscard]] const fault::MessageFaultConfig& message_faults()
+      const noexcept {
+    return msg_;
+  }
 
   /// When enabled, every transfer appends a TransferRecord to log().
   void set_log_enabled(bool on) noexcept { log_enabled_ = on; }
@@ -144,9 +244,19 @@ class Fabric {
                                         sim::Picos* handshake) const;
   void mix(std::uint64_t v) noexcept;
 
+  [[nodiscard]] sim::Rng& link_rng(std::uint64_t link);
+
   NetSpec spec_;
   std::uint32_t endpoints_ = 0;
   std::vector<fault::LinkFlapWindow> flaps_;
+  fault::MessageFaultConfig msg_;
+  /// Per-directed-link fate streams, lazily seeded from (msg_.seed, link).
+  std::map<std::uint64_t, sim::Rng> link_rng_;
+  std::map<std::uint64_t, std::uint64_t> next_seq_;      ///< sender sequence
+  std::map<std::uint64_t, std::uint64_t> delivered_up_to_;  ///< dedup floor
+  std::vector<std::uint8_t> down_;  ///< endpoint liveness (fabric truth)
+  std::uint64_t bulk_sends_ = 0;    ///< fabric-wide bulk send order
+  ReliableTotals rtotals_;
   /// Directed-link serialization horizons, keyed src * endpoints + dst.
   /// Sparse map: fleets are small but a full N^2 array would still be
   /// wasteful for the mostly-idle control links.
@@ -165,6 +275,15 @@ class Fabric {
   obs::Histogram* handshake_ns_ = nullptr;
   obs::Histogram* latency_ns_ = nullptr;
   obs::Counter* flapped_ = nullptr;
+  obs::Counter* retransmits_ = nullptr;
+  obs::Counter* recovered_ = nullptr;
+  obs::Counter* exhausted_ = nullptr;
+  obs::Counter* dropped_ = nullptr;
+  obs::Counter* corrupt_ = nullptr;
+  obs::Counter* dup_discards_ = nullptr;
+  obs::Counter* reordered_ = nullptr;
+  obs::Counter* acks_ = nullptr;
+  obs::Counter* e2e_corrupt_ = nullptr;
   obs::MetricsRegistry* reg_ = nullptr;
   std::map<std::uint64_t, obs::Counter*> link_bytes_;
 };

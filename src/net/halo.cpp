@@ -59,7 +59,7 @@ MultiNodeResult lockstep(
     const std::function<void(std::uint32_t round, std::vector<HaloMsg>&)>&
         plan) {
   check_node_count(cfg.nodes);
-  Fabric local_fabric{cfg.net, cfg.nodes};
+  Fabric local_fabric{cfg.net, cfg.nodes, nullptr, {}, cfg.messages};
   Fabric& fab = fabric != nullptr ? *fabric : local_fabric;
   if (fab.endpoints() < cfg.nodes) {
     throw StatusError{Status::kErrorInvalidValue,
@@ -97,9 +97,22 @@ MultiNodeResult lockstep(
     plan(round - compute_begin, msgs);
     std::fill(arrival.begin(), arrival.end(), sim::Picos{0});
     for (const HaloMsg& m : msgs) {
-      const Transfer t =
-          fab.transfer(m.src, m.dst, m.bytes, mem, nodes[m.src].sys->now());
-      arrival[m.dst] = std::max(arrival[m.dst], t.end);
+      // On a lossy fabric the halo must actually arrive: the reliable
+      // send path pays for retransmissions, and a neighbor that never
+      // confirms stalls its receiver exactly as a real exchange would.
+      // On a clean fabric the raw transfer path keeps pre-existing runs
+      // bit-for-bit unchanged.
+      if (fab.lossy()) {
+        const ReliableTransfer t =
+            fab.send(m.src, m.dst, m.bytes, mem, nodes[m.src].sys->now());
+        arrival[m.dst] = std::max(
+            arrival[m.dst], t.status == Status::kSuccess ? t.delivered_at
+                                                         : t.end);
+      } else {
+        const Transfer t =
+            fab.transfer(m.src, m.dst, m.bytes, mem, nodes[m.src].sys->now());
+        arrival[m.dst] = std::max(arrival[m.dst], t.end);
+      }
     }
     for (std::uint32_t i = 0; i < cfg.nodes; ++i) {
       const sim::Picos now = nodes[i].sys->now();

@@ -42,6 +42,13 @@ struct MultiNodeConfig {
   core::SystemConfig node_config;
   /// Fabric cost model, used when no external fabric is supplied.
   NetSpec net;
+  /// Message-fault schedule for the private fabric. When enabled, every
+  /// halo moves through the reliable send path (checksummed, acked,
+  /// retransmitted) instead of the raw transfer path, so the exchange
+  /// survives drops and corruption at the cost of the recovery traffic.
+  /// Ignored when an external fabric is supplied (it owns its own
+  /// schedule).
+  fault::MessageFaultConfig messages;
 };
 
 struct MultiNodeResult {

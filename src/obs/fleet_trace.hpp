@@ -47,6 +47,8 @@ enum class FleetTraceKind : std::uint8_t {
   kAlertOpen,         ///< SLO alert fired
   kAlertClose,        ///< SLO alert resolved
   kLinkFlap,          ///< flap window (duration) on the fabric lane
+  kNodeSuspect,       ///< heartbeat miss moved a node to suspected
+  kNodeRejoin,        ///< suspected node answered in time; suspicion cleared
 };
 
 [[nodiscard]] constexpr std::string_view to_string(FleetTraceKind k) noexcept {
@@ -64,6 +66,8 @@ enum class FleetTraceKind : std::uint8_t {
     case FleetTraceKind::kAlertOpen: return "alert open";
     case FleetTraceKind::kAlertClose: return "alert close";
     case FleetTraceKind::kLinkFlap: return "link flap";
+    case FleetTraceKind::kNodeSuspect: return "node suspect";
+    case FleetTraceKind::kNodeRejoin: return "node rejoin";
   }
   return "?";
 }

@@ -528,5 +528,168 @@ TEST(FleetNet, LinkFlapDelaysPlacementDelivery) {
   EXPECT_EQ(makespan({w}), flapped);  // and deterministically so
 }
 
+// --- heartbeat failure detection (DESIGN.md Section 14) ----------------------
+
+TEST(FleetDetect, ConstructorRejectsMalformedHeartbeatConfigs) {
+  // Heartbeats are fabric messages; the flat legacy cost model has no
+  // fabric to charge them through.
+  auto legacy = small_fleet(1);
+  legacy.legacy_transfer_cost = true;
+  legacy.heartbeat.enabled = true;
+  try {
+    fleet::Controller ctl{legacy, catalog()};
+    FAIL() << "heartbeat without a fabric must throw";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status(), Status::kErrorInvalidValue);
+  }
+  for (auto mutate : {+[](fleet::HeartbeatConfig& h) { h.interval = 0; },
+                      +[](fleet::HeartbeatConfig& h) { h.miss_threshold = 0; },
+                      +[](fleet::HeartbeatConfig& h) { h.heartbeat_bytes = 0; }}) {
+    auto f = small_fleet(1);
+    f.heartbeat.enabled = true;
+    mutate(f.heartbeat);
+    EXPECT_THROW((fleet::Controller{f, catalog()}), StatusError);
+  }
+}
+
+TEST(FleetDetect, HeartbeatDetectsSilentDeathAndReplays) {
+  auto f = small_fleet(2);
+  f.heartbeat.enabled = true;
+  f.heartbeat.interval = sim::microseconds(20);
+  f.heartbeat.miss_threshold = 3;
+  f.faults.node_loss = {{.time = solo().end / 2, .node = 1}};
+  fleet::Controller ctl{f, catalog()};
+  ASSERT_EQ(ctl.run({make_req(0, 0), make_req(1, 0)}), Status::kSuccess);
+
+  // With detection on, the loss is a silent death: recovery still happens,
+  // but only because the miss threshold declared the node dead.
+  std::uint32_t replayed = 0;
+  for (const fleet::FleetJob& j : ctl.jobs()) {
+    EXPECT_EQ(j.state, fleet::FleetJobState::kFinished);
+    EXPECT_EQ(j.checksum, solo().checksum);
+    if (j.replayed_after_loss) ++replayed;
+  }
+  EXPECT_EQ(replayed, 1u);
+  auto& m = ctl.metrics();
+  EXPECT_EQ(m.counter("ghum_fleet_detected_losses_total").value(), 1u);
+  EXPECT_EQ(m.counter("ghum_fleet_node_losses_total").value(), 1u);
+  // The dead node walked the suspicion ladder: one suspect transition and
+  // miss_threshold consecutive misses.
+  EXPECT_GE(m.counter("ghum_fleet_heartbeat_suspects_total").value(), 1u);
+  EXPECT_GE(m.counter("ghum_fleet_heartbeat_misses_total").value(), 3u);
+  EXPECT_GE(m.counter("ghum_fleet_heartbeat_probes_total").value(), 3u);
+  const auto status = ctl.node_status();
+  EXPECT_EQ(status[1].state, fleet::NodeState::kDead);
+  EXPECT_EQ(status[0].state, fleet::NodeState::kAlive);
+  EXPECT_FALSE(status[0].suspected);
+}
+
+TEST(FleetDetect, SuspectedAliveNodeRejoinsWithoutDoublePlacement) {
+  // Chaos clips enough heartbeats to raise false suspicions on live
+  // nodes, but the miss threshold is high enough that only the genuinely
+  // dead node (every edge missed) is ever declared lost.
+  auto f = small_fleet(2);
+  f.heartbeat.enabled = true;
+  f.heartbeat.interval = sim::microseconds(20);
+  f.heartbeat.miss_threshold = 6;
+  f.faults.messages.enabled = true;
+  f.faults.messages.drop_prob = 0.15;
+  f.faults.node_loss = {{.time = solo().end, .node = 1}};
+  fleet::Controller ctl{f, catalog()};
+  ASSERT_EQ(ctl.run({make_req(0, 0), make_req(1, 0)}), Status::kSuccess);
+
+  auto& m = ctl.metrics();
+  // False positives were raised and cleared by on-time responses...
+  EXPECT_GE(m.counter("ghum_fleet_heartbeat_suspects_total").value(), 2u);
+  EXPECT_GE(m.counter("ghum_fleet_heartbeat_rejoins_total").value(), 1u);
+  // ...and only the real death was ever declared.
+  EXPECT_EQ(m.counter("ghum_fleet_detected_losses_total").value(), 1u);
+  EXPECT_EQ(m.counter("ghum_fleet_node_losses_total").value(), 1u);
+  for (const fleet::FleetJob& j : ctl.jobs()) {
+    EXPECT_EQ(j.state, fleet::FleetJobState::kFinished);
+    EXPECT_EQ(j.checksum, solo().checksum);
+    // A suspected-but-alive node keeps its work: a rejoin never re-places
+    // a running job (placements grow only through a real loss replay).
+    if (!j.replayed_after_loss) EXPECT_EQ(j.placements, 1u);
+  }
+}
+
+TEST(FleetDetect, ChaoticDetectionRunsAreDeterministic) {
+  const auto drive = [] {
+    auto f = small_fleet(2, 1);
+    f.heartbeat.enabled = true;
+    f.heartbeat.interval = sim::microseconds(20);
+    f.heartbeat.miss_threshold = 6;
+    f.faults.messages.enabled = true;
+    f.faults.messages.drop_prob = 0.1;
+    f.faults.messages.corrupt_prob = 0.05;
+    f.faults.messages.duplicate_prob = 0.05;
+    f.faults.node_loss = {{.time = solo().end / 2, .node = 1}};
+    fleet::Controller ctl{f, catalog()};
+    (void)ctl.run({make_req(0, 0), make_req(1, 0), make_req(2, 0)});
+    return ctl.digest();
+  };
+  EXPECT_EQ(drive(), drive());
+}
+
+// --- evacuation-blob integrity ----------------------------------------------
+
+TEST(FleetChk, CorruptEvacBlobIsReRequested) {
+  auto f = small_fleet(1, 1);
+  f.faults.node_degrade = {
+      {.time = solo().end / 2, .node = 0, .slow_factor = 4}};
+  // Schedule the first bulk reliable payload — the evacuation image — to
+  // arrive corrupted end-to-end, past the link checksum.
+  f.faults.messages.enabled = true;
+  f.faults.messages.bulk_threshold = 4096;
+  f.faults.messages.e2e_corrupt_bulk = {0};
+  fleet::Controller ctl{f, catalog()};
+  ASSERT_EQ(ctl.run({make_req(0, 0)}), Status::kSuccess);
+
+  // The spare's digest check caught the corruption, the re-requested copy
+  // arrived clean, and the migration completed mid-flight as usual.
+  const fleet::FleetJob& j = ctl.jobs()[0];
+  EXPECT_EQ(j.state, fleet::FleetJobState::kFinished);
+  EXPECT_EQ(j.checksum, solo().checksum);
+  EXPECT_TRUE(j.migrated);
+  EXPECT_FALSE(j.replayed_after_loss);
+  auto& m = ctl.metrics();
+  EXPECT_EQ(m.counter("ghum_fleet_evac_corruptions_total").value(), 1u);
+  EXPECT_EQ(m.counter("ghum_fleet_evac_rerequests_total").value(), 1u);
+  EXPECT_EQ(m.counter("ghum_fleet_evac_replays_total").value(), 0u);
+  EXPECT_EQ(m.counter("ghum_fleet_evacuations_total").value(), 1u);
+  EXPECT_EQ(ctl.fabric()->reliable_totals().e2e_corruptions, 1u);
+  EXPECT_EQ(ctl.node_status()[0].state, fleet::NodeState::kRetired);
+  EXPECT_EQ(ctl.node_status()[1].state, fleet::NodeState::kAlive);
+}
+
+TEST(FleetChk, DoublyCorruptEvacBlobFallsBackToReplay) {
+  auto f = small_fleet(1, 1);
+  f.faults.node_degrade = {
+      {.time = solo().end / 2, .node = 0, .slow_factor = 4}};
+  // Both the original ship and the re-request arrive corrupt: the spare
+  // boots fresh and the donor's jobs replay from scratch (PR 5 ladder).
+  f.faults.messages.enabled = true;
+  f.faults.messages.bulk_threshold = 4096;
+  f.faults.messages.e2e_corrupt_bulk = {0, 1};
+  fleet::Controller ctl{f, catalog()};
+  ASSERT_EQ(ctl.run({make_req(0, 0)}), Status::kSuccess);
+
+  const fleet::FleetJob& j = ctl.jobs()[0];
+  EXPECT_EQ(j.state, fleet::FleetJobState::kFinished);
+  EXPECT_EQ(j.checksum, solo().checksum);
+  EXPECT_FALSE(j.migrated);  // nothing continued mid-flight
+  EXPECT_TRUE(j.replayed_after_loss);
+  auto& m = ctl.metrics();
+  EXPECT_EQ(m.counter("ghum_fleet_evac_corruptions_total").value(), 2u);
+  EXPECT_EQ(m.counter("ghum_fleet_evac_rerequests_total").value(), 1u);
+  EXPECT_EQ(m.counter("ghum_fleet_evac_replays_total").value(), 1u);
+  EXPECT_EQ(m.counter("ghum_fleet_evacuations_total").value(), 0u);
+  // The corruption surfaced on the sticky error surface.
+  EXPECT_EQ(ctl.get_last_error(), Status::kErrorDataCorruption);
+  EXPECT_EQ(ctl.node_status()[0].state, fleet::NodeState::kRetired);
+  EXPECT_EQ(ctl.node_status()[1].state, fleet::NodeState::kAlive);
+}
+
 }  // namespace
 }  // namespace ghum

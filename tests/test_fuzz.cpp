@@ -4,7 +4,9 @@
 #include <memory>
 #include <vector>
 
+#include "apps/hotspot.hpp"
 #include "chk/snapshot.hpp"
+#include "net/halo.hpp"
 #include "runtime/runtime.hpp"
 #include "sim/rng.hpp"
 
@@ -345,6 +347,59 @@ TEST(FuzzCrashPoint, SnapshotRestoreContinueMatchesUninterruptedRun) {
     EXPECT_EQ(straight.first, resumed.first) << "seed " << seed;
     EXPECT_EQ(straight.second, resumed.second) << "seed " << seed;
   }
+}
+
+/// Differential fuzz for the lossy fabric: a 2-node halo exchange runs
+/// twice under a *random* drop/corrupt schedule (probabilities and chaos
+/// seed themselves drawn per iteration), and must be bit-for-bit
+/// reproducible — same fabric digest, same application checksum. Any
+/// hidden nondeterminism in the retransmission protocol (an unseeded
+/// draw, iteration-order dependence in the per-link RNG map, fate
+/// streams coupling across links) trips here where the directed tests'
+/// fixed schedules would not.
+TEST(FuzzLossyFabric, RandomChaosScheduleIsReproducible) {
+  auto halo_cfg = [] {
+    core::SystemConfig cfg;
+    cfg.system_page_size = pagetable::kSystemPage64K;
+    cfg.hbm_capacity = 16ull << 20;
+    cfg.ddr_capacity = 256ull << 20;
+    cfg.gpu_driver_baseline = 1ull << 20;
+    cfg.event_log = true;
+    return cfg;
+  };
+  sim::Rng meta{0xC4A05ull};
+  for (int iter = 0; iter < 4; ++iter) {
+    net::MultiNodeConfig mc;
+    mc.nodes = 2;
+    mc.mode = apps::MemMode::kManaged;
+    mc.node_config = halo_cfg();
+    mc.messages.enabled = true;
+    mc.messages.seed = meta.next_u64();
+    mc.messages.drop_prob =
+        static_cast<double>(meta.next_below(40)) / 100.0;  // [0, 0.39]
+    mc.messages.corrupt_prob =
+        static_cast<double>(meta.next_below(30)) / 100.0;  // [0, 0.29]
+    apps::HotspotConfig h;
+    h.rows = 64;
+    h.cols = 64;
+    h.iterations = 3;
+    const net::MultiNodeResult a = net::run_hotspot_halo(mc, h);
+    const net::MultiNodeResult b = net::run_hotspot_halo(mc, h);
+    EXPECT_EQ(a.digest, b.digest) << "iter " << iter;
+    EXPECT_EQ(a.checksum, b.checksum) << "iter " << iter;
+    EXPECT_EQ(a.makespan, b.makespan) << "iter " << iter;
+  }
+}
+
+/// The two reliability-protocol error codes round-trip through
+/// to_string like every other status (fleet logs print them verbatim).
+TEST(FuzzLossyFabric, NewStatusCodesRoundTrip) {
+  EXPECT_EQ(to_string(Status::kErrorRetransmitExhausted),
+            "retransmit budget exhausted");
+  EXPECT_EQ(to_string(Status::kErrorDataCorruption),
+            "data corruption detected");
+  EXPECT_NE(to_string(Status::kErrorRetransmitExhausted),
+            to_string(Status::kErrorDataCorruption));
 }
 
 TEST(FuzzDeterminism, SameSeedSameSimulatedTimeline) {

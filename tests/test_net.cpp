@@ -116,12 +116,83 @@ TEST(NetSpec, FlapWindowValidation) {
   } catch (const StatusError& e) {
     EXPECT_EQ(e.status(), Status::kErrorInvalidValue);
   }
+  // Schedule shape is a config error, distinct from the value errors
+  // above: a window cannot start before t=0 ...
+  fault::LinkFlapWindow bad_start;
+  bad_start.start = -1;
+  bad_start.duration = sim::microseconds(1);
+  try {
+    net::Fabric f{net::NetSpec{}, 2, nullptr, {bad_start}};
+    FAIL() << "negative flap start must throw";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status(), Status::kErrorNetConfig);
+  }
+  // ... and its end (start + duration) cannot precede its start.
+  fault::LinkFlapWindow bad_duration;
+  bad_duration.start = sim::microseconds(10);
+  bad_duration.duration = -sim::microseconds(1);
+  try {
+    net::Fabric f{net::NetSpec{}, 2, nullptr, {bad_duration}};
+    FAIL() << "window end preceding its start must throw";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status(), Status::kErrorNetConfig);
+  }
+  // A zero-duration (degenerate but well-ordered) window is accepted.
+  fault::LinkFlapWindow empty;
+  empty.start = sim::microseconds(10);
+  empty.duration = 0;
+  EXPECT_NO_THROW((net::Fabric{net::NetSpec{}, 2, nullptr, {empty}}));
+}
+
+TEST(NetSpec, MessageFaultConfigValidation) {
+  EXPECT_EQ(fault::MessageFaultConfig{}.validate(), Status::kSuccess);
+  for (auto field :
+       {&fault::MessageFaultConfig::drop_prob,
+        &fault::MessageFaultConfig::corrupt_prob,
+        &fault::MessageFaultConfig::duplicate_prob,
+        &fault::MessageFaultConfig::reorder_prob,
+        &fault::MessageFaultConfig::e2e_corrupt_prob}) {
+    fault::MessageFaultConfig m;
+    m.*field = -0.01;
+    EXPECT_EQ(m.validate(), Status::kErrorNetConfig);
+    m.*field = 1.01;
+    EXPECT_EQ(m.validate(), Status::kErrorNetConfig);
+    m.*field = 1.0;
+    EXPECT_EQ(m.validate(), Status::kSuccess);
+  }
+  fault::MessageFaultConfig m;
+  m.reorder_delay = -1;
+  EXPECT_EQ(m.validate(), Status::kErrorNetConfig);
+  m = {};
+  m.ack_timeout = 0;
+  EXPECT_EQ(m.validate(), Status::kErrorNetConfig);
+  m = {};
+  m.ack_bytes = 0;
+  EXPECT_EQ(m.validate(), Status::kErrorNetConfig);
+  m = {};
+  m.bulk_threshold = 0;
+  EXPECT_EQ(m.validate(), Status::kErrorNetConfig);
+
+  // The fabric rejects a malformed schedule at construction.
+  m = {};
+  m.enabled = true;
+  m.drop_prob = 2.0;
+  try {
+    net::Fabric f{net::NetSpec{}, 2, nullptr, {}, m};
+    FAIL() << "malformed message-fault config must throw";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status(), Status::kErrorNetConfig);
+  }
 }
 
 TEST(NetSpec, StatusToStringRoundTrip) {
-  // The new code has a distinct, stable message...
+  // The new codes have distinct, stable messages...
   EXPECT_EQ(to_string(Status::kErrorNetConfig), "malformed network spec");
-  // ...and collides with no other status string.
+  EXPECT_EQ(to_string(Status::kErrorRetransmitExhausted),
+            "retransmit budget exhausted");
+  EXPECT_EQ(to_string(Status::kErrorDataCorruption),
+            "data corruption detected");
+  // ...and collide with no other status string.
   std::set<std::string_view> seen;
   for (const Status s :
        {Status::kSuccess, Status::kErrorMemoryAllocation,
@@ -129,7 +200,8 @@ TEST(NetSpec, StatusToStringRoundTrip) {
         Status::kErrorDoubleFree, Status::kErrorEccUncorrectable,
         Status::kErrorGpuReset, Status::kErrorUnrecoverable,
         Status::kErrorTimeout, Status::kErrorNodeLost,
-        Status::kErrorDeadlineExceeded, Status::kErrorNetConfig}) {
+        Status::kErrorDeadlineExceeded, Status::kErrorNetConfig,
+        Status::kErrorRetransmitExhausted, Status::kErrorDataCorruption}) {
     EXPECT_TRUE(seen.insert(to_string(s)).second)
         << "duplicate status string: " << to_string(s);
   }
@@ -316,6 +388,171 @@ TEST(Fabric, DigestTracksHistoryExactly) {
   EXPECT_NE(drive(1 << 20), drive((1 << 20) + 1));
 }
 
+// --- reliable delivery under message faults ---------------------------------
+
+fault::MessageFaultConfig clean_chaos() {
+  fault::MessageFaultConfig m;
+  m.enabled = true;  // all fate probabilities stay 0: every delivery clean
+  return m;
+}
+
+TEST(Reliable, CleanSendSucceedsFirstAttempt) {
+  net::Fabric f{net::NetSpec{}, 2, nullptr, {}, clean_chaos()};
+  const net::ReliableTransfer t =
+      f.send(0, 1, 4096, net::MemType::kHost, 0);
+  EXPECT_EQ(t.status, Status::kSuccess);
+  EXPECT_EQ(t.attempts, 1u);
+  EXPECT_EQ(t.retransmits, 0u);
+  EXPECT_FALSE(t.payload_corrupt);
+  EXPECT_EQ(t.delivered_at, t.wire.end);
+  EXPECT_GT(t.end, t.delivered_at);  // the ack rode the reverse link
+  const net::ReliableTotals& r = f.reliable_totals();
+  EXPECT_EQ(r.sends, 1u);
+  EXPECT_EQ(r.retransmits, 0u);
+  EXPECT_EQ(r.acks, 1u);
+  EXPECT_EQ(r.exhausted, 0u);
+}
+
+TEST(Reliable, DropsAreRetransmittedAndRecovered) {
+  fault::MessageFaultConfig m = clean_chaos();
+  m.drop_prob = 0.3;
+  net::Fabric f{net::NetSpec{}, 2, nullptr, {}, m};
+  sim::Picos now = 0;
+  for (int i = 0; i < 40; ++i) {
+    const net::ReliableTransfer t =
+        f.send(0, 1, 4096, net::MemType::kHost, now);
+    EXPECT_EQ(t.status, Status::kSuccess) << "send " << i;
+    EXPECT_EQ(t.attempts, t.retransmits + 1) << "send " << i;
+    now = t.end;
+  }
+  const net::ReliableTotals& r = f.reliable_totals();
+  EXPECT_EQ(r.sends, 40u);
+  EXPECT_GE(r.drops, 1u);             // the schedule did drop messages
+  EXPECT_GE(r.retransmits, 1u);       // ...which forced retransmissions
+  EXPECT_GE(r.recovered_sends, 1u);   // ...that recovered the send
+  EXPECT_EQ(r.exhausted, 0u);
+}
+
+TEST(Reliable, CorruptDeliveriesAreNakedAndRetried) {
+  fault::MessageFaultConfig m = clean_chaos();
+  m.corrupt_prob = 1.0;  // every delivery fails the link checksum
+  m.max_retransmits = 2;
+  net::Fabric f{net::NetSpec{}, 2, nullptr, {}, m};
+  const net::ReliableTransfer t =
+      f.send(0, 1, 4096, net::MemType::kHost, 0);
+  EXPECT_EQ(t.status, Status::kErrorRetransmitExhausted);
+  EXPECT_EQ(t.attempts, 3u);  // budget + 1 payload transmissions
+  EXPECT_EQ(t.retransmits, 2u);
+  // Payload corruptions (one per attempt) plus any corrupted NAKs — the
+  // reverse link draws fates from the same schedule.
+  const net::ReliableTotals& r = f.reliable_totals();
+  EXPECT_GE(r.corruptions, 3u);
+  EXPECT_EQ(r.exhausted, 1u);
+  EXPECT_EQ(r.recovered_sends, 0u);
+}
+
+TEST(Reliable, SendToDownEndpointExhaustsBudget) {
+  fault::MessageFaultConfig m = clean_chaos();
+  m.max_retransmits = 3;
+  net::Fabric f{net::NetSpec{}, 2, nullptr, {}, m};
+  f.set_endpoint_down(1, true);
+  EXPECT_TRUE(f.endpoint_down(1));
+  const net::ReliableTransfer t =
+      f.send(0, 1, 4096, net::MemType::kHost, 0);
+  EXPECT_EQ(t.status, Status::kErrorRetransmitExhausted);
+  EXPECT_EQ(t.attempts, 4u);
+  EXPECT_EQ(t.retransmits, 3u);
+  // Exponential backoff: the sender waited out every timeout rung.
+  sim::Picos waited = 0;
+  for (std::uint32_t k = 1; k <= 4; ++k) {
+    waited += m.ack_timeout * (sim::Picos{1} << (k - 1));
+  }
+  EXPECT_GE(t.end, waited);
+  EXPECT_EQ(f.reliable_totals().exhausted, 1u);
+  // Back up: the next send goes straight through.
+  f.set_endpoint_down(1, false);
+  EXPECT_EQ(f.send(0, 1, 4096, net::MemType::kHost, t.end).status,
+            Status::kSuccess);
+}
+
+TEST(Reliable, DuplicatedDeliveriesAreDeduped) {
+  fault::MessageFaultConfig m = clean_chaos();
+  m.duplicate_prob = 1.0;  // the link echoes every delivery
+  net::Fabric f{net::NetSpec{}, 2, nullptr, {}, m};
+  const net::ReliableTransfer t =
+      f.send(0, 1, 4096, net::MemType::kHost, 0);
+  EXPECT_EQ(t.status, Status::kSuccess);
+  EXPECT_GE(f.reliable_totals().dup_discards, 1u);
+}
+
+TEST(Reliable, E2eBulkCorruptionFollowsSchedule) {
+  fault::MessageFaultConfig m = clean_chaos();
+  m.bulk_threshold = 4096;
+  m.e2e_corrupt_bulk = {0, 2};  // first and third bulk payloads
+  net::Fabric f{net::NetSpec{}, 2, nullptr, {}, m};
+  // A sub-threshold send is never e2e-corrupted and does not consume a
+  // bulk index.
+  EXPECT_FALSE(f.send(0, 1, 256, net::MemType::kHost, 0).payload_corrupt);
+  const net::ReliableTransfer b0 =
+      f.send(0, 1, 8192, net::MemType::kHost, 0);
+  const net::ReliableTransfer b1 =
+      f.send(0, 1, 8192, net::MemType::kHost, b0.end);
+  const net::ReliableTransfer b2 =
+      f.send(0, 1, 8192, net::MemType::kHost, b1.end);
+  EXPECT_TRUE(b0.payload_corrupt);   // scheduled
+  EXPECT_FALSE(b1.payload_corrupt);  // not scheduled
+  EXPECT_TRUE(b2.payload_corrupt);   // scheduled
+  // E2e corruption is invisible to the link protocol: the sends succeed.
+  EXPECT_EQ(b0.status, Status::kSuccess);
+  EXPECT_EQ(f.reliable_totals().e2e_corruptions, 2u);
+}
+
+TEST(Reliable, LossySequenceIsBitForBitReproducible) {
+  fault::MessageFaultConfig m = clean_chaos();
+  m.drop_prob = 0.2;
+  m.corrupt_prob = 0.1;
+  m.duplicate_prob = 0.1;
+  m.reorder_prob = 0.1;
+  const auto drive = [&m] {
+    net::Fabric f{net::NetSpec{}, 3, nullptr, {}, m};
+    sim::Picos now = 0;
+    for (int i = 0; i < 24; ++i) {
+      const net::ReliableTransfer t = f.send(
+          static_cast<std::uint32_t>(i % 2), 2,
+          1024 + static_cast<std::uint64_t>(i) * 512, net::MemType::kHost,
+          now);
+      now = t.end;
+    }
+    return f.digest();
+  };
+  EXPECT_EQ(drive(), drive());
+}
+
+TEST(Reliable, PerLinkStreamsAreIndependent) {
+  // The same message sequence on link 0->1 must meet the same fates
+  // whether or not unrelated traffic runs on link 2->3 in between —
+  // fates come from per-link streams, not one global draw order.
+  fault::MessageFaultConfig m = clean_chaos();
+  m.drop_prob = 0.3;
+  m.corrupt_prob = 0.2;
+  const auto drive = [&m](bool interleave) {
+    net::Fabric f{net::NetSpec{}, 4, nullptr, {}, m};
+    std::vector<std::uint32_t> attempts;
+    sim::Picos now = 0;
+    for (int i = 0; i < 16; ++i) {
+      if (interleave) {
+        (void)f.send(2, 3, 4096, net::MemType::kHost, now);
+      }
+      const net::ReliableTransfer t =
+          f.send(0, 1, 4096, net::MemType::kHost, now);
+      attempts.push_back(t.attempts);
+      now = t.end;
+    }
+    return attempts;
+  };
+  EXPECT_EQ(drive(false), drive(true));
+}
+
 // --- multi-node workloads ----------------------------------------------------
 
 TEST(Halo, HotspotRunsAndReproduces) {
@@ -397,6 +634,29 @@ TEST(Halo, RejectsBadShapes) {
   mc.nodes = 8;
   mc.mode = apps::MemMode::kManaged;
   EXPECT_THROW((void)net::run_hotspot_halo(mc, thin), StatusError);
+}
+
+TEST(Halo, LossyFabricReproducesAndChargesRetries) {
+  net::MultiNodeConfig mc;
+  mc.nodes = 3;
+  mc.mode = apps::MemMode::kManaged;
+  mc.node_config = node_cfg();
+  mc.messages.enabled = true;
+  mc.messages.drop_prob = 0.2;
+  mc.messages.corrupt_prob = 0.1;
+
+  const net::MultiNodeResult a = net::run_hotspot_halo(mc, small_hotspot());
+  const net::MultiNodeResult b = net::run_hotspot_halo(mc, small_hotspot());
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.checksum, b.checksum);
+  // The chaos never changes the computed answer, only the timeline.
+  net::MultiNodeConfig clean = mc;
+  clean.messages = {};
+  const net::MultiNodeResult c = net::run_hotspot_halo(clean, small_hotspot());
+  EXPECT_EQ(a.checksum, c.checksum);
+  EXPECT_GE(a.makespan, c.makespan);  // retransmissions only ever cost time
+  // Retried payloads and their acks appear as extra wire messages.
+  EXPECT_GT(a.net.total_msgs(), c.net.total_msgs());
 }
 
 TEST(Halo, SharedFabricAccumulates) {
